@@ -1,0 +1,170 @@
+package edgetune
+
+import (
+	"errors"
+	"fmt"
+
+	"edgetune/internal/batching"
+	"edgetune/internal/device"
+	"edgetune/internal/perfmodel"
+	"edgetune/internal/workload"
+)
+
+// modelLatency builds a batch-size → (latency, energy) function for a
+// tuned model on a device, used by both batching scenarios.
+func modelLatency(workloadID string, modelConfig map[string]float64, deviceName string, cores int, freqGHz float64) (batching.LatencyFn, error) {
+	w, err := workload.New(workloadID, 0)
+	if err != nil {
+		return nil, err
+	}
+	dev := device.I7()
+	if deviceName != "" {
+		dev, err = device.ByName(deviceName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	flops, params, err := w.PaperCost(configFromMap(modelConfig))
+	if err != nil {
+		return nil, err
+	}
+	if cores <= 0 {
+		cores = dev.Profile.MaxCores
+	}
+	if freqGHz <= 0 {
+		freqGHz = dev.Profile.MaxFreqGHz
+	}
+	return func(batch int) (float64, float64, error) {
+		r, err := dev.Estimate(perfmodel.InferSpec{
+			FLOPsPerSample: flops,
+			Params:         params,
+			BatchSize:      batch,
+			Cores:          cores,
+			FreqGHz:        freqGHz,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.BatchLatency.Seconds(), r.EnergyPerSampleJ * float64(batch), nil
+	}, nil
+}
+
+// ServerScenario is the paper's fixed-frequency server (§3.4, Figure 8
+// top): every query carries SamplesPerQuery samples and queries arrive
+// every PeriodSec seconds. The tuner picks how to split the samples
+// into inference batches.
+type ServerScenario struct {
+	// Workload and ModelConfig identify the deployed model.
+	Workload    string
+	ModelConfig map[string]float64
+	// Device names the edge target (default "i7"); Cores/FrequencyGHz
+	// override the device's maximum settings when positive.
+	Device       string
+	Cores        int
+	FrequencyGHz float64
+	// SamplesPerQuery is N; PeriodSec is the query inter-arrival time.
+	SamplesPerQuery int
+	PeriodSec       float64
+}
+
+// ServerPlan is the tuned splitting decision.
+type ServerPlan struct {
+	// Split is the recommended inference batch size.
+	Split int
+	// ResponseSec is the resulting per-query response time.
+	ResponseSec float64
+	// EnergyPerQueryJ is the energy to process one query.
+	EnergyPerQueryJ float64
+	// Stable reports whether the server keeps up with the arrival rate.
+	Stable bool
+}
+
+// PlanServer tunes the batch split for a server scenario.
+func PlanServer(s ServerScenario) (ServerPlan, error) {
+	if s.Workload == "" {
+		return ServerPlan{}, errors.New("edgetune: server scenario needs a workload")
+	}
+	lat, err := modelLatency(s.Workload, s.ModelConfig, s.Device, s.Cores, s.FrequencyGHz)
+	if err != nil {
+		return ServerPlan{}, err
+	}
+	best, err := batching.Server{
+		SamplesPerQuery: s.SamplesPerQuery,
+		PeriodSec:       s.PeriodSec,
+	}.Optimal(lat)
+	if err != nil {
+		return ServerPlan{}, fmt.Errorf("edgetune: server scenario: %w", err)
+	}
+	return ServerPlan{
+		Split:           best.Split,
+		ResponseSec:     best.ResponseSec,
+		EnergyPerQueryJ: best.EnergyPerQueryJ,
+		Stable:          best.Stable,
+	}, nil
+}
+
+// MultiStreamScenario is the paper's Poisson multi-stream (§3.4, Figure
+// 8 bottom): single-sample queries arrive at rate ArrivalsPerSec and
+// the tuner picks how many to aggregate per inference call.
+type MultiStreamScenario struct {
+	Workload    string
+	ModelConfig map[string]float64
+	Device      string
+	Cores       int
+	// FrequencyGHz overrides the device maximum when positive.
+	FrequencyGHz float64
+	// ArrivalsPerSec is the Poisson arrival rate λ.
+	ArrivalsPerSec float64
+	// Samples is the simulation length (default 2000 arrivals).
+	Samples int
+	// MaxBatch bounds the aggregation search (default 64).
+	MaxBatch int
+	// Seed drives the deterministic arrival process.
+	Seed uint64
+}
+
+// StreamPlan is the tuned aggregation decision.
+type StreamPlan struct {
+	// BatchCap is the recommended aggregation limit.
+	BatchCap int
+	// MeanResponseSec and P95ResponseSec summarise per-sample response
+	// times at the recommendation.
+	MeanResponseSec float64
+	P95ResponseSec  float64
+	// MeanBatch is the average dispatched batch size.
+	MeanBatch float64
+	// EnergyPerSampleJ is the mean per-sample energy.
+	EnergyPerSampleJ float64
+}
+
+// PlanMultiStream tunes sample aggregation for a multi-stream scenario.
+func PlanMultiStream(s MultiStreamScenario) (StreamPlan, error) {
+	if s.Workload == "" {
+		return StreamPlan{}, errors.New("edgetune: multi-stream scenario needs a workload")
+	}
+	lat, err := modelLatency(s.Workload, s.ModelConfig, s.Device, s.Cores, s.FrequencyGHz)
+	if err != nil {
+		return StreamPlan{}, err
+	}
+	if s.Samples == 0 {
+		s.Samples = 2000
+	}
+	if s.MaxBatch == 0 {
+		s.MaxBatch = 64
+	}
+	best, err := batching.MultiStream{
+		LambdaPerSec: s.ArrivalsPerSec,
+		Samples:      s.Samples,
+		Seed:         s.Seed,
+	}.OptimalBatch(lat, s.MaxBatch)
+	if err != nil {
+		return StreamPlan{}, fmt.Errorf("edgetune: multi-stream scenario: %w", err)
+	}
+	return StreamPlan{
+		BatchCap:         best.BatchCap,
+		MeanResponseSec:  best.MeanResponseSec,
+		P95ResponseSec:   best.P95ResponseSec,
+		MeanBatch:        best.MeanBatch,
+		EnergyPerSampleJ: best.EnergyPerSampleJ,
+	}, nil
+}

@@ -1,0 +1,61 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation as text tables (the same data the root benchmarks report).
+//
+// Usage:
+//
+//	benchtab            # all experiments, paper order
+//	benchtab -only 13   # a single figure/table by number
+//	benchtab -list      # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"edgetune/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	var (
+		only = fs.String("only", "", "run only the experiment whose ID contains this string (e.g. \"13\" or \"Table 1\")")
+		list = fs.Bool("list", false, "list experiment IDs and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ran := 0
+	for _, exp := range experiments.All() {
+		if *only != "" && !strings.Contains(exp.ID, *only) {
+			continue
+		}
+		if *list {
+			fmt.Fprintf(out, "%s\n", exp.ID)
+			ran++
+			continue
+		}
+		start := time.Now()
+		tab, err := exp.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s(regenerated in %.1fs)\n\n", tab, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q", *only)
+	}
+	return nil
+}

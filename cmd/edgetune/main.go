@@ -1,0 +1,115 @@
+// Command edgetune runs an inference-aware tuning job from the command
+// line and prints the tuned configuration and inference recommendation.
+//
+// Usage:
+//
+//	edgetune -workload IC [-device i7] [-budget multi] [-metric runtime]
+//	         [-hierarchical] [-no-inference] [-stop-at-target]
+//	         [-store history.json] [-seed 1] [-json]
+//	edgetune -job job.json
+//
+// With -job, the flags are read from a JSON file matching the
+// edgetune.Job structure instead.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edgetune"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edgetune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("edgetune", flag.ContinueOnError)
+	var (
+		jobPath      = fs.String("job", "", "read the job from a JSON file")
+		workloadID   = fs.String("workload", "", "workload to tune: IC, SR, NLP, or OD")
+		deviceName   = fs.String("device", "", "edge device: i7, armv7, or rpi3b+ (default i7)")
+		budgetKind   = fs.String("budget", "", "trial budget: epochs, dataset, or multi (default multi)")
+		metric       = fs.String("metric", "", "objective: runtime or energy (default runtime)")
+		modelAlgo    = fs.String("model-algo", "", "model-server search algorithm (default bohb)")
+		inferAlgo    = fs.String("infer-algo", "", "inference-server search algorithm (default bohb)")
+		hierarchical = fs.Bool("hierarchical", false, "use two-tier hierarchical tuning instead of onefold")
+		noInference  = fs.Bool("no-inference", false, "disable the inference tuning server")
+		stopAtTarget = fs.Bool("stop-at-target", false, "stop once the target accuracy is reached")
+		storePath    = fs.String("store", "", "persist the historical inference database to this JSON file")
+		seed         = fs.Uint64("seed", 1, "random seed (jobs are deterministic per seed)")
+		asJSON       = fs.Bool("json", false, "print the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var job edgetune.Job
+	if *jobPath != "" {
+		data, err := os.ReadFile(*jobPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &job); err != nil {
+			return fmt.Errorf("parse %s: %w", *jobPath, err)
+		}
+	} else {
+		job = edgetune.Job{
+			Workload:           *workloadID,
+			Device:             *deviceName,
+			Budget:             edgetune.BudgetKind(*budgetKind),
+			Metric:             edgetune.Metric(*metric),
+			ModelAlgorithm:     edgetune.Algorithm(*modelAlgo),
+			InferenceAlgorithm: edgetune.Algorithm(*inferAlgo),
+			Hierarchical:       *hierarchical,
+			WithoutInference:   *noInference,
+			StopAtTarget:       *stopAtTarget,
+			StorePath:          *storePath,
+			Seed:               *seed,
+		}
+	}
+
+	report, err := edgetune.Tune(context.Background(), job)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	printReport(out, report)
+	return nil
+}
+
+func printReport(out io.Writer, r *edgetune.Report) {
+	fmt.Fprintf(out, "EdgeTune report — workload %s on device %s (objective: %s)\n",
+		r.Workload, r.Device, r.Metric)
+	fmt.Fprintf(out, "  trials run:        %d (cache hits/misses: %d/%d)\n",
+		r.TrialsRun, r.CacheHits, r.CacheMisses)
+	fmt.Fprintf(out, "  tuning cost:       %.1f simulated minutes, %.1f kJ\n",
+		r.TuningMinutes, r.TuningEnergyKJ)
+	fmt.Fprintf(out, "  best accuracy:     %.3f (max observed %.3f, target reached: %v)\n",
+		r.BestAccuracy, r.MaxAccuracy, r.ReachedTarget)
+	fmt.Fprintf(out, "  best configuration:\n")
+	for k, v := range r.BestConfig {
+		fmt.Fprintf(out, "    %-12s %g\n", k, v)
+	}
+	rec := r.Recommendation
+	if rec.BatchSize > 0 {
+		fmt.Fprintf(out, "  inference recommendation (%s):\n", rec.Device)
+		fmt.Fprintf(out, "    batch size    %d\n", rec.BatchSize)
+		fmt.Fprintf(out, "    cores         %d\n", rec.Cores)
+		fmt.Fprintf(out, "    frequency     %.2f GHz\n", rec.FrequencyGHz)
+		fmt.Fprintf(out, "    throughput    %.1f samples/s\n", rec.Throughput)
+		fmt.Fprintf(out, "    energy        %.3f J/sample\n", rec.EnergyPerSampleJ)
+	}
+}

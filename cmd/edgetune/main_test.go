@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgetune"
+)
+
+// quickArgs keep CLI tests fast: a tiny job file overriding the search
+// scale.
+func quickJobFile(t *testing.T, job edgetune.Job) string {
+	t.Helper()
+	if job.Configs == 0 {
+		job.Configs = 2
+	}
+	if job.Rungs == 0 {
+		job.Rungs = 2
+	}
+	if job.Brackets == 0 {
+		job.Brackets = 1
+	}
+	if job.InferenceTrials == 0 {
+		job.InferenceTrials = 4
+	}
+	data, err := json.Marshal(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTextReport(t *testing.T) {
+	path := quickJobFile(t, edgetune.Job{Workload: "IC", Seed: 1})
+	var out bytes.Buffer
+	if err := run([]string{"-job", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"EdgeTune report",
+		"workload IC on device i7",
+		"inference recommendation (i7):",
+		"batch size",
+		"throughput",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	path := quickJobFile(t, edgetune.Job{Workload: "IC", Seed: 1})
+	var out bytes.Buffer
+	if err := run([]string{"-job", path, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep edgetune.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Workload != "IC" || rep.TrialsRun == 0 {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "XX"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-job", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing job file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-job", bad}, &out); err == nil {
+		t.Error("corrupt job file accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunNoInferenceOmitsRecommendation(t *testing.T) {
+	path := quickJobFile(t, edgetune.Job{Workload: "IC", Seed: 1, WithoutInference: true})
+	var out bytes.Buffer
+	if err := run([]string{"-job", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "inference recommendation") {
+		t.Error("inference-unaware run printed a recommendation")
+	}
+}

@@ -1,0 +1,51 @@
+package edgetune
+
+import (
+	"edgetune/internal/device"
+	"edgetune/internal/perfmodel"
+)
+
+// DeviceProfile describes a custom edge device, for tuning against
+// hardware beyond the paper's three testbed boards. Unset modelling
+// fields (BytesPerFLOP, BatchSetupSec, batching knee) receive sensible
+// defaults.
+type DeviceProfile struct {
+	// Name identifies the device; it must not collide with the built-in
+	// names (armv7, rpi3b+, i7).
+	Name string
+	// Cores is the physical core count.
+	Cores int
+	// MinFrequencyGHz and MaxFrequencyGHz bound the DVFS range.
+	MinFrequencyGHz float64
+	MaxFrequencyGHz float64
+	// FlopsPerCorePerGHz is the effective per-core throughput at 1 GHz.
+	FlopsPerCorePerGHz float64
+	// MemBytesPerSec is the memory bandwidth.
+	MemBytesPerSec float64
+	// IdlePowerW and CorePowerW parameterise the power model.
+	IdlePowerW float64
+	CorePowerW float64
+	// Optional model fields; zero selects a default.
+	BytesPerFLOP      float64
+	BatchSetupSec     float64
+	MemBatchKnee      float64
+	MemPressureFactor float64
+}
+
+// toDevice validates and converts the public profile.
+func (p DeviceProfile) toDevice() (device.Device, error) {
+	return device.Custom(perfmodel.CPUProfile{
+		Name:               p.Name,
+		MaxCores:           p.Cores,
+		FlopsPerCorePerGHz: p.FlopsPerCorePerGHz,
+		MinFreqGHz:         p.MinFrequencyGHz,
+		MaxFreqGHz:         p.MaxFrequencyGHz,
+		MemBytesPerSec:     p.MemBytesPerSec,
+		BytesPerFLOP:       p.BytesPerFLOP,
+		BatchSetupSec:      p.BatchSetupSec,
+		MemBatchKnee:       p.MemBatchKnee,
+		MemPressureFactor:  p.MemPressureFactor,
+		IdlePowerW:         p.IdlePowerW,
+		CorePowerW:         p.CorePowerW,
+	})
+}

@@ -1,0 +1,67 @@
+package edgetune
+
+import (
+	"context"
+	"testing"
+)
+
+func jetsonLike() *DeviceProfile {
+	return &DeviceProfile{
+		Name:               "jetson-like",
+		Cores:              6,
+		MinFrequencyGHz:    0.8,
+		MaxFrequencyGHz:    2.2,
+		FlopsPerCorePerGHz: 2e9,
+		MemBytesPerSec:     6e9,
+		IdlePowerW:         3,
+		CorePowerW:         2,
+	}
+}
+
+func TestTuneCustomDevice(t *testing.T) {
+	job := quickJob()
+	job.CustomDevice = jetsonLike()
+	rep, err := Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Device != "jetson-like" {
+		t.Errorf("device = %q, want jetson-like", rep.Device)
+	}
+	rec := rep.Recommendation
+	if rec.Device != "jetson-like" || rec.Cores > 6 {
+		t.Errorf("recommendation ignored the custom device: %+v", rec)
+	}
+	if rec.FrequencyGHz < 0.8 || rec.FrequencyGHz > 2.2 {
+		t.Errorf("recommended frequency %v outside the custom DVFS range", rec.FrequencyGHz)
+	}
+}
+
+func TestTuneCustomDeviceValidation(t *testing.T) {
+	job := quickJob()
+	bad := jetsonLike()
+	bad.Cores = 0
+	job.CustomDevice = bad
+	if _, err := Tune(context.Background(), job); err == nil {
+		t.Error("invalid custom device accepted")
+	}
+	collide := jetsonLike()
+	collide.Name = "i7"
+	job.CustomDevice = collide
+	if _, err := Tune(context.Background(), job); err == nil {
+		t.Error("built-in name collision accepted")
+	}
+}
+
+func TestCustomDevicePrecedesNamedDevice(t *testing.T) {
+	job := quickJob()
+	job.Device = "rpi3b+"
+	job.CustomDevice = jetsonLike()
+	rep, err := Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Device != "jetson-like" {
+		t.Errorf("custom device did not take precedence: %q", rep.Device)
+	}
+}

@@ -1,0 +1,304 @@
+// Package edgetune is an inference-aware multi-parameter tuning server
+// for deep-learning workloads, reproducing the system of Rocha, Felber,
+// Schiavoni and Chen, "EdgeTune: Inference-Aware Multi-Parameter
+// Tuning" (ACM/IFIP Middleware 2022).
+//
+// EdgeTune tunes model hyperparameters, training hyperparameters, and
+// system parameters jointly (the onefold approach), while a dedicated
+// Inference Tuning Server asynchronously explores inference batch size
+// and edge-device system parameters so that the tuning objective can
+// balance model accuracy against deployed inference performance. Trials
+// run under the novel multi-budget strategy, which grows the number of
+// epochs and the dataset fraction simultaneously.
+//
+// A minimal run:
+//
+//	report, err := edgetune.Tune(ctx, edgetune.Job{Workload: "IC"})
+//	if err != nil { ... }
+//	fmt.Println(report.Recommendation.BatchSize, report.Recommendation.Cores)
+//
+// The package also exposes the batching scenarios of the paper's §3.4
+// (fixed-frequency servers and Poisson multi-streams) for tuning the
+// inference batch size of an already-trained model.
+package edgetune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"edgetune/internal/core"
+	"edgetune/internal/device"
+	"edgetune/internal/search"
+	"edgetune/internal/store"
+	"edgetune/internal/workload"
+)
+
+// Metric selects the optimisation objective.
+type Metric string
+
+// Objective metrics (§4.4 of the paper).
+const (
+	// MetricRuntime minimises (training time × inference latency) / accuracy.
+	MetricRuntime Metric = "runtime"
+	// MetricEnergy minimises (training energy × inference energy) / accuracy.
+	MetricEnergy Metric = "energy"
+)
+
+// BudgetKind selects the trial budget strategy (§4.3).
+type BudgetKind string
+
+// Budget strategies.
+const (
+	// BudgetEpochs grows only the epoch count (classic multi-fidelity).
+	BudgetEpochs BudgetKind = "epochs"
+	// BudgetDataset grows only the dataset fraction at one epoch.
+	BudgetDataset BudgetKind = "dataset"
+	// BudgetMulti grows both dimensions simultaneously (Algorithm 2,
+	// the paper's contribution and the default).
+	BudgetMulti BudgetKind = "multi"
+)
+
+// Algorithm names a search strategy.
+type Algorithm string
+
+// Search algorithms (§4.2).
+const (
+	AlgorithmBOHB   Algorithm = "bohb"
+	AlgorithmRandom Algorithm = "random"
+	AlgorithmGrid   Algorithm = "grid"
+)
+
+// Workloads returns the built-in workload identifiers (Table 1):
+// IC (image classification), SR (speech recognition), NLP (natural
+// language processing), and OD (object detection).
+func Workloads() []string { return workload.IDs() }
+
+// Devices returns the built-in edge-device names (§2.1's testbed):
+// armv7, i7, and rpi3b+.
+func Devices() []string {
+	devs := device.All()
+	names := make([]string, len(devs))
+	for i, d := range devs {
+		names[i] = d.Profile.Name
+	}
+	return names
+}
+
+// Job describes one tuning job: the paper's EdgeTune inputs (§3.1).
+type Job struct {
+	// Workload is the model/dataset pair to tune: IC, SR, NLP, or OD.
+	// Required.
+	Workload string
+	// Device is the edge inference target (default "i7").
+	Device string
+	// CustomDevice tunes for a user-described device instead of a
+	// built-in one; it takes precedence over Device.
+	CustomDevice *DeviceProfile
+	// Budget is the trial budget strategy (default BudgetMulti).
+	Budget BudgetKind
+	// Metric is the objective variant (default MetricRuntime).
+	Metric Metric
+	// ModelAlgorithm and InferenceAlgorithm select the search strategy
+	// of each server independently (§3.1); both default to BOHB.
+	ModelAlgorithm     Algorithm
+	InferenceAlgorithm Algorithm
+	// Hierarchical switches to the two-tier baseline of §4.1 instead of
+	// the onefold default.
+	Hierarchical bool
+	// WithoutInference disables the Inference Tuning Server, producing
+	// a classic accuracy-only tuner (for comparisons).
+	WithoutInference bool
+	// StopAtTarget ends tuning once a trial reaches the workload's
+	// target accuracy (bracket granularity).
+	StopAtTarget bool
+	// Configs, Rungs, and Brackets size the successive-halving search
+	// (defaults 8, 6, 3).
+	Configs  int
+	Rungs    int
+	Brackets int
+	// InferenceTrials is the number of inference configurations
+	// explored per architecture (default 24).
+	InferenceTrials int
+	// StorePath optionally persists the historical inference-tuning
+	// database across jobs (§3.4).
+	StorePath string
+	// Seed drives all randomised components; jobs are fully
+	// deterministic given a seed.
+	Seed uint64
+}
+
+// InferenceRecommendation is the deployment configuration EdgeTune
+// outputs alongside the tuned model (§3.1).
+type InferenceRecommendation struct {
+	// Device is the edge device the recommendation targets.
+	Device string
+	// BatchSize is the optimal inference batch size.
+	BatchSize int
+	// Cores is the optimal CPU core count.
+	Cores int
+	// FrequencyGHz is the optimal CPU frequency.
+	FrequencyGHz float64
+	// Throughput is the predicted samples/second at this configuration.
+	Throughput float64
+	// EnergyPerSampleJ is the predicted joules per sample.
+	EnergyPerSampleJ float64
+	// LatencySeconds is the predicted per-batch latency.
+	LatencySeconds float64
+}
+
+// Report is a completed tuning job's outcome.
+type Report struct {
+	// Workload and Device echo the job.
+	Workload string
+	Device   string
+	// Metric echoes the objective used.
+	Metric Metric
+	// BestConfig is the winning joint configuration (model
+	// hyperparameter, training batch size, and GPU count).
+	BestConfig map[string]float64
+	// BestAccuracy is the winning trial's accuracy; MaxAccuracy is the
+	// highest accuracy any trial reached.
+	BestAccuracy float64
+	MaxAccuracy  float64
+	// ReachedTarget reports whether any trial met the workload's target
+	// accuracy.
+	ReachedTarget bool
+	// TuningMinutes and TuningEnergyKJ account the tuning phase in the
+	// paper's units (simulated).
+	TuningMinutes  float64
+	TuningEnergyKJ float64
+	// TrialsRun counts training trials.
+	TrialsRun int
+	// CacheHits and CacheMisses report historical-store reuse.
+	CacheHits   int
+	CacheMisses int
+	// Recommendation is the inference deployment advice (zero when
+	// WithoutInference was set).
+	Recommendation InferenceRecommendation
+}
+
+// Tune runs a tuning job to completion.
+func Tune(ctx context.Context, job Job) (*Report, error) {
+	if job.Workload == "" {
+		return nil, errors.New("edgetune: job needs a workload (IC, SR, NLP, or OD)")
+	}
+	w, err := workload.New(job.Workload, job.Seed^0x9e3779b9)
+	if err != nil {
+		return nil, err
+	}
+	dev := device.I7()
+	switch {
+	case job.CustomDevice != nil:
+		dev, err = job.CustomDevice.toDevice()
+		if err != nil {
+			return nil, err
+		}
+	case job.Device != "":
+		dev, err = device.ByName(job.Device)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var st *store.Store
+	if job.StorePath != "" {
+		st, err = loadOrNewStore(job.StorePath)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	opts := core.Options{
+		Workload:       w,
+		Device:         dev,
+		BudgetKind:     string(job.Budget),
+		Metric:         core.Metric(job.Metric),
+		ModelAlgo:      string(job.ModelAlgorithm),
+		InferAlgo:      string(job.InferenceAlgorithm),
+		SystemParams:   true,
+		InferenceAware: !job.WithoutInference,
+		StopAtTarget:   job.StopAtTarget,
+		InitialConfigs: job.Configs,
+		Rungs:          job.Rungs,
+		MaxBrackets:    job.Brackets,
+		InferTrials:    job.InferenceTrials,
+		Store:          st,
+		Seed:           job.Seed,
+	}
+
+	var res core.Result
+	if job.Hierarchical {
+		res, err = core.TuneHierarchical(ctx, opts)
+	} else {
+		res, err = core.Tune(ctx, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if job.StorePath != "" && st != nil {
+		if err := st.Save(job.StorePath); err != nil {
+			return nil, fmt.Errorf("edgetune: persist store: %w", err)
+		}
+	}
+	return buildReport(res), nil
+}
+
+func buildReport(res core.Result) *Report {
+	r := &Report{
+		Workload:       res.Workload,
+		Device:         res.Device,
+		Metric:         Metric(res.Metric),
+		BestConfig:     map[string]float64(res.BestConfig.Clone()),
+		BestAccuracy:   res.BestAccuracy,
+		MaxAccuracy:    res.MaxAccuracy,
+		ReachedTarget:  res.ReachedTarget,
+		TuningMinutes:  res.TuningDuration.Minutes(),
+		TuningEnergyKJ: res.TuningEnergyKJ,
+		TrialsRun:      res.TrialsRun,
+		CacheHits:      res.CacheHits,
+		CacheMisses:    res.CacheMisses,
+	}
+	if res.Recommendation.Signature != "" {
+		r.Recommendation = InferenceRecommendation{
+			Device:           res.Recommendation.Device,
+			BatchSize:        int(res.Recommendation.Config[workload.ParamInferBatch]),
+			Cores:            int(res.Recommendation.Config[workload.ParamCores]),
+			FrequencyGHz:     res.Recommendation.Config[workload.ParamFreq],
+			Throughput:       res.Recommendation.Throughput,
+			EnergyPerSampleJ: res.Recommendation.EnergyPerSampleJ,
+			LatencySeconds:   res.Recommendation.LatencySeconds,
+		}
+	}
+	return r
+}
+
+// loadOrNewStore loads an existing JSON store or creates an empty one
+// if the file does not exist yet.
+func loadOrNewStore(path string) (*store.Store, error) {
+	st, err := store.Load(path)
+	if err == nil {
+		return st, nil
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		return store.New(), nil
+	}
+	return nil, err
+}
+
+// validParamNames are the config keys a Report.BestConfig may carry.
+var _ = []string{
+	workload.ParamLayers, workload.ParamEmbedDim, workload.ParamStride,
+	workload.ParamDropout, workload.ParamTrainBatch, workload.ParamGPUs,
+}
+
+// configFromMap converts a public map into an internal search.Config.
+func configFromMap(m map[string]float64) search.Config {
+	cfg := make(search.Config, len(m))
+	for k, v := range m {
+		cfg[k] = v
+	}
+	return cfg
+}

@@ -1,0 +1,187 @@
+package edgetune
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+func quickJob() Job {
+	return Job{
+		Workload:        "IC",
+		Configs:         3,
+		Rungs:           3,
+		Brackets:        1,
+		InferenceTrials: 8,
+		Seed:            7,
+	}
+}
+
+func TestWorkloadsAndDevices(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 4 {
+		t.Fatalf("Workloads() = %v, want 4 entries", ws)
+	}
+	ds := Devices()
+	if len(ds) != 3 {
+		t.Fatalf("Devices() = %v, want 3 entries", ds)
+	}
+}
+
+func TestTuneQuickJob(t *testing.T) {
+	rep, err := Tune(context.Background(), quickJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "IC" || rep.Device != "i7" {
+		t.Errorf("report identity = %s/%s", rep.Workload, rep.Device)
+	}
+	if rep.TrialsRun == 0 || rep.TuningMinutes <= 0 || rep.TuningEnergyKJ <= 0 {
+		t.Errorf("implausible accounting: %+v", rep)
+	}
+	rec := rep.Recommendation
+	if rec.BatchSize < 1 || rec.Cores < 1 || rec.FrequencyGHz <= 0 {
+		t.Errorf("missing inference recommendation: %+v", rec)
+	}
+	if rec.Throughput <= 0 || rec.EnergyPerSampleJ <= 0 {
+		t.Errorf("recommendation lacks predicted metrics: %+v", rec)
+	}
+	if len(rep.BestConfig) == 0 {
+		t.Error("empty best config")
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Tune(ctx, Job{}); err == nil {
+		t.Error("missing workload accepted")
+	}
+	if _, err := Tune(ctx, Job{Workload: "XX"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Tune(ctx, Job{Workload: "IC", Device: "tpu"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if _, err := Tune(ctx, Job{Workload: "IC", Metric: "latency"}); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if _, err := Tune(ctx, Job{Workload: "IC", Budget: "time"}); err == nil {
+		t.Error("unknown budget accepted")
+	}
+}
+
+func TestTuneWithoutInference(t *testing.T) {
+	job := quickJob()
+	job.WithoutInference = true
+	rep, err := Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recommendation.BatchSize != 0 {
+		t.Error("inference-unaware job produced a recommendation")
+	}
+}
+
+func TestTuneHierarchicalMode(t *testing.T) {
+	job := quickJob()
+	job.Hierarchical = true
+	rep, err := Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.BestConfig["gpus"]; !ok {
+		t.Error("hierarchical job did not tune GPUs")
+	}
+}
+
+func TestTunePersistentStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.json")
+	job := quickJob()
+	job.StorePath = path
+
+	first, err := Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second run must reuse the persisted inference results: every
+	// architecture lookup is a hit.
+	if second.CacheMisses != 0 {
+		t.Errorf("second run had %d cache misses, want 0 (store persisted)", second.CacheMisses)
+	}
+	if second.CacheHits <= first.CacheHits-first.CacheMisses {
+		t.Errorf("second run cache hits %d did not grow", second.CacheHits)
+	}
+}
+
+func TestTuneDifferentDevicesDifferentRecommendations(t *testing.T) {
+	ctx := context.Background()
+	recs := make(map[string]InferenceRecommendation)
+	for _, dev := range Devices() {
+		job := quickJob()
+		job.Device = dev
+		rep, err := Tune(ctx, job)
+		if err != nil {
+			t.Fatalf("%s: %v", dev, err)
+		}
+		if rep.Recommendation.Device != dev {
+			t.Errorf("recommendation device = %q, want %q", rep.Recommendation.Device, dev)
+		}
+		recs[dev] = rep.Recommendation
+	}
+	if recs["i7"].Throughput <= recs["rpi3b+"].Throughput {
+		t.Error("i7 recommendation should out-run the Pi")
+	}
+}
+
+func TestPlanServer(t *testing.T) {
+	plan, err := PlanServer(ServerScenario{
+		Workload:        "IC",
+		ModelConfig:     map[string]float64{"layers": 18},
+		SamplesPerQuery: 64,
+		PeriodSec:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Split < 1 || plan.Split > 64 {
+		t.Errorf("split = %d out of range", plan.Split)
+	}
+	if !plan.Stable {
+		t.Error("comfortable load reported unstable")
+	}
+	if _, err := PlanServer(ServerScenario{}); err == nil {
+		t.Error("empty scenario accepted")
+	}
+}
+
+func TestPlanMultiStream(t *testing.T) {
+	plan, err := PlanMultiStream(MultiStreamScenario{
+		Workload:       "IC",
+		ModelConfig:    map[string]float64{"layers": 18},
+		ArrivalsPerSec: 40,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BatchCap < 1 {
+		t.Errorf("batch cap = %d", plan.BatchCap)
+	}
+	if plan.MeanResponseSec <= 0 || plan.P95ResponseSec < plan.MeanResponseSec {
+		t.Errorf("implausible response stats: %+v", plan)
+	}
+	if _, err := PlanMultiStream(MultiStreamScenario{}); err == nil {
+		t.Error("empty scenario accepted")
+	}
+	if _, err := PlanMultiStream(MultiStreamScenario{
+		Workload:       "IC",
+		ModelConfig:    map[string]float64{"layers": 18},
+		ArrivalsPerSec: -1,
+	}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}

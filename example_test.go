@@ -1,0 +1,66 @@
+package edgetune_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"edgetune"
+)
+
+// The built-in workload and device catalogues are stable.
+func ExampleWorkloads() {
+	fmt.Println(edgetune.Workloads())
+	fmt.Println(edgetune.Devices())
+	// Output:
+	// [IC SR NLP OD]
+	// [armv7 i7 rpi3b+]
+}
+
+// Tune runs a complete inference-aware tuning job. (Not executed as a
+// doctest: results are deterministic per seed but verbose.)
+func ExampleTune() {
+	report, err := edgetune.Tune(context.Background(), edgetune.Job{
+		Workload:     "IC",
+		Device:       "rpi3b+",
+		Metric:       edgetune.MetricEnergy,
+		StopAtTarget: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deploy with batch %d on %d cores\n",
+		report.Recommendation.BatchSize, report.Recommendation.Cores)
+}
+
+// PlanServer tunes the batch split for the fixed-frequency server
+// scenario of the paper's §3.4.
+func ExamplePlanServer() {
+	plan, err := edgetune.PlanServer(edgetune.ServerScenario{
+		Workload:        "IC",
+		ModelConfig:     map[string]float64{"layers": 18},
+		SamplesPerQuery: 64,
+		PeriodSec:       5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("split each 64-sample query into batches of %d\n", plan.Split)
+	// Output:
+	// split each 64-sample query into batches of 32
+}
+
+// Recommend produces per-device deployment advice for a tuned model.
+func ExampleRecommend() {
+	recs, err := edgetune.Recommend(context.Background(), edgetune.RecommendRequest{
+		Workload:    "IC",
+		ModelConfig: map[string]float64{"layers": 18},
+		Devices:     []string{"i7", "rpi3b+"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range recs {
+		fmt.Printf("%s: batch %d\n", r.Device, r.BatchSize)
+	}
+}

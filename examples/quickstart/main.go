@@ -1,0 +1,39 @@
+// Quickstart: tune the image-classification workload end-to-end with
+// EdgeTune's defaults (onefold joint tuning, multi-budget trials, BOHB
+// search, runtime objective) and print the trained configuration plus
+// the inference deployment recommendation.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"edgetune"
+)
+
+func main() {
+	report, err := edgetune.Tune(context.Background(), edgetune.Job{
+		Workload:     "IC", // ResNet-class model on the CIFAR10 analogue
+		StopAtTarget: true, // stop once a trial reaches 80% accuracy
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tuned %s in %.1f simulated minutes (%.1f kJ) over %d trials\n",
+		report.Workload, report.TuningMinutes, report.TuningEnergyKJ, report.TrialsRun)
+	fmt.Printf("reached target accuracy: %v (max observed %.3f)\n",
+		report.ReachedTarget, report.MaxAccuracy)
+
+	fmt.Println("\nbest joint configuration:")
+	for name, value := range report.BestConfig {
+		fmt.Printf("  %-12s %g\n", name, value)
+	}
+
+	rec := report.Recommendation
+	fmt.Printf("\ndeploy for inference on %s with:\n", rec.Device)
+	fmt.Printf("  batch size %d, %d cores at %.2f GHz\n", rec.BatchSize, rec.Cores, rec.FrequencyGHz)
+	fmt.Printf("  expected: %.1f samples/s at %.3f J/sample\n", rec.Throughput, rec.EnergyPerSampleJ)
+}

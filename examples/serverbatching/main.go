@@ -1,0 +1,50 @@
+// Serverbatching demonstrates the paper's fixed-frequency server
+// scenario (§3.4, Figure 8 top): each query carries N samples arriving
+// at a fixed frequency, and the deployment must decide how to split the
+// samples into inference batches. The example sweeps several loads and
+// prints the tuned split for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgetune"
+)
+
+func main() {
+	model := map[string]float64{"layers": 18} // a tuned ResNet18-class model
+
+	fmt.Println("server scenario: 64-sample queries on the i7 edge node")
+	fmt.Printf("%-18s %-8s %-18s %-16s %s\n", "query period [s]", "split", "response [ms]", "J/query", "stable")
+	for _, period := range []float64{10, 5, 2, 1} {
+		plan, err := edgetune.PlanServer(edgetune.ServerScenario{
+			Workload:        "IC",
+			ModelConfig:     model,
+			Device:          "i7",
+			SamplesPerQuery: 64,
+			PeriodSec:       period,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18g %-8d %-18.1f %-16.2f %v\n",
+			period, plan.Split, plan.ResponseSec*1000, plan.EnergyPerQueryJ, plan.Stable)
+	}
+
+	// The same deployment on a memory-constrained device needs smaller
+	// splits: the Pi's batching knee comes much earlier.
+	fmt.Println("\nsame load on the Raspberry Pi 3B+:")
+	plan, err := edgetune.PlanServer(edgetune.ServerScenario{
+		Workload:        "IC",
+		ModelConfig:     model,
+		Device:          "rpi3b+",
+		SamplesPerQuery: 64,
+		PeriodSec:       30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("split %d, response %.1f ms, stable: %v\n",
+		plan.Split, plan.ResponseSec*1000, plan.Stable)
+}

@@ -1,0 +1,3 @@
+module edgetune
+
+go 1.22

@@ -1,0 +1,247 @@
+// Package batching implements the multi-sample inference scenarios of
+// §3.4 / Figure 8, the cases where the inference batch-size
+// hyperparameter must be tuned:
+//
+//   - Server: every query carries N samples and queries arrive at a fixed
+//     frequency; the tuner must decide how to split the N samples into
+//     inference batches.
+//   - Multi-stream: single-sample queries arrive randomly (Poisson); the
+//     tuner must decide how many samples to aggregate per inference call
+//     to optimise the overall mean response time.
+package batching
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgetune/internal/sim"
+)
+
+// LatencyFn reports the per-call latency (seconds) and energy (joules)
+// of running inference with the given batch size on the target device.
+// It is typically backed by the device emulator.
+type LatencyFn func(batch int) (seconds, energyJ float64, err error)
+
+// --- Server scenario ---------------------------------------------------------
+
+// Server is the fixed-frequency, N-samples-per-query scenario.
+type Server struct {
+	// SamplesPerQuery is N, the samples carried by each query.
+	SamplesPerQuery int
+	// PeriodSec is the inter-query arrival period (1/frequency).
+	PeriodSec float64
+}
+
+// ServerResult evaluates one split choice.
+type ServerResult struct {
+	// Split is the chosen inference batch size.
+	Split int
+	// ResponseSec is the time to fully process one query.
+	ResponseSec float64
+	// EnergyPerQueryJ is the energy to fully process one query.
+	EnergyPerQueryJ float64
+	// Stable reports whether the system keeps up (response <= period).
+	Stable bool
+}
+
+func (s Server) validate() error {
+	if s.SamplesPerQuery < 1 {
+		return fmt.Errorf("batching: samples per query %d must be >= 1", s.SamplesPerQuery)
+	}
+	if s.PeriodSec <= 0 {
+		return fmt.Errorf("batching: period %v must be positive", s.PeriodSec)
+	}
+	return nil
+}
+
+// Evaluate computes the response time of processing one N-sample query
+// as ceil(N/split) sequential inference calls of size split (the last
+// call may be smaller).
+func (s Server) Evaluate(lat LatencyFn, split int) (ServerResult, error) {
+	var res ServerResult
+	if err := s.validate(); err != nil {
+		return res, err
+	}
+	if split < 1 {
+		return res, fmt.Errorf("batching: split %d must be >= 1", split)
+	}
+	if split > s.SamplesPerQuery {
+		split = s.SamplesPerQuery
+	}
+	remaining := s.SamplesPerQuery
+	var totalSec, totalJ float64
+	for remaining > 0 {
+		b := split
+		if remaining < b {
+			b = remaining
+		}
+		sec, joules, err := lat(b)
+		if err != nil {
+			return res, fmt.Errorf("batching: latency(%d): %w", b, err)
+		}
+		totalSec += sec
+		totalJ += joules
+		remaining -= b
+	}
+	res.Split = split
+	res.ResponseSec = totalSec
+	res.EnergyPerQueryJ = totalJ
+	res.Stable = totalSec <= s.PeriodSec
+	return res, nil
+}
+
+// Optimal sweeps splits 1..N and returns the stable split with the
+// lowest response time; if no split is stable it returns the fastest
+// unstable one, flagged Stable=false.
+func (s Server) Optimal(lat LatencyFn) (ServerResult, error) {
+	if err := s.validate(); err != nil {
+		return ServerResult{}, err
+	}
+	best := ServerResult{ResponseSec: math.Inf(1)}
+	bestStable := ServerResult{ResponseSec: math.Inf(1)}
+	for split := 1; split <= s.SamplesPerQuery; split++ {
+		r, err := s.Evaluate(lat, split)
+		if err != nil {
+			return ServerResult{}, err
+		}
+		if r.ResponseSec < best.ResponseSec {
+			best = r
+		}
+		if r.Stable && r.ResponseSec < bestStable.ResponseSec {
+			bestStable = r
+		}
+	}
+	if !math.IsInf(bestStable.ResponseSec, 1) {
+		return bestStable, nil
+	}
+	return best, nil
+}
+
+// --- Multi-stream scenario ----------------------------------------------------
+
+// MultiStream is the Poisson single-sample arrival scenario.
+type MultiStream struct {
+	// LambdaPerSec is the arrival rate.
+	LambdaPerSec float64
+	// Samples is the number of arrivals to simulate.
+	Samples int
+	// Seed drives the deterministic arrival process.
+	Seed uint64
+}
+
+// StreamResult summarises a multi-stream simulation.
+type StreamResult struct {
+	// BatchCap is the aggregation limit evaluated.
+	BatchCap int
+	// MeanResponseSec is the mean per-sample response time (queueing +
+	// service).
+	MeanResponseSec float64
+	// P95ResponseSec is the 95th-percentile response time.
+	P95ResponseSec float64
+	// MeanBatch is the average dispatched batch size.
+	MeanBatch float64
+	// EnergyPerSampleJ is the mean energy per sample.
+	EnergyPerSampleJ float64
+}
+
+func (m MultiStream) validate() error {
+	if m.LambdaPerSec <= 0 {
+		return fmt.Errorf("batching: arrival rate %v must be positive", m.LambdaPerSec)
+	}
+	if m.Samples < 1 {
+		return fmt.Errorf("batching: samples %d must be >= 1", m.Samples)
+	}
+	return nil
+}
+
+// Simulate runs a discrete-event simulation: samples arrive with
+// exponential inter-arrival times; whenever the server is idle it takes
+// up to batchCap queued samples and serves them in one inference call.
+func (m MultiStream) Simulate(lat LatencyFn, batchCap int) (StreamResult, error) {
+	var res StreamResult
+	if err := m.validate(); err != nil {
+		return res, err
+	}
+	if batchCap < 1 {
+		return res, fmt.Errorf("batching: batch cap %d must be >= 1", batchCap)
+	}
+	rng := sim.NewRNG(m.Seed)
+
+	// Pre-generate arrival times.
+	arrivals := make([]float64, m.Samples)
+	t := 0.0
+	for i := range arrivals {
+		t += rng.ExpFloat64(m.LambdaPerSec)
+		arrivals[i] = t
+	}
+
+	var (
+		responses   = make([]float64, 0, m.Samples)
+		totalJ      float64
+		totalBatch  int
+		dispatches  int
+		serverFree  = 0.0 // time the server becomes idle
+		next        = 0   // next arrival index not yet served
+		clockedTime = 0.0
+	)
+	for next < m.Samples {
+		// The server can start when it is free and at least one sample
+		// has arrived.
+		start := math.Max(serverFree, arrivals[next])
+		clockedTime = start
+		// Aggregate every sample that has arrived by the start instant,
+		// up to the cap.
+		count := 0
+		for next+count < m.Samples && count < batchCap && arrivals[next+count] <= clockedTime {
+			count++
+		}
+		if count == 0 {
+			count = 1 // serve the sample that triggered the start
+		}
+		sec, joules, err := lat(count)
+		if err != nil {
+			return res, fmt.Errorf("batching: latency(%d): %w", count, err)
+		}
+		done := start + sec
+		for i := 0; i < count; i++ {
+			responses = append(responses, done-arrivals[next+i])
+		}
+		totalJ += joules
+		totalBatch += count
+		dispatches++
+		next += count
+		serverFree = done
+	}
+
+	sort.Float64s(responses)
+	var sum float64
+	for _, r := range responses {
+		sum += r
+	}
+	res.BatchCap = batchCap
+	res.MeanResponseSec = sum / float64(len(responses))
+	res.P95ResponseSec = responses[int(0.95*float64(len(responses)-1))]
+	res.MeanBatch = float64(totalBatch) / float64(dispatches)
+	res.EnergyPerSampleJ = totalJ / float64(m.Samples)
+	return res, nil
+}
+
+// OptimalBatch sweeps aggregation caps 1..maxCap and returns the cap
+// minimising mean response time.
+func (m MultiStream) OptimalBatch(lat LatencyFn, maxCap int) (StreamResult, error) {
+	if maxCap < 1 {
+		return StreamResult{}, fmt.Errorf("batching: max cap %d must be >= 1", maxCap)
+	}
+	best := StreamResult{MeanResponseSec: math.Inf(1)}
+	for cap := 1; cap <= maxCap; cap++ {
+		r, err := m.Simulate(lat, cap)
+		if err != nil {
+			return StreamResult{}, err
+		}
+		if r.MeanResponseSec < best.MeanResponseSec {
+			best = r
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,245 @@
+package batching
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"edgetune/internal/device"
+	"edgetune/internal/perfmodel"
+)
+
+// affineLat is a synthetic latency model: fixed setup plus per-sample
+// cost — batching amortises the setup.
+func affineLat(setup, perSample float64) LatencyFn {
+	return func(batch int) (float64, float64, error) {
+		sec := setup + perSample*float64(batch)
+		return sec, sec * 5, nil // 5 W device
+	}
+}
+
+func deviceLat(t *testing.T) LatencyFn {
+	t.Helper()
+	dev := device.I7()
+	return func(batch int) (float64, float64, error) {
+		r, err := dev.Estimate(perfmodel.InferSpec{
+			FLOPsPerSample: 5.6e8,
+			Params:         11e6,
+			BatchSize:      batch,
+			Cores:          4,
+			FreqGHz:        3.5,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.BatchLatency.Seconds(), r.EnergyPerSampleJ * float64(batch), nil
+	}
+}
+
+func TestServerValidate(t *testing.T) {
+	lat := affineLat(0.01, 0.001)
+	if _, err := (Server{SamplesPerQuery: 0, PeriodSec: 1}).Evaluate(lat, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := (Server{SamplesPerQuery: 10, PeriodSec: 0}).Evaluate(lat, 1); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := (Server{SamplesPerQuery: 10, PeriodSec: 1}).Evaluate(lat, 0); err == nil {
+		t.Error("zero split accepted")
+	}
+}
+
+func TestServerEvaluateArithmetic(t *testing.T) {
+	// setup 10 ms, 1 ms/sample, N=10.
+	s := Server{SamplesPerQuery: 10, PeriodSec: 1}
+	lat := affineLat(0.01, 0.001)
+
+	// Split 1: 10 calls of 1 => 10*(0.011) = 0.11 s.
+	r, err := s.Evaluate(lat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ResponseSec-0.11) > 1e-9 {
+		t.Errorf("split 1 response = %v, want 0.11", r.ResponseSec)
+	}
+	// Split 10: 1 call => 0.02 s.
+	r, err = s.Evaluate(lat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ResponseSec-0.02) > 1e-9 {
+		t.Errorf("split 10 response = %v, want 0.02", r.ResponseSec)
+	}
+	// Split 4: calls of 4,4,2 => 3 setups + 10 ms samples = 0.04.
+	r, err = s.Evaluate(lat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ResponseSec-0.04) > 1e-9 {
+		t.Errorf("split 4 response = %v, want 0.04", r.ResponseSec)
+	}
+	// Oversized split clamps to N.
+	r, err = s.Evaluate(lat, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Split != 10 {
+		t.Errorf("oversized split = %d, want clamp to 10", r.Split)
+	}
+}
+
+func TestServerOptimalPrefersStable(t *testing.T) {
+	// With an affine model the largest batch is fastest; Optimal must
+	// find it.
+	s := Server{SamplesPerQuery: 16, PeriodSec: 1}
+	best, err := s.Optimal(affineLat(0.01, 0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Split != 16 {
+		t.Errorf("optimal split = %d, want 16 (setup-amortising)", best.Split)
+	}
+	if !best.Stable {
+		t.Error("optimal should be stable at this load")
+	}
+}
+
+func TestServerOptimalOnRealDevice(t *testing.T) {
+	// On the device model, past-the-knee batches decay, so the optimum
+	// is interior: neither 1 nor N.
+	s := Server{SamplesPerQuery: 100, PeriodSec: 30}
+	best, err := s.Optimal(deviceLat(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Split <= 1 || best.Split >= 100 {
+		t.Errorf("device-model optimal split = %d, want interior sweet spot", best.Split)
+	}
+}
+
+func TestServerUnstableFlagged(t *testing.T) {
+	s := Server{SamplesPerQuery: 100, PeriodSec: 0.001}
+	best, err := s.Optimal(affineLat(0.01, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Stable {
+		t.Error("impossible load reported stable")
+	}
+}
+
+func TestServerLatencyErrorPropagates(t *testing.T) {
+	s := Server{SamplesPerQuery: 4, PeriodSec: 1}
+	wantErr := errors.New("boom")
+	_, err := s.Evaluate(func(int) (float64, float64, error) { return 0, 0, wantErr }, 2)
+	if !errors.Is(err, wantErr) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestMultiStreamValidate(t *testing.T) {
+	lat := affineLat(0.01, 0.001)
+	if _, err := (MultiStream{LambdaPerSec: 0, Samples: 10}).Simulate(lat, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := (MultiStream{LambdaPerSec: 1, Samples: 0}).Simulate(lat, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := (MultiStream{LambdaPerSec: 1, Samples: 10}).Simulate(lat, 0); err == nil {
+		t.Error("zero cap accepted")
+	}
+	if _, err := (MultiStream{LambdaPerSec: 1, Samples: 10}).OptimalBatch(lat, 0); err == nil {
+		t.Error("zero max cap accepted")
+	}
+}
+
+func TestMultiStreamDeterministic(t *testing.T) {
+	m := MultiStream{LambdaPerSec: 50, Samples: 500, Seed: 7}
+	lat := affineLat(0.01, 0.001)
+	a, err := m.Simulate(lat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Simulate(lat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed simulations differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestMultiStreamResponseAtLeastService(t *testing.T) {
+	m := MultiStream{LambdaPerSec: 10, Samples: 300, Seed: 1}
+	lat := affineLat(0.02, 0.001)
+	r, err := m.Simulate(lat, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean response can never be below the minimum service time (one
+	// batch of 1).
+	if r.MeanResponseSec < 0.021 {
+		t.Errorf("mean response %v below minimum service time", r.MeanResponseSec)
+	}
+	if r.P95ResponseSec < r.MeanResponseSec {
+		t.Error("p95 below mean")
+	}
+	if r.MeanBatch < 1 || r.MeanBatch > 8 {
+		t.Errorf("mean batch %v out of [1, cap]", r.MeanBatch)
+	}
+}
+
+// TestMultiStreamAggregationHelpsUnderLoad is the paper's §3.4 claim: at
+// arrival rates where per-sample dispatch cannot keep up, aggregating
+// samples improves the overall mean response time.
+func TestMultiStreamAggregationHelpsUnderLoad(t *testing.T) {
+	// Service at batch 1 takes 11 ms; arrivals every 10 ms: unstable
+	// without batching.
+	m := MultiStream{LambdaPerSec: 100, Samples: 2000, Seed: 3}
+	lat := affineLat(0.01, 0.001)
+	single, err := m.Simulate(lat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := m.Simulate(lat, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.MeanResponseSec >= single.MeanResponseSec {
+		t.Errorf("aggregation did not help: %v vs %v", batched.MeanResponseSec, single.MeanResponseSec)
+	}
+	best, err := m.OptimalBatch(lat, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.BatchCap <= 1 {
+		t.Errorf("optimal cap = %d, want > 1 under overload", best.BatchCap)
+	}
+}
+
+// TestMultiStreamLightLoadSmallBatches: when arrivals are sparse, the
+// simulator should dispatch mostly singletons regardless of the cap.
+func TestMultiStreamLightLoadSmallBatches(t *testing.T) {
+	m := MultiStream{LambdaPerSec: 1, Samples: 200, Seed: 5}
+	r, err := m.Simulate(affineLat(0.001, 0.001), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanBatch > 1.2 {
+		t.Errorf("light load mean batch = %v, want ~1", r.MeanBatch)
+	}
+}
+
+func TestMultiStreamOnRealDevice(t *testing.T) {
+	m := MultiStream{LambdaPerSec: 40, Samples: 1000, Seed: 11}
+	best, err := m.OptimalBatch(deviceLat(t), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.BatchCap < 1 || best.BatchCap > 32 {
+		t.Fatalf("cap out of range: %d", best.BatchCap)
+	}
+	if best.EnergyPerSampleJ <= 0 {
+		t.Error("non-positive energy")
+	}
+}

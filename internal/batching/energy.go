@@ -1,0 +1,75 @@
+package batching
+
+import (
+	"fmt"
+	"math"
+)
+
+// OptimalEnergy sweeps splits and returns the stable split with the
+// lowest energy per query — the choice a battery-powered deployment
+// makes when "energy savings are more important than inference
+// performance" (§2.3.4). If no split is stable, the lowest-energy
+// unstable one is returned, flagged.
+func (s Server) OptimalEnergy(lat LatencyFn) (ServerResult, error) {
+	if err := s.validate(); err != nil {
+		return ServerResult{}, err
+	}
+	best := ServerResult{EnergyPerQueryJ: math.Inf(1)}
+	bestStable := ServerResult{EnergyPerQueryJ: math.Inf(1)}
+	for split := 1; split <= s.SamplesPerQuery; split++ {
+		r, err := s.Evaluate(lat, split)
+		if err != nil {
+			return ServerResult{}, err
+		}
+		if r.EnergyPerQueryJ < best.EnergyPerQueryJ {
+			best = r
+		}
+		if r.Stable && r.EnergyPerQueryJ < bestStable.EnergyPerQueryJ {
+			bestStable = r
+		}
+	}
+	if !math.IsInf(bestStable.EnergyPerQueryJ, 1) {
+		return bestStable, nil
+	}
+	return best, nil
+}
+
+// OptimalUnderSLO returns the aggregation cap minimising energy per
+// sample among caps whose p95 response time meets the service-level
+// objective; it falls back to the cap with the lowest p95 when none
+// does, with ok=false.
+func (m MultiStream) OptimalUnderSLO(lat LatencyFn, maxCap int, p95SLOSec float64) (StreamResult, bool, error) {
+	if maxCap < 1 {
+		return StreamResult{}, false, fmt.Errorf("batching: max cap %d must be >= 1", maxCap)
+	}
+	if p95SLOSec <= 0 {
+		return StreamResult{}, false, fmt.Errorf("batching: SLO %v must be positive", p95SLOSec)
+	}
+	var (
+		bestOK    = StreamResult{EnergyPerSampleJ: math.Inf(1)}
+		bestP95   = StreamResult{P95ResponseSec: math.Inf(1)}
+		foundOK   bool
+		lastError error
+	)
+	for cap := 1; cap <= maxCap; cap++ {
+		r, err := m.Simulate(lat, cap)
+		if err != nil {
+			lastError = err
+			break
+		}
+		if r.P95ResponseSec <= p95SLOSec && r.EnergyPerSampleJ < bestOK.EnergyPerSampleJ {
+			bestOK = r
+			foundOK = true
+		}
+		if r.P95ResponseSec < bestP95.P95ResponseSec {
+			bestP95 = r
+		}
+	}
+	if lastError != nil {
+		return StreamResult{}, false, lastError
+	}
+	if foundOK {
+		return bestOK, true, nil
+	}
+	return bestP95, false, nil
+}

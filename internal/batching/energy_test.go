@@ -1,0 +1,84 @@
+package batching
+
+import (
+	"testing"
+)
+
+func TestOptimalEnergyPrefersBatching(t *testing.T) {
+	// With affine latency and constant power, batching amortises setup
+	// energy too, so the largest split minimises J/query.
+	s := Server{SamplesPerQuery: 16, PeriodSec: 10}
+	best, err := s.OptimalEnergy(affineLat(0.01, 0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Split != 16 {
+		t.Errorf("energy-optimal split = %d, want 16", best.Split)
+	}
+	if !best.Stable {
+		t.Error("comfortable load reported unstable")
+	}
+}
+
+func TestOptimalEnergyOnDeviceInterior(t *testing.T) {
+	// On the device model the memory knee makes huge batches expensive,
+	// so the energy optimum is interior.
+	s := Server{SamplesPerQuery: 100, PeriodSec: 60}
+	best, err := s.OptimalEnergy(deviceLat(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Split <= 1 || best.Split >= 100 {
+		t.Errorf("energy-optimal split = %d, want interior", best.Split)
+	}
+}
+
+func TestOptimalEnergyValidation(t *testing.T) {
+	if _, err := (Server{}).OptimalEnergy(affineLat(0.01, 0.001)); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestOptimalUnderSLO(t *testing.T) {
+	m := MultiStream{LambdaPerSec: 100, Samples: 2000, Seed: 3}
+	lat := affineLat(0.01, 0.001)
+
+	// Generous SLO: should pick an energy-efficient aggregation.
+	r, ok, err := m.OptimalUnderSLO(lat, 32, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("generous SLO not satisfiable")
+	}
+	if r.P95ResponseSec > 1.0 {
+		t.Errorf("returned cap violates the SLO: p95 %v", r.P95ResponseSec)
+	}
+
+	// Impossible SLO: fall back to the fastest cap, flagged.
+	r2, ok2, err := m.OptimalUnderSLO(lat, 32, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok2 {
+		t.Error("impossible SLO reported satisfied")
+	}
+	if r2.P95ResponseSec <= 0 {
+		t.Error("fallback result missing")
+	}
+}
+
+func TestOptimalUnderSLOValidation(t *testing.T) {
+	m := MultiStream{LambdaPerSec: 10, Samples: 100, Seed: 1}
+	lat := affineLat(0.01, 0.001)
+	if _, _, err := m.OptimalUnderSLO(lat, 0, 1); err == nil {
+		t.Error("zero cap accepted")
+	}
+	if _, _, err := m.OptimalUnderSLO(lat, 8, 0); err == nil {
+		t.Error("zero SLO accepted")
+	}
+	bad := MultiStream{LambdaPerSec: 0, Samples: 100}
+	if _, _, err := bad.OptimalUnderSLO(lat, 8, 1); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package budget
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochStrategy(t *testing.T) {
+	s, err := NewEpoch(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		it         int
+		wantEpochs int
+	}{
+		{it: 1, wantEpochs: 2},
+		{it: 2, wantEpochs: 4},
+		{it: 5, wantEpochs: 10},
+		{it: 9, wantEpochs: 10}, // capped
+		{it: 0, wantEpochs: 2},  // clamped to 1
+	}
+	for _, tt := range tests {
+		a := s.At(tt.it)
+		if a.Epochs != tt.wantEpochs {
+			t.Errorf("At(%d).Epochs = %d, want %d", tt.it, a.Epochs, tt.wantEpochs)
+		}
+		if a.DataFraction != 1 {
+			t.Errorf("At(%d).DataFraction = %v, want 1 (epoch budget uses full data)", tt.it, a.DataFraction)
+		}
+	}
+	if s.Saturated(1) {
+		t.Error("saturated at iteration 1")
+	}
+	if !s.Saturated(5) {
+		t.Error("not saturated once max epochs reached")
+	}
+}
+
+func TestDatasetStrategy(t *testing.T) {
+	s, err := NewDataset(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		it       int
+		wantFrac float64
+	}{
+		{it: 1, wantFrac: 0.1},
+		{it: 5, wantFrac: 0.5},
+		{it: 10, wantFrac: 1},
+		{it: 20, wantFrac: 1}, // capped
+	}
+	for _, tt := range tests {
+		a := s.At(tt.it)
+		if a.DataFraction != tt.wantFrac {
+			t.Errorf("At(%d).DataFraction = %v, want %v", tt.it, a.DataFraction, tt.wantFrac)
+		}
+		if a.Epochs != 1 {
+			t.Errorf("At(%d).Epochs = %d, want 1 (dataset budget is single epoch)", tt.it, a.Epochs)
+		}
+	}
+	if !s.Saturated(10) {
+		t.Error("not saturated at full dataset")
+	}
+}
+
+// TestMultiStrategyPaperExample replays the worked example of §4.3:
+// minimum 2 epochs, max 10, minimum fraction 10%. The 2nd iteration is 4
+// epochs on 20%, the 3rd 6 epochs on 30%; from the 5th iteration epochs
+// stay at 10 while the fraction keeps growing until the 10th.
+func TestMultiStrategyPaperExample(t *testing.T) {
+	s, err := NewMulti(2, 10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		it         int
+		wantEpochs int
+		wantFrac   float64
+	}{
+		{it: 1, wantEpochs: 2, wantFrac: 0.1},
+		{it: 2, wantEpochs: 4, wantFrac: 0.2},
+		{it: 3, wantEpochs: 6, wantFrac: 0.3},
+		{it: 5, wantEpochs: 10, wantFrac: 0.5},
+		{it: 7, wantEpochs: 10, wantFrac: 0.7},
+		{it: 10, wantEpochs: 10, wantFrac: 1},
+		{it: 15, wantEpochs: 10, wantFrac: 1},
+	}
+	for _, tt := range tests {
+		a := s.At(tt.it)
+		if a.Epochs != tt.wantEpochs || math.Abs(a.DataFraction-tt.wantFrac) > 1e-12 {
+			t.Errorf("At(%d) = {%d, %v}, want {%d, %v}",
+				tt.it, a.Epochs, a.DataFraction, tt.wantEpochs, tt.wantFrac)
+		}
+	}
+	if s.Saturated(9) {
+		t.Error("saturated before fraction reaches 1")
+	}
+	if !s.Saturated(10) {
+		t.Error("not saturated at iteration 10")
+	}
+}
+
+// TestMultiCheaperThanEpochAtSameIteration encodes the paper's argument
+// that a multi-budget trial does "not take as long as if we would use the
+// entire [dataset] or run for a fixed number of epochs": below
+// saturation its cost is strictly below the epoch budget's.
+func TestMultiCheaperThanEpochAtSameIteration(t *testing.T) {
+	epoch, _ := NewEpoch(2, 10)
+	multi, _ := NewMulti(2, 10, 0.1)
+	for it := 1; it <= 9; it++ {
+		if multi.At(it).Cost() >= epoch.At(it).Cost() {
+			t.Errorf("it %d: multi cost %v not below epoch cost %v",
+				it, multi.At(it).Cost(), epoch.At(it).Cost())
+		}
+	}
+}
+
+func TestBudgetMonotonicity(t *testing.T) {
+	strategies := []Strategy{
+		mustStrategy(t, KindEpochs),
+		mustStrategy(t, KindDataset),
+		mustStrategy(t, KindMulti),
+	}
+	f := func(a, b uint8) bool {
+		i, j := int(a%30)+1, int(b%30)+1
+		if i > j {
+			i, j = j, i
+		}
+		for _, s := range strategies {
+			ai, aj := s.At(i), s.At(j)
+			if ai.Epochs > aj.Epochs || ai.DataFraction > aj.DataFraction {
+				return false
+			}
+			if ai.Cost() > aj.Cost() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocationBounds(t *testing.T) {
+	strategies := []Strategy{
+		mustStrategy(t, KindEpochs),
+		mustStrategy(t, KindDataset),
+		mustStrategy(t, KindMulti),
+	}
+	for _, s := range strategies {
+		for it := 1; it <= 50; it++ {
+			a := s.At(it)
+			if a.Epochs < 1 {
+				t.Errorf("%s At(%d).Epochs = %d < 1", s.Name(), it, a.Epochs)
+			}
+			if a.DataFraction <= 0 || a.DataFraction > 1 {
+				t.Errorf("%s At(%d).DataFraction = %v out of (0,1]", s.Name(), it, a.DataFraction)
+			}
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewEpoch(0, 10); err == nil {
+		t.Error("NewEpoch(0,10) did not error")
+	}
+	if _, err := NewEpoch(5, 2); err == nil {
+		t.Error("NewEpoch(5,2) did not error")
+	}
+	if _, err := NewDataset(0); err == nil {
+		t.Error("NewDataset(0) did not error")
+	}
+	if _, err := NewDataset(1.5); err == nil {
+		t.Error("NewDataset(1.5) did not error")
+	}
+	if _, err := NewMulti(1, 0, 0.1); err == nil {
+		t.Error("NewMulti bad epochs did not error")
+	}
+	if _, err := NewMulti(1, 4, -1); err == nil {
+		t.Error("NewMulti bad fraction did not error")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, kind := range []string{KindEpochs, KindDataset, KindMulti, ""} {
+		s, err := New(kind)
+		if err != nil {
+			t.Fatalf("New(%q): %v", kind, err)
+		}
+		if kind != "" && s.Name() != kind {
+			t.Errorf("New(%q).Name() = %q", kind, s.Name())
+		}
+	}
+	if s, _ := New(""); s.Name() != KindMulti {
+		t.Error("default strategy is not multi-budget")
+	}
+	if _, err := New("time"); err == nil {
+		t.Error("unknown kind did not error")
+	}
+}
+
+func TestCost(t *testing.T) {
+	a := Allocation{Epochs: 4, DataFraction: 0.25}
+	if got := a.Cost(); got != 1 {
+		t.Errorf("Cost = %v, want 1", got)
+	}
+}
+
+func mustStrategy(t *testing.T, kind string) Strategy {
+	t.Helper()
+	s, err := New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

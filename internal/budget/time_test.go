@@ -1,0 +1,98 @@
+package budget
+
+import "testing"
+
+func TestTimeStrategyConversion(t *testing.T) {
+	// 100 s per epoch; caps 150 s .. 1000 s.
+	s, err := NewTime(150, 1000, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		it         int
+		wantEpochs int
+	}{
+		{it: 1, wantEpochs: 1},  // 150 s -> 1 epoch
+		{it: 2, wantEpochs: 3},  // 300 s -> 3 epochs
+		{it: 4, wantEpochs: 6},  // 600 s -> 6 epochs
+		{it: 7, wantEpochs: 10}, // capped at 1000 s -> 10 epochs
+		{it: 99, wantEpochs: 10},
+		{it: 0, wantEpochs: 1}, // clamped iteration
+	}
+	for _, tt := range tests {
+		a := s.At(tt.it)
+		if a.Epochs != tt.wantEpochs {
+			t.Errorf("At(%d).Epochs = %d, want %d", tt.it, a.Epochs, tt.wantEpochs)
+		}
+		if a.DataFraction != 1 {
+			t.Errorf("At(%d).DataFraction = %v, want 1", tt.it, a.DataFraction)
+		}
+	}
+	if s.Name() != "time" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestTimeStrategyAlwaysAtLeastOneEpoch(t *testing.T) {
+	// Cap smaller than one epoch still yields a single epoch.
+	s, err := NewTime(10, 50, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(1).Epochs; got != 1 {
+		t.Errorf("tiny cap epochs = %d, want 1", got)
+	}
+}
+
+func TestTimeStrategySaturation(t *testing.T) {
+	s, err := NewTime(100, 400, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Saturated(1) {
+		t.Error("saturated at iteration 1")
+	}
+	if !s.Saturated(4) {
+		t.Error("not saturated at the time cap")
+	}
+	// Epoch ceiling saturates even before the time cap.
+	s2, err := NewTime(100, 1e6, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Saturated(3) {
+		t.Error("not saturated at the epoch ceiling")
+	}
+}
+
+func TestTimeStrategyValidation(t *testing.T) {
+	cases := []struct {
+		min, max, spe float64
+		maxE          int
+	}{
+		{0, 10, 1, 5},
+		{10, 5, 1, 5},
+		{1, 10, 0, 5},
+		{1, 10, 1, 0},
+	}
+	for i, c := range cases {
+		if _, err := NewTime(c.min, c.max, c.spe, c.maxE); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestTimeStrategyMonotone(t *testing.T) {
+	s, err := NewTime(60, 3600, 120, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for it := 1; it <= 80; it++ {
+		e := s.At(it).Epochs
+		if e < prev {
+			t.Fatalf("epochs decreased at iteration %d: %d -> %d", it, prev, e)
+		}
+		prev = e
+	}
+}

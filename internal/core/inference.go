@@ -1,0 +1,293 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"edgetune/internal/device"
+	"edgetune/internal/perfmodel"
+	"edgetune/internal/search"
+	"edgetune/internal/store"
+	"edgetune/internal/workload"
+)
+
+// InferRequest asks the Inference Tuning Server to find the optimal
+// inference configuration for one architecture on one device.
+type InferRequest struct {
+	// Signature identifies the architecture (workload.Signature).
+	Signature string
+	// FLOPsPerSample and Params describe the paper-scale model.
+	FLOPsPerSample float64
+	Params         float64
+}
+
+// InferOutcome is the server's reply.
+type InferOutcome struct {
+	Entry store.Entry
+	// Cached reports whether the result came from the historical store.
+	Cached bool
+	// TuningCost is the simulated cost of the inference trials run (zero
+	// when cached).
+	TuningCost perfmodel.Cost
+	// Err carries a per-request failure.
+	Err error
+}
+
+// InferenceServerOptions configures the server.
+type InferenceServerOptions struct {
+	// Device is the edge target being emulated.
+	Device device.Device
+	// Space is the inference parameter space (batch, cores, frequency).
+	Space *search.Space
+	// Algo names the search strategy; the default is BOHB, and a grid
+	// can be chosen when the range of inference parameters is small
+	// (§3.1's example pairing).
+	Algo string
+	// Metric is the inference objective (runtime or energy).
+	Metric Metric
+	// Trials is the number of inference configurations evaluated per
+	// uncached request.
+	Trials int
+	// Workers sets the pipelining width (Figure 6): how many requests
+	// are tuned concurrently.
+	Workers int
+	// Store is the shared historical database; required.
+	Store *store.Store
+	// Seed drives deterministic, order-independent tuning: each
+	// request's sampler is seeded from the signature.
+	Seed uint64
+}
+
+func (o *InferenceServerOptions) normalise() error {
+	if o.Space == nil {
+		return errors.New("core: inference server needs a space")
+	}
+	if o.Store == nil {
+		return errors.New("core: inference server needs a store")
+	}
+	if o.Metric == "" {
+		o.Metric = MetricRuntime
+	}
+	if err := o.Metric.Validate(); err != nil {
+		return err
+	}
+	if o.Algo == "" {
+		o.Algo = search.AlgoBOHB
+	}
+	if o.Trials <= 0 {
+		o.Trials = 24
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	return nil
+}
+
+// InferenceServer is the asynchronous inference tuning component
+// (§3.4). Requests are pipelined through a worker pool; completed
+// results land in the historical store and duplicate in-flight requests
+// are coalesced.
+type InferenceServer struct {
+	opts InferenceServerOptions
+
+	mu      sync.Mutex
+	pending map[string][]chan InferOutcome // waiters per in-flight signature
+
+	reqCh chan inferJob
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	once  sync.Once
+}
+
+type inferJob struct {
+	req   InferRequest
+	reply chan InferOutcome
+}
+
+// NewInferenceServer starts the server's worker pool. Callers must
+// Close it.
+func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
+	if err := opts.normalise(); err != nil {
+		return nil, err
+	}
+	s := &InferenceServer{
+		opts:    opts,
+		pending: make(map[string][]chan InferOutcome),
+		reqCh:   make(chan inferJob),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops the workers and waits for them to exit.
+func (s *InferenceServer) Close() {
+	s.once.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Submit asynchronously requests tuning for req and returns a channel
+// that will receive exactly one outcome. Duplicate submissions of the
+// same in-flight signature share a single tuning run.
+func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan InferOutcome {
+	out := make(chan InferOutcome, 1)
+	if req.Signature == "" {
+		out <- InferOutcome{Err: errors.New("core: request with empty signature")}
+		return out
+	}
+
+	// Fast path: historical store (§3.4 table look-up).
+	if e, err := s.opts.Store.Get(req.Signature, s.opts.Device.Profile.Name); err == nil {
+		out <- InferOutcome{Entry: e, Cached: true}
+		return out
+	}
+
+	// Coalesce with an in-flight request for the same signature: later
+	// submitters wait for the single tuning run already under way.
+	s.mu.Lock()
+	if waiters, inflight := s.pending[req.Signature]; inflight {
+		s.pending[req.Signature] = append(waiters, out)
+		s.mu.Unlock()
+		return out
+	}
+	s.pending[req.Signature] = nil // mark in-flight with no waiters yet
+	s.mu.Unlock()
+
+	reply := make(chan InferOutcome, 1)
+	go func() {
+		res := <-reply
+		s.mu.Lock()
+		waiters := s.pending[req.Signature]
+		delete(s.pending, req.Signature)
+		s.mu.Unlock()
+		out <- res
+		// Coalesced waiters share the result without re-charging the
+		// tuning cost.
+		shared := res
+		shared.Cached = true
+		shared.TuningCost = perfmodel.Cost{}
+		for _, w := range waiters {
+			w <- shared
+		}
+	}()
+
+	select {
+	case s.reqCh <- inferJob{req: req, reply: reply}:
+	case <-s.stop:
+		reply <- InferOutcome{Err: errors.New("core: inference server shut down")}
+	case <-ctx.Done():
+		reply <- InferOutcome{Err: ctx.Err()}
+	}
+	return out
+}
+
+// worker drains the request channel, tuning one request at a time.
+func (s *InferenceServer) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case job := <-s.reqCh:
+			entry, cost, err := s.tune(job.req)
+			if err != nil {
+				job.reply <- InferOutcome{Err: err}
+				continue
+			}
+			if err := s.opts.Store.Put(entry); err != nil {
+				job.reply <- InferOutcome{Err: err}
+				continue
+			}
+			job.reply <- InferOutcome{Entry: entry, TuningCost: cost}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// tune runs the inference parameter search for one architecture: the
+// §3.4 process of exploring batch size and system parameters on the
+// emulated device with the configured algorithm and objective.
+func (s *InferenceServer) tune(req InferRequest) (store.Entry, perfmodel.Cost, error) {
+	var cost perfmodel.Cost
+	sampler, err := search.NewSampler(s.opts.Algo, s.opts.Space, s.opts.Seed^hashSignature(req.Signature))
+	if err != nil {
+		return store.Entry{}, cost, err
+	}
+	obj := Objective{Metric: s.opts.Metric}
+
+	var (
+		best      store.Entry
+		bestScore = -1.0
+	)
+	for i := 0; i < s.opts.Trials; i++ {
+		cfg := sampler.Sample()
+		spec := perfmodel.InferSpec{
+			FLOPsPerSample: req.FLOPsPerSample,
+			Params:         req.Params,
+			BatchSize:      int(cfg[workload.ParamInferBatch]),
+			Cores:          int(cfg[workload.ParamCores]),
+			FreqGHz:        cfg[workload.ParamFreq],
+		}
+		r, err := s.opts.Device.Estimate(spec)
+		if err != nil {
+			return store.Entry{}, cost, fmt.Errorf("core: inference trial: %w", err)
+		}
+		score := obj.InferScore(r)
+		sampler.Observe(search.Observation{Config: cfg, Score: score, Budget: 1})
+
+		// Charge the emulated trial: one batch evaluation.
+		cost = cost.Add(perfmodel.Cost{
+			Duration: r.BatchLatency,
+			EnergyJ:  r.PowerW * r.BatchLatency.Seconds(),
+		})
+
+		if bestScore < 0 || score < bestScore {
+			bestScore = score
+			best = store.Entry{
+				Signature:        req.Signature,
+				Device:           s.opts.Device.Profile.Name,
+				Config:           cfg.Clone(),
+				Throughput:       r.Throughput,
+				EnergyPerSampleJ: r.EnergyPerSampleJ,
+				LatencySeconds:   r.BatchLatency.Seconds(),
+				Objective:        score,
+			}
+		}
+	}
+	best.TrialsRun = s.opts.Trials
+	return best, cost, nil
+}
+
+// hashSignature derives a per-architecture sampler seed (FNV-1a).
+func hashSignature(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// awaitOutcome blocks for an outcome with a deadline, used by the model
+// server to enforce the containment claim (§3.3: the inference result
+// must arrive before the training trial ends).
+func awaitOutcome(ctx context.Context, ch <-chan InferOutcome, limit time.Duration) (InferOutcome, error) {
+	timer := time.NewTimer(limit)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.Err != nil {
+			return res, res.Err
+		}
+		return res, nil
+	case <-timer.C:
+		return InferOutcome{}, fmt.Errorf("core: inference result missed the %v deadline", limit)
+	case <-ctx.Done():
+		return InferOutcome{}, ctx.Err()
+	}
+}

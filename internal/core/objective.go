@@ -1,0 +1,105 @@
+// Package core implements EdgeTune itself (§3-§4 of the paper): the
+// Model Tuning Server and the Inference Tuning Server, jointly exploring
+// model, training, and system parameters in the onefold approach of
+// Algorithm 1, connected by asynchronous pipelined requests and a
+// historical result store.
+package core
+
+import (
+	"fmt"
+
+	"edgetune/internal/perfmodel"
+)
+
+// Metric selects between the paper's two objective variants (§4.4).
+type Metric string
+
+// Objective metrics.
+const (
+	// MetricRuntime minimises (training_time × inference_time)/accuracy.
+	MetricRuntime Metric = "runtime"
+	// MetricEnergy minimises (training_energy × inference_energy)/accuracy.
+	MetricEnergy Metric = "energy"
+)
+
+// Validate reports whether the metric is known.
+func (m Metric) Validate() error {
+	switch m {
+	case MetricRuntime, MetricEnergy:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown metric %q (want %q or %q)", m, MetricRuntime, MetricEnergy)
+	}
+}
+
+// Objective evaluates the paper's §4.4 objective functions.
+type Objective struct {
+	Metric Metric
+	// TargetAccuracy applies a soft constraint: trials below the target
+	// are penalised quadratically in their shortfall. The paper states
+	// workloads are "tuned to reach at least 80% model accuracy" (§2.3)
+	// — the ratio objective is meant to discriminate among
+	// target-reaching configurations, not to trade accuracy away for
+	// training speed. Zero disables the penalty.
+	TargetAccuracy float64
+}
+
+// minAccuracy floors the accuracy denominator so broken trials produce
+// large-but-finite scores instead of dividing by zero.
+const minAccuracy = 1e-3
+
+// effectiveAccuracy applies the soft target constraint.
+func (o Objective) effectiveAccuracy(accuracy float64) float64 {
+	if accuracy < minAccuracy {
+		accuracy = minAccuracy
+	}
+	if o.TargetAccuracy > 0 && accuracy < o.TargetAccuracy {
+		shortfall := accuracy / o.TargetAccuracy
+		return accuracy * shortfall * shortfall
+	}
+	return accuracy
+}
+
+// ModelScore is the Model Tuning Server objective: the ratio of the
+// performance product (training × inference) to model accuracy, to be
+// minimised. The inference term uses per-sample latency (1/throughput)
+// or per-sample energy depending on the metric.
+func (o Objective) ModelScore(train perfmodel.Cost, inf perfmodel.InferResult, accuracy float64) float64 {
+	accuracy = o.effectiveAccuracy(accuracy)
+	switch o.Metric {
+	case MetricEnergy:
+		return train.EnergyJ * inf.EnergyPerSampleJ / accuracy
+	default:
+		infSec := 0.0
+		if inf.Throughput > 0 {
+			infSec = 1 / inf.Throughput
+		}
+		return train.Duration.Seconds() * infSec / accuracy
+	}
+}
+
+// TrainOnlyScore is the inference-unaware variant used by the Tune
+// baseline: training performance over accuracy, no inference term.
+func (o Objective) TrainOnlyScore(train perfmodel.Cost, accuracy float64) float64 {
+	accuracy = o.effectiveAccuracy(accuracy)
+	switch o.Metric {
+	case MetricEnergy:
+		return train.EnergyJ / accuracy
+	default:
+		return train.Duration.Seconds() / accuracy
+	}
+}
+
+// InferScore is the Inference Tuning Server objective (§4.4): inference
+// performance alone — per-sample latency or per-sample energy.
+func (o Objective) InferScore(r perfmodel.InferResult) float64 {
+	switch o.Metric {
+	case MetricEnergy:
+		return r.EnergyPerSampleJ
+	default:
+		if r.Throughput <= 0 {
+			return 0
+		}
+		return 1 / r.Throughput
+	}
+}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"edgetune/internal/budget"
+	"edgetune/internal/device"
+	"edgetune/internal/perfmodel"
+	"edgetune/internal/search"
+	"edgetune/internal/store"
+	"edgetune/internal/trial"
+	"edgetune/internal/workload"
+)
+
+// Options configures a tuning job (the EdgeTune inputs of §3.1: the
+// workload, the parameter sets and ranges, the tuning and inference
+// objectives, and the choice of tuning algorithms).
+type Options struct {
+	// Workload is the model/dataset pair to tune. Required.
+	Workload *workload.Workload
+	// Device is the edge inference target. Defaults to the i7 node.
+	Device device.Device
+	// GPU is the training platform. Defaults to the Titan RTX profile.
+	GPU perfmodel.GPUProfile
+	// BudgetKind selects the trial budget strategy: "epochs",
+	// "dataset", or "multi" (default — the paper's contribution).
+	BudgetKind string
+	// ModelAlgo and InferAlgo select the search strategies of the two
+	// servers; both default to BOHB, and they may differ (§3.1).
+	ModelAlgo string
+	InferAlgo string
+	// Metric is the objective variant: runtime (default) or energy.
+	Metric Metric
+	// Eta is the successive-halving reduction factor (default 2).
+	Eta int
+	// InitialConfigs is the per-bracket population (default 8).
+	InitialConfigs int
+	// Rungs is the number of halving rounds per bracket (default 8).
+	Rungs int
+	// MaxBrackets bounds repeated brackets when the target accuracy is
+	// not reached (default 3).
+	MaxBrackets int
+	// TargetAccuracy is the accuracy goal recorded in the result; zero
+	// selects the workload's default target (§2.3's 80% for IC).
+	TargetAccuracy float64
+	// StopAtTarget ends tuning early once the target accuracy is
+	// reached. The paper's evaluation runs brackets to completion
+	// (Figure 12 shows ~50 trials), so this defaults to off.
+	StopAtTarget bool
+	// SystemParams includes the training system parameters (GPU count)
+	// in the joint space — EdgeTune's onefold mode. Inference-unaware
+	// baselines switch it off.
+	SystemParams bool
+	// InferenceAware couples the Inference Tuning Server into the
+	// objective and produces inference recommendations.
+	InferenceAware bool
+	// AccuracyOnly scores trials purely by accuracy (the Tune baseline's
+	// objective), ignoring cost ratios.
+	AccuracyOnly bool
+	// FixedGPUs pins every trial to this GPU count when SystemParams is
+	// off — the fixed system configuration a baseline user would pick
+	// (§2.3.4). Zero means one GPU.
+	FixedGPUs int
+	// InferTrials is the number of configurations the inference server
+	// evaluates per architecture (default 24).
+	InferTrials int
+	// InferWorkers is the inference server's pipelining width.
+	InferWorkers int
+	// Store is the shared historical database; one is created if nil.
+	Store *store.Store
+	// Seed drives all randomised components.
+	Seed uint64
+}
+
+func (o *Options) normalise() error {
+	if o.Workload == nil {
+		return errors.New("core: options need a workload")
+	}
+	if o.Device.Profile.Name == "" {
+		o.Device = device.I7()
+	}
+	if o.GPU.FlopsPerSec == 0 {
+		o.GPU = perfmodel.TitanRTX()
+	}
+	if o.BudgetKind == "" {
+		o.BudgetKind = budget.KindMulti
+	}
+	if o.Metric == "" {
+		o.Metric = MetricRuntime
+	}
+	if err := o.Metric.Validate(); err != nil {
+		return err
+	}
+	if o.Eta == 0 {
+		o.Eta = 2
+	}
+	if o.Eta < 2 {
+		return fmt.Errorf("core: eta %d must be >= 2", o.Eta)
+	}
+	if o.InitialConfigs == 0 {
+		o.InitialConfigs = 8
+	}
+	if o.InitialConfigs < 1 {
+		return fmt.Errorf("core: initial configs %d must be >= 1", o.InitialConfigs)
+	}
+	if o.Rungs == 0 {
+		o.Rungs = 8
+	}
+	if o.Rungs < 1 {
+		return fmt.Errorf("core: rungs %d must be >= 1", o.Rungs)
+	}
+	if o.MaxBrackets == 0 {
+		o.MaxBrackets = 3
+	}
+	if o.MaxBrackets < 1 {
+		return fmt.Errorf("core: max brackets %d must be >= 1", o.MaxBrackets)
+	}
+	if o.TargetAccuracy == 0 {
+		o.TargetAccuracy = o.Workload.TargetAccuracy()
+	}
+	if o.TargetAccuracy < 0 || o.TargetAccuracy > 1 {
+		return fmt.Errorf("core: target accuracy %v out of [0,1]", o.TargetAccuracy)
+	}
+	if o.InferTrials == 0 {
+		o.InferTrials = 24
+	}
+	if o.InferWorkers == 0 {
+		o.InferWorkers = 2
+	}
+	if o.Store == nil {
+		o.Store = store.New()
+	}
+	return nil
+}
+
+// TrialRecord documents one completed training trial.
+type TrialRecord struct {
+	Bracket  int
+	Rung     int
+	Config   search.Config
+	Alloc    budget.Allocation
+	Accuracy float64
+	// TrainCost is the simulated training cost of the trial.
+	TrainCost perfmodel.Cost
+	// Score is the minimised objective value.
+	Score float64
+	// InferCached reports whether the inference term came from the
+	// historical store.
+	InferCached bool
+
+	// InferTuning is the pipelined inference-tuning cost charged while
+	// this trial trained (zero on cache hits and for inference-unaware
+	// runs).
+	InferTuning perfmodel.Cost
+}
+
+// Result is the EdgeTune output (§3.1): the optimal trained
+// configuration plus the inference recommendations, with full tuning
+// cost accounting.
+type Result struct {
+	Workload string
+	Device   string
+	Metric   Metric
+
+	// BestConfig is the winning joint configuration.
+	BestConfig search.Config
+	// BestAccuracy is the winning trial's model accuracy.
+	BestAccuracy float64
+	// MaxAccuracy is the highest accuracy any trial reached.
+	MaxAccuracy float64
+	// BestScore is the winning (minimised) objective value.
+	BestScore float64
+	// Recommendation is the optimal inference configuration for the
+	// winning architecture (empty if not inference-aware).
+	Recommendation store.Entry
+
+	// TuningDuration is the simulated wall time of the tuning job: the
+	// sum of training-trial durations. Inference tuning is pipelined
+	// inside training trials (§3.3) and adds no duration.
+	TuningDuration time.Duration
+	// TuningEnergyKJ sums training energy plus the inference server's
+	// (small) emulation energy.
+	TuningEnergyKJ float64
+	// InferTuningDuration is the total pipelined inference-tuning time,
+	// reported for the containment analysis.
+	InferTuningDuration time.Duration
+	// ContainmentViolations counts trials whose inference tuning took
+	// longer than the training trial sheltering it.
+	ContainmentViolations int
+
+	TrialsRun   int
+	CacheHits   int
+	CacheMisses int
+	Trials      []TrialRecord
+	// ReachedTarget reports whether the target accuracy was met.
+	ReachedTarget bool
+}
+
+// Tune runs the EdgeTune onefold tuning loop (Algorithm 1): brackets of
+// successive halving over the joint space, with asynchronous inference
+// tuning folded into each trial's objective.
+func Tune(ctx context.Context, opts Options) (Result, error) {
+	var res Result
+	if err := opts.normalise(); err != nil {
+		return res, err
+	}
+	w := opts.Workload
+	res.Workload = w.ID
+	res.Device = opts.Device.Profile.Name
+	res.Metric = opts.Metric
+
+	space, err := w.TrainSpace(opts.SystemParams)
+	if err != nil {
+		return res, err
+	}
+	sampler, err := search.NewSampler(opts.ModelAlgo, space, opts.Seed)
+	if err != nil {
+		return res, err
+	}
+	strat, err := budget.New(opts.BudgetKind)
+	if err != nil {
+		return res, err
+	}
+	runner, err := trial.NewRunner(w, opts.GPU, opts.Seed)
+	if err != nil {
+		return res, err
+	}
+
+	var infSrv *InferenceServer
+	if opts.InferenceAware {
+		infSpace, err := w.InferenceSpace(opts.Device)
+		if err != nil {
+			return res, err
+		}
+		infSrv, err = NewInferenceServer(InferenceServerOptions{
+			Device:  opts.Device,
+			Space:   infSpace,
+			Algo:    opts.InferAlgo,
+			Metric:  opts.Metric,
+			Trials:  opts.InferTrials,
+			Workers: opts.InferWorkers,
+			Store:   opts.Store,
+			Seed:    opts.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		defer infSrv.Close()
+	}
+
+	// Saturated allocation: scores use each configuration's projected
+	// full-budget training cost so that trials from different rungs are
+	// comparable (a cheap low-fidelity trial must not win on cost it
+	// never paid; its penalty is its lower accuracy).
+	satIt := 1
+	for !strat.Saturated(satIt) && satIt < 64 {
+		satIt++
+	}
+	satAlloc := strat.At(satIt)
+
+	obj := Objective{Metric: opts.Metric, TargetAccuracy: opts.TargetAccuracy}
+	// Winner selection is lexicographic: a trial that meets the target
+	// accuracy always beats one that does not (the user asked for that
+	// accuracy, §2.3); among equals the minimised objective decides.
+	best := struct {
+		score float64
+		cfg   search.Config
+		acc   float64
+		meets bool
+	}{score: math.Inf(1)}
+	better := func(score, acc float64) bool {
+		meets := acc >= opts.TargetAccuracy
+		if meets != best.meets {
+			return meets
+		}
+		return score < best.score
+	}
+
+	type member struct {
+		cfg   search.Config
+		score float64
+	}
+
+	for bracket := 0; bracket < opts.MaxBrackets; bracket++ {
+		if opts.StopAtTarget && res.ReachedTarget {
+			break
+		}
+		population := make([]member, 0, opts.InitialConfigs)
+		for i := 0; i < opts.InitialConfigs; i++ {
+			population = append(population, member{cfg: sampler.Sample()})
+		}
+		for rung := 0; rung < opts.Rungs && len(population) > 0; rung++ {
+			alloc := strat.At(rung + 1)
+			if rung == opts.Rungs-1 {
+				// The final rung always confirms survivors at the
+				// strategy's saturated budget, so every bracket ends
+				// with fully-trained evaluations.
+				alloc = satAlloc
+			}
+			for i := range population {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+				rec, err := runTrial(ctx, runner, infSrv, obj, opts, population[i].cfg, alloc, satAlloc)
+				if err != nil {
+					return res, err
+				}
+				rec.Bracket = bracket
+				rec.Rung = rung
+				population[i].score = rec.Score
+
+				res.Trials = append(res.Trials, rec)
+				res.TrialsRun++
+				res.TuningDuration += rec.TrainCost.Duration
+				// Inference tuning is pipelined: it adds energy but no
+				// wall time (§3.3).
+				res.TuningEnergyKJ += (rec.TrainCost.EnergyJ + rec.InferTuning.EnergyJ) / 1000
+
+				sampler.Observe(search.Observation{
+					Config: population[i].cfg,
+					Score:  rec.Score,
+					Budget: alloc.Cost(),
+				})
+				if better(rec.Score, rec.Accuracy) {
+					best.score = rec.Score
+					best.cfg = population[i].cfg.Clone()
+					best.acc = rec.Accuracy
+					best.meets = rec.Accuracy >= opts.TargetAccuracy
+				}
+				if rec.Accuracy > res.MaxAccuracy {
+					res.MaxAccuracy = rec.Accuracy
+				}
+				if rec.Accuracy >= opts.TargetAccuracy {
+					res.ReachedTarget = true
+				}
+			}
+			sort.Slice(population, func(a, b int) bool { return population[a].score < population[b].score })
+			keep := len(population) / opts.Eta
+			if keep < 1 {
+				keep = 1
+			}
+			population = population[:keep]
+		}
+		// StopAtTarget ends tuning at bracket granularity: the bracket
+		// that first reaches the target accuracy completes its halving
+		// schedule (confirming the winner at higher fidelity) and no
+		// further bracket starts.
+	}
+
+	if math.IsInf(best.score, 1) {
+		return res, errors.New("core: no successful trials")
+	}
+	res.BestConfig = best.cfg
+	res.BestAccuracy = best.acc
+	res.BestScore = best.score
+
+	// Final inference recommendation for the winning architecture.
+	if opts.InferenceAware {
+		flops, params, err := w.PaperCost(best.cfg)
+		if err != nil {
+			return res, err
+		}
+		out := <-infSrv.Submit(ctx, InferRequest{
+			Signature:      w.Signature(best.cfg),
+			FLOPsPerSample: flops,
+			Params:         params,
+		})
+		if out.Err != nil {
+			return res, out.Err
+		}
+		res.Recommendation = out.Entry
+	}
+
+	hits, misses := opts.Store.Stats()
+	res.CacheHits = hits
+	res.CacheMisses = misses
+	res.InferTuningDuration, res.ContainmentViolations = containment(res.Trials)
+	return res, nil
+}
+
+// runTrial executes one trial with the pipelined inference request of
+// Algorithm 1: the request is fired before training starts, and the
+// result is awaited before the trial's objective is computed.
+func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer, obj Objective, opts Options, cfg search.Config, alloc, satAlloc budget.Allocation) (TrialRecord, error) {
+	rec := TrialRecord{Config: cfg.Clone(), Alloc: alloc}
+	w := opts.Workload
+	if _, ok := rec.Config[workload.ParamGPUs]; !ok {
+		// Inference-unaware baselines fix the system configuration.
+		gpus := opts.FixedGPUs
+		if gpus < 1 {
+			gpus = 1
+		}
+		rec.Config[workload.ParamGPUs] = float64(gpus)
+	}
+
+	flops, params, err := w.PaperCost(cfg)
+	if err != nil {
+		return rec, err
+	}
+	var infCh <-chan InferOutcome
+	if infSrv != nil {
+		infCh = infSrv.Submit(ctx, InferRequest{
+			Signature:      w.Signature(cfg),
+			FLOPsPerSample: flops,
+			Params:         params,
+		})
+	}
+
+	trialRes, err := runner.Run(ctx, trial.Request{Config: rec.Config, Alloc: alloc})
+	if err != nil {
+		return rec, err
+	}
+	rec.Accuracy = trialRes.Accuracy
+	rec.TrainCost = trialRes.Cost
+
+	// Projected cost of training this configuration at the saturated
+	// budget, used for cross-rung comparable scoring.
+	fullCost, err := perfmodel.TrainingCost(perfmodel.TrainSpec{
+		FLOPsPerSample: flops,
+		Params:         params,
+		Samples:        w.Split.Train.PaperSamples() * satAlloc.DataFraction,
+		Epochs:         satAlloc.Epochs,
+		BatchSize:      int(rec.Config[workload.ParamTrainBatch]),
+		GPUs:           int(rec.Config[workload.ParamGPUs]),
+	}, opts.GPU)
+	if err != nil {
+		return rec, err
+	}
+
+	var inf perfmodel.InferResult
+	if infSrv != nil {
+		out, err := awaitOutcome(ctx, infCh, 30*time.Second)
+		if err != nil {
+			return rec, err
+		}
+		rec.InferCached = out.Cached
+		rec.InferTuning = out.TuningCost
+		inf = perfmodel.InferResult{
+			Throughput:       out.Entry.Throughput,
+			EnergyPerSampleJ: out.Entry.EnergyPerSampleJ,
+		}
+	}
+
+	switch {
+	case opts.AccuracyOnly:
+		rec.Score = 1 - trialRes.Accuracy
+	case infSrv != nil:
+		rec.Score = obj.ModelScore(fullCost, inf, trialRes.Accuracy)
+	default:
+		rec.Score = obj.TrainOnlyScore(fullCost, trialRes.Accuracy)
+	}
+	return rec, nil
+}
+
+// containment sums the pipelined inference-tuning durations and counts
+// trials where that duration exceeded the sheltering training trial.
+func containment(trials []TrialRecord) (time.Duration, int) {
+	var total time.Duration
+	violations := 0
+	for _, t := range trials {
+		total += t.InferTuning.Duration
+		if t.InferTuning.Duration > t.TrainCost.Duration {
+			violations++
+		}
+	}
+	return total, violations
+}

@@ -1,0 +1,184 @@
+// Package counters simulates the hardware performance-counter study of
+// Figure 1: the paper collects perf events during the *forward phase of
+// training* and during *inference with the trained model* and observes
+// that CPU-bound events are consistent across the two phases while
+// memory-bound events diverge (training keeps weights hot and mutable;
+// inference streams constant weights over single samples). That
+// divergence is the argument for a dedicated inference tuning server
+// rather than reusing forward-pass measurements.
+package counters
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgetune/internal/sim"
+)
+
+// Phase distinguishes the two measured execution phases.
+type Phase int
+
+// Execution phases of Figure 1.
+const (
+	TrainingForward Phase = iota + 1
+	Inference
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case TrainingForward:
+		return "training-forward"
+	case Inference:
+		return "inference"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Class partitions events into the two behavioural groups of Figure 1.
+type Class int
+
+// Event classes.
+const (
+	// CPUBound events track instruction execution and scheduling; they
+	// behave consistently between training-forward and inference.
+	CPUBound Class = iota + 1
+	// MemoryBound events track the cache/branch hierarchy; they diverge
+	// between the phases.
+	MemoryBound
+)
+
+// Event is one perf counter from Figure 1.
+type Event struct {
+	Name  string
+	Class Class
+	// baseRate is the training-forward event rate (events/second) for
+	// the reference workload (AlexNet-class model on CIFAR10-class
+	// data).
+	baseRate float64
+	// inferenceFactor multiplies the rate during inference. CPU-bound
+	// events have factors near 1; memory-bound events deviate strongly.
+	inferenceFactor float64
+}
+
+// Events returns the Figure 1 event catalogue, sorted by name. Rates are
+// order-of-magnitude calibrated to the figure's legend buckets
+// (>10⁸ … <10²).
+func Events() []Event {
+	evs := []Event{
+		{"cpu.cycles", CPUBound, 2.4e9, 0.97},
+		{"cpu.clock", CPUBound, 1.0e9, 1.02},
+		{"bus.cycles", CPUBound, 9.0e7, 0.95},
+		{"context.switches", CPUBound, 3.0e3, 1.05},
+		{"cpu.migrations", CPUBound, 4.0e1, 1.1},
+		{"branch.instructions", CPUBound, 4.5e8, 0.96},
+		{"branches", CPUBound, 4.5e8, 0.96},
+
+		{"L1.dcache.loads", MemoryBound, 9.0e8, 0.38},
+		{"L1.dcache.load.misses", MemoryBound, 6.0e7, 3.1},
+		{"L1.dcache.stores", MemoryBound, 5.0e8, 0.22},
+		{"L1.icache.load.misses", MemoryBound, 2.0e6, 2.4},
+		{"LLC.loads", MemoryBound, 3.0e7, 2.8},
+		{"LLC.load.misses", MemoryBound, 8.0e6, 4.2},
+		{"LLC.stores", MemoryBound, 1.5e7, 0.18},
+		{"LLC.store.misses", MemoryBound, 3.0e6, 0.25},
+		{"cache.references", MemoryBound, 6.0e7, 2.6},
+		{"cache.misses", MemoryBound, 1.2e7, 3.8},
+		{"branch.misses", MemoryBound, 7.0e6, 2.9},
+		{"branch.loads", MemoryBound, 4.0e8, 0.42},
+		{"branch.load.misses", MemoryBound, 5.0e6, 3.3},
+		{"br_inst_retired.all_branches", MemoryBound, 4.2e8, 0.45},
+		{"br_inst_retired.far_branch", MemoryBound, 9.0e3, 2.2},
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Name < evs[j].Name })
+	return evs
+}
+
+// Reading is a simulated counter observation.
+type Reading struct {
+	Event Event
+	Phase Phase
+	// Rate is events per second.
+	Rate float64
+}
+
+// Collector produces simulated counter readings with run-to-run jitter.
+type Collector struct {
+	rng    *sim.RNG
+	jitter float64
+}
+
+// NewCollector creates a collector; jitter is the relative standard
+// deviation of each reading.
+func NewCollector(seed uint64, jitter float64) (*Collector, error) {
+	if jitter < 0 || jitter > 0.5 {
+		return nil, fmt.Errorf("counters: jitter %v out of [0, 0.5]", jitter)
+	}
+	return &Collector{rng: sim.NewRNG(seed), jitter: jitter}, nil
+}
+
+// Collect reads every Figure 1 event for the given phase. deviceScale
+// rescales absolute rates for slower devices (1.0 = the i7 reference).
+func (c *Collector) Collect(phase Phase, deviceScale float64) ([]Reading, error) {
+	if phase != TrainingForward && phase != Inference {
+		return nil, fmt.Errorf("counters: unknown phase %v", phase)
+	}
+	if deviceScale <= 0 {
+		return nil, fmt.Errorf("counters: device scale %v must be positive", deviceScale)
+	}
+	events := Events()
+	out := make([]Reading, 0, len(events))
+	for _, ev := range events {
+		rate := ev.baseRate * deviceScale
+		if phase == Inference {
+			rate *= ev.inferenceFactor
+		}
+		rate *= 1 + c.rng.NormFloat64()*c.jitter
+		if rate < 0 {
+			rate = 0
+		}
+		out = append(out, Reading{Event: ev, Phase: phase, Rate: rate})
+	}
+	return out, nil
+}
+
+// Divergence summarises how far inference rates sit from
+// training-forward rates per event class: the mean absolute log10 ratio.
+// Figure 1's observation is recovered when the MemoryBound divergence is
+// much larger than the CPUBound one.
+func Divergence(train, infer []Reading) (cpu, mem float64, err error) {
+	if len(train) != len(infer) {
+		return 0, 0, fmt.Errorf("counters: reading sets differ in length (%d vs %d)", len(train), len(infer))
+	}
+	var cpuN, memN int
+	for i := range train {
+		if train[i].Event.Name != infer[i].Event.Name {
+			return 0, 0, fmt.Errorf("counters: reading sets misaligned at %d", i)
+		}
+		if train[i].Rate <= 0 || infer[i].Rate <= 0 {
+			continue
+		}
+		d := absLog10(infer[i].Rate / train[i].Rate)
+		switch train[i].Event.Class {
+		case CPUBound:
+			cpu += d
+			cpuN++
+		case MemoryBound:
+			mem += d
+			memN++
+		}
+	}
+	if cpuN > 0 {
+		cpu /= float64(cpuN)
+	}
+	if memN > 0 {
+		mem /= float64(memN)
+	}
+	return cpu, mem, nil
+}
+
+func absLog10(x float64) float64 {
+	return math.Abs(math.Log10(x))
+}

@@ -1,0 +1,137 @@
+package counters
+
+import (
+	"testing"
+)
+
+func TestEventsCatalogue(t *testing.T) {
+	evs := Events()
+	if len(evs) != 22 {
+		t.Fatalf("catalogue has %d events, want the 22 of Figure 1", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].Name >= evs[i].Name {
+			t.Error("events not sorted by name")
+		}
+	}
+	var cpu, mem int
+	for _, e := range evs {
+		switch e.Class {
+		case CPUBound:
+			cpu++
+		case MemoryBound:
+			mem++
+		default:
+			t.Errorf("event %q has no class", e.Name)
+		}
+		if e.baseRate <= 0 {
+			t.Errorf("event %q has non-positive base rate", e.Name)
+		}
+	}
+	if cpu == 0 || mem == 0 {
+		t.Error("both event classes must be populated")
+	}
+}
+
+func TestCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(1, -0.1); err == nil {
+		t.Error("negative jitter accepted")
+	}
+	c, err := NewCollector(1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Collect(Phase(9), 1); err == nil {
+		t.Error("unknown phase accepted")
+	}
+	if _, err := c.Collect(Inference, 0); err == nil {
+		t.Error("zero device scale accepted")
+	}
+}
+
+func TestCollectReturnsAllEvents(t *testing.T) {
+	c, err := NewCollector(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []Phase{TrainingForward, Inference} {
+		rs, err := c.Collect(phase, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != len(Events()) {
+			t.Fatalf("%v: %d readings, want %d", phase, len(rs), len(Events()))
+		}
+		for _, r := range rs {
+			if r.Rate < 0 {
+				t.Errorf("%v: negative rate for %s", phase, r.Event.Name)
+			}
+			if r.Phase != phase {
+				t.Errorf("reading tagged with wrong phase")
+			}
+		}
+	}
+}
+
+// TestFig1Divergence is the package's core claim: CPU-bound events stay
+// consistent between training-forward and inference while memory-bound
+// events diverge.
+func TestFig1Divergence(t *testing.T) {
+	c, err := NewCollector(3, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := c.Collect(TrainingForward, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infer, err := c.Collect(Inference, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, mem, err := Divergence(train, infer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu > 0.1 {
+		t.Errorf("CPU-bound divergence %.3f too large: should be consistent across phases", cpu)
+	}
+	if mem < 3*cpu {
+		t.Errorf("memory-bound divergence %.3f not clearly above CPU-bound %.3f", mem, cpu)
+	}
+}
+
+func TestDivergenceValidation(t *testing.T) {
+	c, _ := NewCollector(1, 0)
+	train, _ := c.Collect(TrainingForward, 1)
+	if _, _, err := Divergence(train, train[:3]); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	infer, _ := c.Collect(Inference, 1)
+	// Misalign by swapping two readings.
+	infer[0], infer[1] = infer[1], infer[0]
+	if _, _, err := Divergence(train, infer); err == nil {
+		t.Error("misaligned readings accepted")
+	}
+}
+
+func TestDeviceScaleRescalesRates(t *testing.T) {
+	c, _ := NewCollector(1, 0)
+	fast, _ := c.Collect(TrainingForward, 1)
+	c2, _ := NewCollector(1, 0)
+	slow, _ := c2.Collect(TrainingForward, 0.25)
+	for i := range fast {
+		if slow[i].Rate >= fast[i].Rate {
+			t.Errorf("%s: slow device rate %v >= fast %v", fast[i].Event.Name, slow[i].Rate, fast[i].Rate)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if TrainingForward.String() != "training-forward" || Inference.String() != "inference" {
+		t.Error("phase names wrong")
+	}
+	if Phase(9).String() == "" {
+		t.Error("unknown phase should still format")
+	}
+}

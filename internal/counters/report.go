@@ -1,0 +1,49 @@
+package counters
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports aligned training-forward and inference readings as
+// CSV (event, class, train_rate, inference_rate, ratio), the format the
+// Figure-1 analysis notebooks consume.
+func WriteCSV(w io.Writer, train, infer []Reading) error {
+	if len(train) != len(infer) {
+		return fmt.Errorf("counters: reading sets differ in length (%d vs %d)", len(train), len(infer))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"event", "class", "train_forward_rate", "inference_rate", "ratio"}); err != nil {
+		return fmt.Errorf("counters: write header: %w", err)
+	}
+	for i := range train {
+		if train[i].Event.Name != infer[i].Event.Name {
+			return fmt.Errorf("counters: reading sets misaligned at %d", i)
+		}
+		class := "cpu"
+		if train[i].Event.Class == MemoryBound {
+			class = "memory"
+		}
+		ratio := 0.0
+		if train[i].Rate > 0 {
+			ratio = infer[i].Rate / train[i].Rate
+		}
+		rec := []string{
+			train[i].Event.Name,
+			class,
+			strconv.FormatFloat(train[i].Rate, 'g', 6, 64),
+			strconv.FormatFloat(infer[i].Rate, 'g', 6, 64),
+			strconv.FormatFloat(ratio, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("counters: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("counters: flush: %w", err)
+	}
+	return nil
+}

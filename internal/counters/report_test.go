@@ -1,0 +1,60 @@
+package counters
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	c, err := NewCollector(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := c.Collect(TrainingForward, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infer, err := c.Collect(Inference, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, train, infer); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != len(Events())+1 {
+		t.Fatalf("%d rows, want header + %d events", len(rows), len(Events()))
+	}
+	if rows[0][0] != "event" || rows[0][4] != "ratio" {
+		t.Errorf("header = %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if row[1] != "cpu" && row[1] != "memory" {
+			t.Errorf("bad class %q", row[1])
+		}
+		if !strings.Contains(row[4], ".") {
+			t.Errorf("ratio %q not formatted as a decimal", row[4])
+		}
+	}
+}
+
+func TestWriteCSVValidation(t *testing.T) {
+	c, _ := NewCollector(1, 0)
+	train, _ := c.Collect(TrainingForward, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, train, train[:2]); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	infer, _ := c.Collect(Inference, 1)
+	infer[0], infer[1] = infer[1], infer[0]
+	if err := WriteCSV(&buf, train, infer); err == nil {
+		t.Error("misaligned readings accepted")
+	}
+}

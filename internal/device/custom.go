@@ -1,0 +1,43 @@
+package device
+
+import (
+	"fmt"
+
+	"edgetune/internal/perfmodel"
+)
+
+// Custom wraps a user-supplied CPU profile as a Device after
+// validation, so deployments can tune for hardware beyond the paper's
+// three testbed boards.
+func Custom(p perfmodel.CPUProfile) (Device, error) {
+	switch {
+	case p.Name == "":
+		return Device{}, fmt.Errorf("device: custom profile needs a name")
+	case p.Name == NameARMv7 || p.Name == NameRPi3 || p.Name == NameI7:
+		return Device{}, fmt.Errorf("device: name %q collides with a built-in device", p.Name)
+	case p.MaxCores < 1:
+		return Device{}, fmt.Errorf("device: %s: cores %d must be >= 1", p.Name, p.MaxCores)
+	case p.FlopsPerCorePerGHz <= 0:
+		return Device{}, fmt.Errorf("device: %s: compute rate must be positive", p.Name)
+	case p.MinFreqGHz <= 0 || p.MaxFreqGHz < p.MinFreqGHz:
+		return Device{}, fmt.Errorf("device: %s: invalid frequency range [%v, %v]", p.Name, p.MinFreqGHz, p.MaxFreqGHz)
+	case p.MemBytesPerSec <= 0:
+		return Device{}, fmt.Errorf("device: %s: memory bandwidth must be positive", p.Name)
+	case p.IdlePowerW < 0 || p.CorePowerW <= 0:
+		return Device{}, fmt.Errorf("device: %s: invalid power parameters", p.Name)
+	}
+	// Fill modelling defaults for the fields a datasheet does not give.
+	if p.BytesPerFLOP <= 0 {
+		p.BytesPerFLOP = 0.42
+	}
+	if p.BatchSetupSec <= 0 {
+		p.BatchSetupSec = 0.008
+	}
+	if p.MemBatchKnee <= 0 {
+		p.MemBatchKnee = 32
+	}
+	if p.MemPressureFactor <= 0 {
+		p.MemPressureFactor = 1.0
+	}
+	return Device{Profile: p}, nil
+}

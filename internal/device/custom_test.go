@@ -1,0 +1,73 @@
+package device
+
+import (
+	"testing"
+
+	"edgetune/internal/perfmodel"
+)
+
+func validCustom() perfmodel.CPUProfile {
+	return perfmodel.CPUProfile{
+		Name:               "jetson-like",
+		MaxCores:           6,
+		FlopsPerCorePerGHz: 2e9,
+		MinFreqGHz:         0.8,
+		MaxFreqGHz:         2.2,
+		MemBytesPerSec:     6e9,
+		IdlePowerW:         3,
+		CorePowerW:         2,
+	}
+}
+
+func TestCustomFillsDefaults(t *testing.T) {
+	d, err := Custom(validCustom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Profile
+	if p.BytesPerFLOP <= 0 || p.BatchSetupSec <= 0 || p.MemBatchKnee <= 0 || p.MemPressureFactor <= 0 {
+		t.Errorf("defaults not filled: %+v", p)
+	}
+	// The resulting device must be usable end to end.
+	r, err := d.Estimate(d.DefaultSpec(5.6e8, 11e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput <= 0 {
+		t.Error("custom device estimate implausible")
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	mutate := []func(*perfmodel.CPUProfile){
+		func(p *perfmodel.CPUProfile) { p.Name = "" },
+		func(p *perfmodel.CPUProfile) { p.Name = NameI7 },
+		func(p *perfmodel.CPUProfile) { p.MaxCores = 0 },
+		func(p *perfmodel.CPUProfile) { p.FlopsPerCorePerGHz = 0 },
+		func(p *perfmodel.CPUProfile) { p.MinFreqGHz = 0 },
+		func(p *perfmodel.CPUProfile) { p.MaxFreqGHz = 0.1 },
+		func(p *perfmodel.CPUProfile) { p.MemBytesPerSec = 0 },
+		func(p *perfmodel.CPUProfile) { p.CorePowerW = 0 },
+		func(p *perfmodel.CPUProfile) { p.IdlePowerW = -1 },
+	}
+	for i, m := range mutate {
+		p := validCustom()
+		m(&p)
+		if _, err := Custom(p); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestCustomKeepsExplicitModelFields(t *testing.T) {
+	p := validCustom()
+	p.BytesPerFLOP = 0.9
+	p.MemBatchKnee = 12
+	d, err := Custom(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Profile.BytesPerFLOP != 0.9 || d.Profile.MemBatchKnee != 12 {
+		t.Error("explicit model fields overwritten by defaults")
+	}
+}

@@ -1,0 +1,197 @@
+package device
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"edgetune/internal/perfmodel"
+)
+
+func refSpec(d Device) perfmodel.InferSpec {
+	return d.DefaultSpec(5.6e8, 11e6)
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{NameARMv7, NameRPi3, NameI7} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if d.Profile.Name != name {
+			t.Errorf("profile name = %q, want %q", d.Profile.Name, name)
+		}
+	}
+	if _, err := ByName("tpu"); !errors.Is(err, perfmodel.ErrUnknownDevice) {
+		t.Errorf("unknown device error = %v, want ErrUnknownDevice", err)
+	}
+}
+
+func TestAllSortedAndComplete(t *testing.T) {
+	devs := All()
+	if len(devs) != 3 {
+		t.Fatalf("All() returned %d devices, want 3", len(devs))
+	}
+	for i := 1; i < len(devs); i++ {
+		if devs[i-1].Profile.Name >= devs[i].Profile.Name {
+			t.Error("All() not sorted by name")
+		}
+	}
+}
+
+// TestDeviceSpeedOrdering: the i7 must out-run the ARMv7, which must
+// out-run the Pi, on the same model and configuration — the paper's
+// testbed hierarchy.
+func TestDeviceSpeedOrdering(t *testing.T) {
+	tp := func(d Device) float64 {
+		spec := refSpec(d)
+		spec.BatchSize = 8
+		spec.Cores = 4
+		// Use each device's own max frequency.
+		r, err := d.Estimate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Throughput
+	}
+	i7, arm, pi := tp(I7()), tp(ARMv7()), tp(RPi3BPlus())
+	if !(i7 > arm && arm > pi) {
+		t.Errorf("throughput ordering i7 %v > armv7 %v > rpi %v violated", i7, arm, pi)
+	}
+}
+
+// TestMemoryConstrainedKnee: the Pi's batching sweet spot comes earlier
+// than the i7's (1 GB vs 16 GB).
+func TestMemoryConstrainedKnee(t *testing.T) {
+	best := func(d Device) int {
+		bestBatch, bestTp := 0, 0.0
+		for batch := 1; batch <= 128; batch *= 2 {
+			spec := refSpec(d)
+			spec.BatchSize = batch
+			r, err := d.Estimate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Throughput > bestTp {
+				bestTp, bestBatch = r.Throughput, batch
+			}
+		}
+		return bestBatch
+	}
+	if pi, i7 := best(RPi3BPlus()), best(I7()); pi >= i7 {
+		t.Errorf("optimal batch: rpi %d should be below i7 %d", pi, i7)
+	}
+}
+
+func TestDefaultSpec(t *testing.T) {
+	d := I7()
+	spec := refSpec(d)
+	if spec.BatchSize != 1 {
+		t.Errorf("default batch = %d, want 1 (single-sample inference)", spec.BatchSize)
+	}
+	if spec.Cores != d.Profile.MaxCores || spec.FreqGHz != d.Profile.MaxFreqGHz {
+		t.Error("default spec should use all cores at max frequency")
+	}
+	if _, err := d.Estimate(spec); err != nil {
+		t.Errorf("default spec must be valid: %v", err)
+	}
+}
+
+func TestPerturbedDeterministicAndBounded(t *testing.T) {
+	d := ARMv7()
+	a := d.Perturbed(42, 0.15)
+	b := d.Perturbed(42, 0.15)
+	if a.Profile.FlopsPerCorePerGHz != b.Profile.FlopsPerCorePerGHz {
+		t.Error("Perturbed not deterministic for same seed")
+	}
+	c := d.Perturbed(43, 0.15)
+	if a.Profile.FlopsPerCorePerGHz == c.Profile.FlopsPerCorePerGHz {
+		t.Error("Perturbed identical across different seeds")
+	}
+	ratio := a.Profile.FlopsPerCorePerGHz / d.Profile.FlopsPerCorePerGHz
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("perturbation ratio %v outside +/-15%%", ratio)
+	}
+	if a.Profile.Name == d.Profile.Name {
+		t.Error("physical twin should be renamed")
+	}
+}
+
+// TestEstimationErrorBounded: estimates vs the perturbed twin must stay
+// within the paper's reported error band (at most ~20% for typical
+// configurations; Figure 15 whiskers).
+func TestEstimationErrorBounded(t *testing.T) {
+	d := I7()
+	twin := d.Perturbed(7, 0.1)
+	var worst float64
+	for batch := 1; batch <= 32; batch *= 2 {
+		for cores := 1; cores <= 4; cores *= 2 {
+			spec := refSpec(d)
+			spec.BatchSize = batch
+			spec.Cores = cores
+			est, err := d.Estimate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			real, err := twin.Estimate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pe := math.Abs(real.Throughput-est.Throughput) / real.Throughput * 100
+			if pe > worst {
+				worst = pe
+			}
+		}
+	}
+	if worst > 35 {
+		t.Errorf("worst-case estimation error %.1f%%, want bounded (~Figure 15)", worst)
+	}
+}
+
+func TestMeasuredNoise(t *testing.T) {
+	d := I7()
+	m, err := NewMeasured(d, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := refSpec(d)
+	base, err := d.Estimate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deviated bool
+	for i := 0; i < 10; i++ {
+		r, err := m.Measure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Throughput <= 0 || r.EnergyPerSampleJ <= 0 {
+			t.Fatal("noisy measurement produced non-positive metric")
+		}
+		if r.Throughput != base.Throughput {
+			deviated = true
+		}
+		rel := math.Abs(r.Throughput-base.Throughput) / base.Throughput
+		if rel > 0.3 {
+			t.Errorf("measurement deviation %.2f implausibly large for 5%% noise", rel)
+		}
+	}
+	if !deviated {
+		t.Error("measurements never deviated: noise not applied")
+	}
+}
+
+func TestMeasuredValidation(t *testing.T) {
+	if _, err := NewMeasured(I7(), 1, -0.1); err == nil {
+		t.Error("negative noise accepted")
+	}
+	if _, err := NewMeasured(I7(), 1, 0.9); err == nil {
+		t.Error("excessive noise accepted")
+	}
+	m, _ := NewMeasured(I7(), 1, 0.05)
+	bad := refSpec(I7())
+	bad.Cores = 99
+	if _, err := m.Measure(bad); err == nil {
+		t.Error("invalid spec accepted by Measure")
+	}
+}

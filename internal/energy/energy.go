@@ -1,0 +1,100 @@
+// Package energy provides the energy-accounting substrate standing in
+// for the paper's PyRAPL measurements: a thread-safe meter that
+// integrates simulated power over simulated time, broken down by
+// component so tuning energy and inference energy can be reported
+// separately (as the paper's figures do).
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Meter accumulates energy charges by component. The zero value is ready
+// to use and safe for concurrent use.
+type Meter struct {
+	mu     sync.Mutex
+	joules map[string]float64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// Charge adds joules to a component's tally. Negative charges are
+// rejected with an error: energy only accumulates.
+func (m *Meter) Charge(component string, joules float64) error {
+	if joules < 0 {
+		return fmt.Errorf("energy: negative charge %v for %q", joules, component)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.joules == nil {
+		m.joules = make(map[string]float64)
+	}
+	m.joules[component] += joules
+	return nil
+}
+
+// ChargePower integrates a constant power draw over a duration.
+func (m *Meter) ChargePower(component string, watts float64, d time.Duration) error {
+	if watts < 0 {
+		return fmt.Errorf("energy: negative power %v for %q", watts, component)
+	}
+	if d < 0 {
+		return fmt.Errorf("energy: negative duration %v for %q", d, component)
+	}
+	return m.Charge(component, watts*d.Seconds())
+}
+
+// TotalJ reports the total accumulated energy in joules.
+func (m *Meter) TotalJ() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t float64
+	for _, j := range m.joules {
+		t += j
+	}
+	return t
+}
+
+// TotalKJ reports the total in kilojoules, the paper's unit.
+func (m *Meter) TotalKJ() float64 { return m.TotalJ() / 1000 }
+
+// Component reports one component's joules.
+func (m *Meter) Component(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.joules[name]
+}
+
+// Breakdown returns a copy of the per-component tallies.
+func (m *Meter) Breakdown() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.joules))
+	for k, v := range m.joules {
+		out[k] = v
+	}
+	return out
+}
+
+// Components returns the charged component names, sorted.
+func (m *Meter) Components() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.joules))
+	for k := range m.joules {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears all tallies.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.joules = nil
+	m.mu.Unlock()
+}

@@ -1,0 +1,134 @@
+package energy
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeterZeroValue(t *testing.T) {
+	var m Meter
+	if m.TotalJ() != 0 {
+		t.Error("zero meter not empty")
+	}
+	if err := m.Charge("x", 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalJ() != 5 {
+		t.Error("zero-value meter unusable")
+	}
+}
+
+func TestChargeAccumulates(t *testing.T) {
+	m := NewMeter()
+	if err := m.Charge("train", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Charge("train", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Charge("infer", 25); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Component("train"); got != 150 {
+		t.Errorf("train = %v, want 150", got)
+	}
+	if got := m.TotalJ(); got != 175 {
+		t.Errorf("total = %v, want 175", got)
+	}
+	if got := m.TotalKJ(); got != 0.175 {
+		t.Errorf("kJ = %v, want 0.175", got)
+	}
+}
+
+func TestNegativeChargesRejected(t *testing.T) {
+	m := NewMeter()
+	if err := m.Charge("x", -1); err == nil {
+		t.Error("negative charge accepted")
+	}
+	if err := m.ChargePower("x", -1, time.Second); err == nil {
+		t.Error("negative power accepted")
+	}
+	if err := m.ChargePower("x", 1, -time.Second); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestChargePower(t *testing.T) {
+	m := NewMeter()
+	if err := m.ChargePower("gpu", 250, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Component("gpu"); got != 250*120 {
+		t.Errorf("power integration = %v, want 30000", got)
+	}
+}
+
+func TestBreakdownIsCopy(t *testing.T) {
+	m := NewMeter()
+	_ = m.Charge("a", 1)
+	b := m.Breakdown()
+	b["a"] = 999
+	if m.Component("a") != 1 {
+		t.Error("Breakdown leaks internal state")
+	}
+}
+
+func TestComponentsSorted(t *testing.T) {
+	m := NewMeter()
+	_ = m.Charge("z", 1)
+	_ = m.Charge("a", 1)
+	got := m.Components()
+	if len(got) != 2 || got[0] != "a" || got[1] != "z" {
+		t.Errorf("Components = %v, want [a z]", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter()
+	_ = m.Charge("a", 1)
+	m.Reset()
+	if m.TotalJ() != 0 {
+		t.Error("Reset did not clear meter")
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = m.Charge("x", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.TotalJ(); got != 8000 {
+		t.Errorf("concurrent total = %v, want 8000", got)
+	}
+}
+
+// Property: total equals the sum of the breakdown and never decreases.
+func TestTotalMatchesBreakdown(t *testing.T) {
+	m := NewMeter()
+	f := func(charges []uint16) bool {
+		for i, c := range charges {
+			comp := "c" + string(rune('a'+i%3))
+			if err := m.Charge(comp, float64(c)); err != nil {
+				return false
+			}
+		}
+		var sum float64
+		for _, v := range m.Breakdown() {
+			sum += v
+		}
+		return sum == m.TotalJ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"edgetune/internal/baselines"
+	"edgetune/internal/core"
+	"edgetune/internal/device"
+	"edgetune/internal/metrics"
+	"edgetune/internal/perfmodel"
+	"edgetune/internal/search"
+	"edgetune/internal/workload"
+)
+
+var (
+	tuneBaselineMu    sync.Mutex
+	tuneBaselineCache = make(map[string]core.Result)
+)
+
+// tuneBaselineRun executes (and memoises) the Tune baseline at the same
+// evaluation scale as edgeTuneRun.
+func tuneBaselineRun(id string) (core.Result, error) {
+	tuneBaselineMu.Lock()
+	if res, ok := tuneBaselineCache[id]; ok {
+		tuneBaselineMu.Unlock()
+		return res, nil
+	}
+	tuneBaselineMu.Unlock()
+	res, err := baselines.RunTune(context.Background(), core.Options{
+		Workload:     workload.MustNew(id, refWorkloadSeed),
+		StopAtTarget: true,
+		Seed:         21,
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: tune baseline %s: %w", id, err)
+	}
+	tuneBaselineMu.Lock()
+	tuneBaselineCache[id] = res
+	tuneBaselineMu.Unlock()
+	return res, nil
+}
+
+var fig14Memo memo[Table]
+
+// Fig14VsTune reproduces Figure 14: EdgeTune's tuning duration and
+// energy relative to the Tune baseline (which lacks the inference
+// tuning server and the multi-budget).
+func Fig14VsTune() (Table, error) {
+	return fig14Memo.do(func() (Table, error) {
+		t := Table{
+			ID:     "Figure 14",
+			Title:  "EdgeTune vs Tune: tuning duration and energy (negative % = EdgeTune cheaper)",
+			Header: []string{"workload", "EdgeTune [m]", "Tune [m]", "diff %", "EdgeTune [kJ]", "Tune [kJ]", "diff %"},
+		}
+		for _, id := range workload.IDs() {
+			et, err := edgeTuneRun(id, "", core.MetricRuntime)
+			if err != nil {
+				return Table{}, err
+			}
+			tb, err := tuneBaselineRun(id)
+			if err != nil {
+				return Table{}, err
+			}
+			dDiff, err := metrics.RelDiff(et.TuningDuration.Minutes(), tb.TuningDuration.Minutes())
+			if err != nil {
+				return Table{}, err
+			}
+			eDiff, err := metrics.RelDiff(et.TuningEnergyKJ, tb.TuningEnergyKJ)
+			if err != nil {
+				return Table{}, err
+			}
+			t.Rows = append(t.Rows, []string{
+				id,
+				f1(et.TuningDuration.Minutes()), f1(tb.TuningDuration.Minutes()), f1(dDiff),
+				f1(et.TuningEnergyKJ), f1(tb.TuningEnergyKJ), f1(eDiff),
+			})
+		}
+		t.Notes = append(t.Notes,
+			"the paper reports EdgeTune at least 18% faster and ~50% more energy-efficient than Tune; the multi-budget and cost-aware objective produce the same direction here")
+		return t, nil
+	})
+}
+
+var fig15Memo memo[Table]
+
+// Fig15EstimationError reproduces Figure 15: the percent error of the
+// Inference Tuning Server's estimates against measurements collected on
+// the perturbed "physical twin" devices, as box-and-whisker statistics.
+func Fig15EstimationError() (Table, error) {
+	return fig15Memo.do(func() (Table, error) {
+		w := workload.MustNew("IC", refWorkloadSeed)
+		var tpErr, enErr []float64
+		for _, dev := range device.All() {
+			twin := dev.Perturbed(77, 0.10)
+			measured, err := device.NewMeasured(twin, 78, 0.05)
+			if err != nil {
+				return Table{}, err
+			}
+			for _, layers := range []float64{18, 34, 50} {
+				flops, params, err := w.PaperCost(search.Config{workload.ParamLayers: layers})
+				if err != nil {
+					return Table{}, err
+				}
+				for _, batch := range []int{1, 4, 16, 64} {
+					for cores := 1; cores <= dev.Profile.MaxCores; cores *= 2 {
+						spec := perfmodel.InferSpec{
+							FLOPsPerSample: flops,
+							Params:         params,
+							BatchSize:      batch,
+							Cores:          cores,
+							FreqGHz:        dev.Profile.MaxFreqGHz,
+						}
+						est, err := dev.Estimate(spec)
+						if err != nil {
+							return Table{}, err
+						}
+						real, err := measured.Measure(spec)
+						if err != nil {
+							return Table{}, err
+						}
+						pe, err := metrics.PercentError(real.Throughput, est.Throughput)
+						if err != nil {
+							return Table{}, err
+						}
+						tpErr = append(tpErr, pe)
+						pe, err = metrics.PercentError(real.EnergyPerSampleJ, est.EnergyPerSampleJ)
+						if err != nil {
+							return Table{}, err
+						}
+						enErr = append(enErr, pe)
+					}
+				}
+			}
+		}
+		tpBox, err := metrics.Box(tpErr)
+		if err != nil {
+			return Table{}, err
+		}
+		enBox, err := metrics.Box(enErr)
+		if err != nil {
+			return Table{}, err
+		}
+		t := Table{
+			ID:     "Figure 15",
+			Title:  "percent error of inference estimates vs edge-device measurements",
+			Header: []string{"metric", "min", "q1", "median", "q3", "max"},
+			Rows: [][]string{
+				{"throughput", f1(tpBox.Min), f1(tpBox.Q1), f1(tpBox.Median), f1(tpBox.Q3), f1(tpBox.Max)},
+				{"energy", f1(enBox.Min), f1(enBox.Q1), f1(enBox.Median), f1(enBox.Q3), f1(enBox.Max)},
+			},
+			Notes: []string{fmt.Sprintf("median error: throughput %.1f%%, energy %.1f%% — the paper reports at most ~20%% for typical configurations", tpBox.Median, enBox.Median)},
+		}
+		return t, nil
+	})
+}
+
+// Fig15Medians exposes the Figure 15 medians for tests.
+func Fig15Medians() (tp, en float64, err error) {
+	t, err := Fig15EstimationError()
+	if err != nil {
+		return 0, 0, err
+	}
+	_ = t
+	// Recompute from the table rows to avoid caching extra state.
+	if len(t.Rows) != 2 {
+		return 0, 0, fmt.Errorf("experiments: malformed figure 15 table")
+	}
+	if _, err := fmt.Sscanf(t.Rows[0][3], "%f", &tp); err != nil {
+		return 0, 0, err
+	}
+	if _, err := fmt.Sscanf(t.Rows[1][3], "%f", &en); err != nil {
+		return 0, 0, err
+	}
+	return tp, en, nil
+}
+
+var fig16Memo memo[Table]
+
+// Fig16Objectives reproduces Figure 16: the runtime-based versus
+// energy-based objective functions across the four workloads.
+func Fig16Objectives() (Table, error) {
+	return fig16Memo.do(func() (Table, error) {
+		t := Table{
+			ID:     "Figure 16",
+			Title:  "runtime vs energy objective: tuning cost and recommended-inference performance",
+			Header: []string{"workload", "objective", "tuning [m]", "tuning [kJ]", "inf throughput", "inf [J/sample]"},
+		}
+		for _, id := range workload.IDs() {
+			for _, metric := range []core.Metric{core.MetricRuntime, core.MetricEnergy} {
+				res, err := edgeTuneRun(id, "", metric)
+				if err != nil {
+					return Table{}, err
+				}
+				t.Rows = append(t.Rows, []string{
+					id, string(metric),
+					f1(res.TuningDuration.Minutes()),
+					f1(res.TuningEnergyKJ),
+					f1(res.Recommendation.Throughput),
+					f3(res.Recommendation.EnergyPerSampleJ),
+				})
+			}
+		}
+		t.Notes = append(t.Notes,
+			"the energy objective trades a little tuning runtime for lower energy; runtime and energy correlate (§5.4)")
+		return t, nil
+	})
+}
+
+var fig17Memo memo[Table]
+
+// Fig17VsHyperPower reproduces Figure 17: EdgeTune against HyperPower.
+// HyperPower's aggressive early termination makes its tuning phase
+// cheaper, but EdgeTune's inference-aware winner performs better at
+// deployment. Both models are deployed with EdgeTune's recommended
+// inference parameters, as the paper does for fairness.
+func Fig17VsHyperPower() (Table, error) {
+	return fig17Memo.do(func() (Table, error) {
+		t := Table{
+			ID:     "Figure 17",
+			Title:  "EdgeTune vs HyperPower: tuning cost and deployed inference performance",
+			Header: []string{"workload", "system", "tuning [m]", "tuning [kJ]", "inf throughput", "inf [J/sample]"},
+		}
+		dev := device.I7()
+		for _, id := range workload.IDs() {
+			et, err := edgeTuneRun(id, "", core.MetricRuntime)
+			if err != nil {
+				return Table{}, err
+			}
+			w := workload.MustNew(id, refWorkloadSeed)
+			hp, err := baselines.RunHyperPower(context.Background(), baselines.HyperPowerOptions{
+				Workload: w,
+				Seed:     21,
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			etInf, err := baselines.EvaluateInference(w, et.BestConfig, et.Recommendation.Config, dev)
+			if err != nil {
+				return Table{}, err
+			}
+			hpInf, err := baselines.EvaluateInference(w, hp.BestConfig, et.Recommendation.Config, dev)
+			if err != nil {
+				return Table{}, err
+			}
+			t.Rows = append(t.Rows, []string{
+				id, "EdgeTune",
+				f1(et.TuningDuration.Minutes()), f1(et.TuningEnergyKJ),
+				f1(etInf.Throughput), f3(etInf.EnergyPerSampleJ),
+			})
+			t.Rows = append(t.Rows, []string{
+				id, "HyperPower",
+				f1(hp.TuningCost.Duration.Minutes()), f1(hp.TuningCost.KJ()),
+				f1(hpInf.Throughput), f3(hpInf.EnergyPerSampleJ),
+			})
+		}
+		t.Notes = append(t.Notes,
+			"HyperPower tunes cheaper (the paper: up to 39%/33% lower duration/energy) but EdgeTune's configurations deliver better inference (≥12% throughput, ~29% less energy in the paper)")
+		return t, nil
+	})
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentError(t *testing.T) {
+	tests := []struct {
+		name      string
+		empirical float64
+		estimated float64
+		want      float64
+		wantErr   bool
+	}{
+		{name: "exact", empirical: 10, estimated: 10, want: 0},
+		{name: "under", empirical: 10, estimated: 8, want: 20},
+		{name: "over", empirical: 10, estimated: 12, want: 20},
+		{name: "zero empirical", empirical: 0, estimated: 5, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := PercentError(tt.empirical, tt.estimated)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if !tt.wantErr && math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("PE = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPercentErrorNonNegative(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a == 0 || math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		pe, err := PercentError(a, b)
+		return err == nil && pe >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 1},
+		{q: 0.5, want: 2.5},
+		{q: 1, want: 4},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range q accepted")
+	}
+}
+
+func TestQuantileSingleElement(t *testing.T) {
+	got, err := Quantile([]float64{7}, 0.99)
+	if err != nil || got != 7 {
+		t.Errorf("Quantile single = %v, %v", got, err)
+	}
+}
+
+func TestBox(t *testing.T) {
+	b, err := Box([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 1 || b.Median != 3 || b.Max != 5 {
+		t.Errorf("Box = %+v", b)
+	}
+	if b.Q1 > b.Median || b.Median > b.Q3 {
+		t.Error("box quartiles out of order")
+	}
+	if _, err := Box(nil); err == nil {
+		t.Error("empty box accepted")
+	}
+	if b.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b, err := Box(xs)
+		if err != nil {
+			return false
+		}
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	got, err := RelDiff(82, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != -18 {
+		t.Errorf("RelDiff = %v, want -18", got)
+	}
+	if _, err := RelDiff(1, 0); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math"
+
+	"edgetune/internal/sim"
+	"edgetune/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x W + b.
+type Dense struct {
+	in, out int
+	w, b    *Param
+
+	lastInput *tensor.Matrix // cached for backward
+}
+
+// NewDense creates a dense layer with He-normal initialised weights.
+func NewDense(in, out int, rng *sim.RNG) *Dense {
+	std := math.Sqrt(2 / float64(in))
+	return &Dense{
+		in:  in,
+		out: out,
+		w:   newParam(tensor.Randn(in, out, std, rng)),
+		b:   newParam(tensor.New(1, out)),
+	}
+}
+
+// Forward computes x W + b, caching x when training.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if train {
+		d.lastInput = x
+	}
+	y := tensor.MatMul(x, d.w.W)
+	y.AddRowVec(d.b.W.Data)
+	return y
+}
+
+// Backward accumulates dW = xᵀ grad and db = colsum(grad), returning
+// grad W ᵀ for the upstream layer.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dw := tensor.MatMulAT(d.lastInput, grad)
+	d.w.Grad.Add(dw)
+	db := grad.ColSums()
+	for i, v := range db {
+		d.b.Grad.Data[i] += v
+	}
+	return tensor.MatMulBT(grad, d.w.W)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// FLOPsPerSample counts the multiply-adds of one forward pass.
+func (d *Dense) FLOPsPerSample() float64 { return 2 * float64(d.in) * float64(d.out) }
+
+// OutDim reports the layer output width.
+func (d *Dense) OutDim(int) int { return d.out }
+
+// In reports the layer input width.
+func (d *Dense) In() int { return d.in }

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+
+	"edgetune/internal/sim"
+	"edgetune/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training (inverted dropout:
+// survivors are scaled by 1/(1-rate) so inference needs no rescaling).
+// The object-detection workload family tunes this layer's rate, mirroring
+// the paper's YOLO dropout hyperparameter.
+type Dropout struct {
+	rate float64
+	rng  *sim.RNG
+	mask *tensor.Matrix
+}
+
+// NewDropout creates a dropout layer. Rate must be in [0, 1).
+func NewDropout(rate float64, rng *sim.RNG) (*Dropout, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("nn: dropout rate %v out of [0,1)", rate)
+	}
+	return &Dropout{rate: rate, rng: rng}, nil
+}
+
+// Forward applies the mask when training; it is the identity at inference.
+func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train || d.rate == 0 {
+		return x
+	}
+	keep := 1 - d.rate
+	d.mask = tensor.New(x.Rows, x.Cols)
+	out := x.Clone()
+	for i := range out.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = 1 / keep
+			out.Data[i] *= 1 / keep
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward passes gradients through the same mask.
+func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	out.Hadamard(d.mask)
+	return out
+}
+
+// Params returns nil: dropout is parameter-free.
+func (d *Dropout) Params() []*Param { return nil }
+
+// FLOPsPerSample is negligible for element-wise ops; charged as zero.
+func (d *Dropout) FLOPsPerSample() float64 { return 0 }
+
+// OutDim preserves the input width.
+func (d *Dropout) OutDim(inDim int) int { return inDim }
+
+// Rate reports the configured dropout rate.
+func (d *Dropout) Rate() float64 { return d.rate }

@@ -1,0 +1,35 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"edgetune/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss over a batch
+// of logits against integer labels and the gradient of the loss with
+// respect to the logits (softmax - onehot, scaled by 1/batch).
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (loss float64, grad *tensor.Matrix, err error) {
+	if len(labels) != logits.Rows {
+		return 0, nil, fmt.Errorf("nn: %d labels for %d logit rows", len(labels), logits.Rows)
+	}
+	probs := logits.Clone()
+	probs.SoftmaxRows()
+	grad = probs.Clone()
+	invN := 1 / float64(logits.Rows)
+	for i, label := range labels {
+		if label < 0 || label >= logits.Cols {
+			return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", label, logits.Cols)
+		}
+		p := probs.At(i, label)
+		// Clamp to avoid log(0) on confidently wrong predictions.
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		grad.Set(i, label, grad.At(i, label)-1)
+	}
+	grad.Scale(invN)
+	return loss * invN, grad, nil
+}

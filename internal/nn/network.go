@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"errors"
+
+	"edgetune/internal/tensor"
+)
+
+// Network is a sequential stack of layers with a softmax classification
+// head. The zero value is not usable; construct with NewNetwork.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork builds a sequential network from layers. At least one layer
+// is required.
+func NewNetwork(layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, errors.New("nn: network needs at least one layer")
+	}
+	return &Network{layers: layers}, nil
+}
+
+// Forward runs the full stack and returns the logits.
+func (n *Network) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	h := x
+	for _, l := range n.layers {
+		h = l.Forward(h, train)
+	}
+	return h
+}
+
+// Backward runs the stack in reverse from the loss gradient.
+func (n *Network) Backward(grad *tensor.Matrix) {
+	g := grad
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+}
+
+// Params returns every trainable parameter in the network.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of scalar parameters, used by the
+// performance model for memory accounting.
+func (n *Network) ParamCount() int {
+	var c int
+	for _, p := range n.Params() {
+		c += p.Count()
+	}
+	return c
+}
+
+// FLOPsPerSample returns the forward-pass FLOPs of the whole network for
+// a single sample. The performance model charges backward passes at 2x.
+func (n *Network) FLOPsPerSample() float64 {
+	var f float64
+	for _, l := range n.layers {
+		f += l.FLOPsPerSample()
+	}
+	return f
+}
+
+// Predict returns the class index with the highest logit for each row.
+func (n *Network) Predict(x *tensor.Matrix) []int {
+	return n.Forward(x, false).ArgmaxRows()
+}
+
+// Accuracy evaluates classification accuracy on (x, labels).
+func (n *Network) Accuracy(x *tensor.Matrix, labels []int) float64 {
+	if x.Rows == 0 || len(labels) != x.Rows {
+		return 0
+	}
+	pred := n.Predict(x)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// Layers exposes the layer slice for inspection (read-only use).
+func (n *Network) Layers() []Layer { return n.layers }

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a serialisable view of a network's trained parameters.
+// The tuning server hands the user a trained model (§3.1's output);
+// Snapshot/Restore are how that model leaves and re-enters the process.
+// Layer topology is not serialised — the workload rebuilds the same
+// architecture from the winning configuration, then restores weights.
+type Snapshot struct {
+	// Params holds every parameter tensor in network order.
+	Params []ParamSnapshot `json:"params"`
+}
+
+// ParamSnapshot is one parameter tensor.
+type ParamSnapshot struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// Snapshot captures the network's current parameters.
+func (n *Network) Snapshot() Snapshot {
+	params := n.Params()
+	s := Snapshot{Params: make([]ParamSnapshot, len(params))}
+	for i, p := range params {
+		data := make([]float64, len(p.W.Data))
+		copy(data, p.W.Data)
+		s.Params[i] = ParamSnapshot{Rows: p.W.Rows, Cols: p.W.Cols, Data: data}
+	}
+	return s
+}
+
+// Restore loads a snapshot into the network. The network must have the
+// same architecture (same parameter shapes in the same order).
+func (n *Network) Restore(s Snapshot) error {
+	params := n.Params()
+	if len(params) != len(s.Params) {
+		return fmt.Errorf("nn: snapshot has %d tensors, network has %d", len(s.Params), len(params))
+	}
+	for i, p := range params {
+		ps := s.Params[i]
+		if ps.Rows != p.W.Rows || ps.Cols != p.W.Cols {
+			return fmt.Errorf("nn: tensor %d shape %dx%d does not match network %dx%d",
+				i, ps.Rows, ps.Cols, p.W.Rows, p.W.Cols)
+		}
+		if len(ps.Data) != ps.Rows*ps.Cols {
+			return fmt.Errorf("nn: tensor %d has %d values for shape %dx%d",
+				i, len(ps.Data), ps.Rows, ps.Cols)
+		}
+		copy(p.W.Data, ps.Data)
+	}
+	return nil
+}
+
+// Save writes the network's parameters as JSON.
+func (n *Network) Save(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(n.Snapshot()); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads parameters written by Save into the network.
+func (n *Network) Load(r io.Reader) error {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	return n.Restore(s)
+}

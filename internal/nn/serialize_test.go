@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"edgetune/internal/sim"
+	"edgetune/internal/tensor"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(1)
+	x, labels := blobs(100, rng)
+	net := mlp(t, rng, 2, 8, 2)
+	if _, err := Train(net, x, labels, TrainConfig{Epochs: 5, BatchSize: 16, LR: 0.1, Momentum: 0.9}, rng); err != nil {
+		t.Fatal(err)
+	}
+	accBefore := net.Accuracy(x, labels)
+
+	snap := net.Snapshot()
+
+	// A fresh network with the same topology but different weights.
+	fresh := mlp(t, sim.NewRNG(99), 2, 8, 2)
+	if fresh.Accuracy(x, labels) == accBefore {
+		t.Skip("fresh network coincidentally equal; change seed")
+	}
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Accuracy(x, labels); got != accBefore {
+		t.Errorf("restored accuracy %.3f != original %.3f", got, accBefore)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	rng := sim.NewRNG(2)
+	net := mlp(t, rng, 2, 2)
+	snap := net.Snapshot()
+	orig := snap.Params[0].Data[0]
+	net.Params()[0].W.Data[0] = orig + 42
+	if snap.Params[0].Data[0] != orig {
+		t.Error("snapshot shares storage with the network")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	rng := sim.NewRNG(3)
+	net := mlp(t, rng, 2, 4, 2)
+	other := mlp(t, rng, 2, 8, 2) // different hidden width
+
+	if err := net.Restore(other.Snapshot()); err == nil {
+		t.Error("mismatched shapes accepted")
+	}
+	small := mlp(t, rng, 2, 2)
+	if err := net.Restore(small.Snapshot()); err == nil {
+		t.Error("mismatched tensor count accepted")
+	}
+	bad := net.Snapshot()
+	bad.Params[0].Data = bad.Params[0].Data[:1]
+	if err := net.Restore(bad); err == nil {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestSaveLoadJSON(t *testing.T) {
+	rng := sim.NewRNG(5)
+	net := mlp(t, rng, 3, 5, 2)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mlp(t, sim.NewRNG(77), 3, 5, 2)
+	if err := fresh.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range net.Params() {
+		q := fresh.Params()[i]
+		if !tensor.Equal(p.W, q.W, 0) {
+			t.Fatalf("tensor %d differs after save/load", i)
+		}
+	}
+	if err := fresh.Load(strings.NewReader("{broken")); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+}
+
+func TestLayerNormForward(t *testing.T) {
+	ln := NewLayerNorm(4)
+	x, _ := tensor.FromSlice(2, 4, []float64{1, 2, 3, 4, -10, 0, 10, 20})
+	out := ln.Forward(x, false)
+	for i := 0; i < out.Rows; i++ {
+		var mean, variance float64
+		for _, v := range out.Row(i) {
+			mean += v
+		}
+		mean /= 4
+		for _, v := range out.Row(i) {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= 4
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("row %d mean = %v, want 0 (identity affine)", i, mean)
+		}
+		if math.Abs(variance-1) > 1e-3 {
+			t.Errorf("row %d variance = %v, want ~1", i, variance)
+		}
+	}
+}
+
+func TestLayerNormGradientCheck(t *testing.T) {
+	rng := sim.NewRNG(11)
+	net, err := NewNetwork(
+		NewDense(3, 4, rng),
+		NewLayerNorm(4),
+		NewReLU(),
+		NewDense(4, 2, rng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(5, 3, 1, rng)
+	labels := []int{0, 1, 0, 1, 1}
+
+	lossAt := func() float64 {
+		logits := net.Forward(x, false)
+		loss, _, err := SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	net.ZeroGrad()
+	logits := net.Forward(x, true)
+	_, grad, err := SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Backward(grad)
+
+	const eps = 1e-5
+	for pi, p := range net.Params() {
+		for _, i := range []int{0, len(p.W.Data) / 2, len(p.W.Data) - 1} {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp := lossAt()
+			p.W.Data[i] = orig - eps
+			lm := lossAt()
+			p.W.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-p.Grad.Data[i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Errorf("param %d idx %d: numeric %v vs analytic %v", pi, i, numeric, p.Grad.Data[i])
+			}
+		}
+	}
+}
+
+func TestLayerNormTrains(t *testing.T) {
+	rng := sim.NewRNG(13)
+	x, labels := blobs(200, rng)
+	net, err := NewNetwork(
+		NewDense(2, 8, rng),
+		NewLayerNorm(8),
+		NewReLU(),
+		NewDense(8, 2, rng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(net, x, labels, TrainConfig{Epochs: 10, BatchSize: 16, LR: 0.1, Momentum: 0.9, Shuffle: true}, rng); err != nil {
+		t.Fatal(err)
+	}
+	if acc := net.Accuracy(x, labels); acc < 0.95 {
+		t.Errorf("layernorm network accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestLayerNormMetadata(t *testing.T) {
+	ln := NewLayerNorm(16)
+	if got := ln.OutDim(16); got != 16 {
+		t.Errorf("OutDim = %d", got)
+	}
+	if got := ln.FLOPsPerSample(); got != 80 {
+		t.Errorf("FLOPs = %v, want 80", got)
+	}
+	if len(ln.Params()) != 2 {
+		t.Error("layernorm should expose gamma and beta")
+	}
+}

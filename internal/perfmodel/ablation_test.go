@@ -1,0 +1,194 @@
+package perfmodel
+
+// Ablation studies for the performance model's design choices
+// (DESIGN.md §5): each mechanism is disabled in isolation and the test
+// asserts that the corresponding paper shape disappears — evidence that
+// the mechanism, and nothing else, produces the behaviour.
+
+import (
+	"testing"
+	"time"
+)
+
+func ablTrain(batch, gpus int) TrainSpec {
+	return TrainSpec{
+		FLOPsPerSample: 5.6e8,
+		Params:         11e6,
+		Samples:        50000,
+		Epochs:         10,
+		BatchSize:      batch,
+		GPUs:           gpus,
+	}
+}
+
+func trainDur(t *testing.T, spec TrainSpec, prof GPUProfile) time.Duration {
+	t.Helper()
+	c, err := TrainingCost(spec, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Duration
+}
+
+// Without the communication term, small-batch multi-GPU training would
+// wrongly speed up — the Figure 4a inversion comes from communication.
+func TestAblationCommunicationCausesFig4a(t *testing.T) {
+	noComm := TitanRTX()
+	noComm.CommSecPerStepPerGPU = 0
+
+	full1 := trainDur(t, ablTrain(32, 1), TitanRTX())
+	full8 := trainDur(t, ablTrain(32, 8), TitanRTX())
+	if full8 <= full1 {
+		t.Fatal("baseline lost the Figure 4a inversion")
+	}
+	abl8 := trainDur(t, ablTrain(32, 8), noComm)
+	abl1 := trainDur(t, ablTrain(32, 1), noComm)
+	if abl8 >= abl1 {
+		t.Errorf("without communication, 8 GPUs should be faster: %v vs %v", abl8, abl1)
+	}
+}
+
+// Without the parallel-efficiency exponent, large-batch scaling would be
+// nearly ideal — the sublinearity of Figure 4b needs it.
+func TestAblationEfficiencyExponentCausesSublinearity(t *testing.T) {
+	ideal := TitanRTX()
+	ideal.ParallelEffExp = 0
+	ideal.CommSecPerStepPerGPU = 0
+
+	d1 := trainDur(t, ablTrain(1024, 1), ideal)
+	d8 := trainDur(t, ablTrain(1024, 8), ideal)
+	speedup := d1.Seconds() / d8.Seconds()
+	if speedup < 7 {
+		t.Errorf("ideal profile speedup = %.2f, expected near-linear (>7)", speedup)
+	}
+
+	real1 := trainDur(t, ablTrain(1024, 1), TitanRTX())
+	real8 := trainDur(t, ablTrain(1024, 8), TitanRTX())
+	if s := real1.Seconds() / real8.Seconds(); s >= 7 {
+		t.Errorf("full model speedup = %.2f, want sublinear", s)
+	}
+}
+
+// Without the memory knee, batch 1024 would be as fast as 256 — the
+// Figure 3a slowdown comes from memory pressure.
+func TestAblationMemoryKneeCausesFig3a(t *testing.T) {
+	noKnee := TitanRTX()
+	noKnee.MemPressureFactor = 0
+
+	d256 := trainDur(t, ablTrain(256, 1), noKnee)
+	d1024 := trainDur(t, ablTrain(1024, 1), noKnee)
+	if ratio := d1024.Seconds() / d256.Seconds(); ratio > 1.05 {
+		t.Errorf("without the knee, 1024 vs 256 ratio = %.3f, want ~1", ratio)
+	}
+}
+
+// Without the batch-fill utilisation term, 256 and 512 would consume the
+// same energy — the Figure 3a energy gap needs it.
+func TestAblationBatchFillCausesEnergyGap(t *testing.T) {
+	noFill := TitanRTX()
+	noFill.UtilBatchRef = 0
+
+	c256, err := TrainingCost(ablTrain(256, 1), noFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c512, err := TrainingCost(ablTrain(512, 1), noFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := c512.EnergyJ / c256.EnergyJ
+	if gap > 1.02 {
+		t.Errorf("without batch fill, energy gap = %.3f, want ~1", gap)
+	}
+}
+
+func ablCPU() CPUProfile {
+	return CPUProfile{
+		Name: "abl", MaxCores: 4, FlopsPerCorePerGHz: 4e9,
+		MinFreqGHz: 1.2, MaxFreqGHz: 3.5,
+		MemBytesPerSec: 1.2e10, BytesPerFLOP: 0.42,
+		BatchSetupSec: 0.005, MemBatchKnee: 40, MemPressureFactor: 0.8,
+		IdlePowerW: 2, CorePowerW: 3.5,
+	}
+}
+
+func ablInfer(batch, cores int) InferSpec {
+	return InferSpec{FLOPsPerSample: 5.6e8, Params: 11e6, BatchSize: batch, Cores: cores, FreqGHz: 3.5}
+}
+
+// Without the memory-bandwidth roofline, 4 cores would clearly beat 2 at
+// batch 10 — the Figure 5b knee is the roofline.
+func TestAblationRooflineCausesFig5bKnee(t *testing.T) {
+	unbounded := ablCPU()
+	unbounded.MemBytesPerSec = 1e15
+
+	r2, err := InferenceCost(ablInfer(10, 2), unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := InferenceCost(ablInfer(10, 4), unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := r4.Throughput / r2.Throughput; gain < 1.3 {
+		t.Errorf("without the roofline, 4-core gain = %.2f, want clearly above 1.3", gain)
+	}
+}
+
+// Without the per-batch setup cost, batching would not pay off at all —
+// Figure 3b's rise needs the setup amortisation.
+func TestAblationSetupCostCausesBatchingGain(t *testing.T) {
+	noSetup := ablCPU()
+	noSetup.BatchSetupSec = 0
+
+	r1, err := InferenceCost(ablInfer(1, 4), noSetup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := InferenceCost(ablInfer(10, 4), noSetup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some gain remains (sample-level parallelism), but the setup term
+	// is the dominant effect at small batches on the full profile.
+	gainWithout := r10.Throughput / r1.Throughput
+
+	f1, err := InferenceCost(ablInfer(1, 4), ablCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := InferenceCost(ablInfer(10, 4), ablCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gainWith := f10.Throughput / f1.Throughput
+	if gainWith <= gainWithout {
+		t.Errorf("setup cost should amplify the batching gain: %.2f (with) vs %.2f (without)",
+			gainWith, gainWithout)
+	}
+}
+
+// Benchmarks for the ablation variants, so `-bench` surfaces the cost of
+// each modelling term.
+func BenchmarkTrainingCostFull(b *testing.B) {
+	spec := ablTrain(256, 4)
+	prof := TitanRTX()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainingCost(spec, prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainingCostNoComm(b *testing.B) {
+	spec := ablTrain(256, 4)
+	prof := TitanRTX()
+	prof.CommSecPerStepPerGPU = 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainingCost(spec, prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

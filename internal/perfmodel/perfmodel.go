@@ -1,0 +1,346 @@
+// Package perfmodel is the analytic hardware performance model standing
+// in for the paper's physical testbed (Titan RTX training server and CPU
+// edge devices). It charges simulated runtime and energy for training
+// and inference runs, calibrated so that the qualitative shapes the
+// paper's motivation figures document hold:
+//
+//   - Figure 2: deeper models train slower and cost more energy; their
+//     inference throughput drops while per-image energy rises.
+//   - Figure 3a: very large training batches (1024) hit GPU memory
+//     pressure and get slower AND more energy-hungry, while 256 and 512
+//     have similar runtime but different energy.
+//   - Figure 3b: inference throughput rises with batch size, saturates,
+//     and decays past the device's sweet spot.
+//   - Figure 4: with small batches, adding GPUs *increases* runtime
+//     (communication-bound) and energy; with large batches runtime
+//     improves sublinearly while energy still grows.
+//   - Figure 5: single-sample inference does not speed up with cores but
+//     burns more power; multi-sample inference scales with cores into a
+//     memory-bandwidth knee (4 cores barely beat 2).
+//
+// All model constants are exported profile fields so tests and ablation
+// benchmarks can perturb them.
+package perfmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Cost is a simulated (duration, energy) charge.
+type Cost struct {
+	Duration time.Duration
+	// EnergyJ is the energy in joules.
+	EnergyJ float64
+}
+
+// KJ reports the energy in kilojoules, the unit of the paper's tuning
+// figures.
+func (c Cost) KJ() float64 { return c.EnergyJ / 1000 }
+
+// Add accumulates another cost.
+func (c Cost) Add(other Cost) Cost {
+	return Cost{Duration: c.Duration + other.Duration, EnergyJ: c.EnergyJ + other.EnergyJ}
+}
+
+// --- Training (GPU server) -------------------------------------------------
+
+// GPUProfile models the tuning server's accelerator node.
+type GPUProfile struct {
+	Name string
+	// FlopsPerSec is the effective sustained throughput of one GPU.
+	FlopsPerSec float64
+	// MaxGPUs bounds the system-parameter search.
+	MaxGPUs int
+	// CommSecPerStepPerGPU is the gradient-synchronisation cost added
+	// per optimiser step per additional GPU (all-reduce latency).
+	CommSecPerStepPerGPU float64
+	// StepOverheadSec is the fixed kernel-launch/host overhead per step.
+	StepOverheadSec float64
+	// ParallelEffExp is the exponent loss of multi-GPU scaling: g GPUs
+	// deliver g^(1-ParallelEffExp) of one GPU's compute rate, modelling
+	// stragglers and kernel-splitting inefficiency.
+	ParallelEffExp float64
+	// MemBatchKnee is the global batch size beyond which memory
+	// pressure degrades throughput.
+	MemBatchKnee float64
+	// MemPressureFactor scales the quadratic slowdown past the knee.
+	MemPressureFactor float64
+	// UtilBatchRef is the batch size at which the GPUs reach full
+	// dynamic-power utilisation; smaller batches under-fill the device.
+	UtilBatchRef float64
+	// IdlePowerW is the host's baseline power draw.
+	IdlePowerW float64
+	// GPUIdlePowerW is each installed GPU's baseline draw.
+	GPUIdlePowerW float64
+	// GPUDynamicPowerW is each GPU's additional draw at full utilisation.
+	GPUDynamicPowerW float64
+}
+
+// TitanRTX returns the profile of the paper's training testbed,
+// calibrated so a ResNet18-class CIFAR10 training run lands in the
+// paper's tens-of-minutes range.
+func TitanRTX() GPUProfile {
+	return GPUProfile{
+		Name:                 "titan-rtx",
+		FlopsPerSec:          6e11,
+		MaxGPUs:              8,
+		CommSecPerStepPerGPU: 0.025,
+		StepOverheadSec:      0.002,
+		ParallelEffExp:       0.35,
+		MemBatchKnee:         600,
+		MemPressureFactor:    2.2,
+		UtilBatchRef:         512,
+		IdlePowerW:           60,
+		GPUIdlePowerW:        15,
+		GPUDynamicPowerW:     105,
+	}
+}
+
+// TrainSpec describes one training run at paper scale.
+type TrainSpec struct {
+	// FLOPsPerSample is the forward-pass cost of the paper-scale model
+	// this trial emulates (the backward pass is charged at 2x).
+	FLOPsPerSample float64
+	// Params is the paper-scale parameter count (drives communication).
+	Params float64
+	// Samples is the number of paper-scale samples per epoch after the
+	// dataset-fraction budget is applied.
+	Samples float64
+	// Epochs is the number of passes.
+	Epochs int
+	// BatchSize is the training mini-batch size.
+	BatchSize int
+	// GPUs is the number of accelerators used.
+	GPUs int
+}
+
+func (s TrainSpec) validate(p GPUProfile) error {
+	switch {
+	case s.FLOPsPerSample <= 0:
+		return fmt.Errorf("perfmodel: FLOPsPerSample %v must be positive", s.FLOPsPerSample)
+	case s.Samples <= 0:
+		return fmt.Errorf("perfmodel: Samples %v must be positive", s.Samples)
+	case s.Epochs < 1:
+		return fmt.Errorf("perfmodel: Epochs %d must be >= 1", s.Epochs)
+	case s.BatchSize < 1:
+		return fmt.Errorf("perfmodel: BatchSize %d must be >= 1", s.BatchSize)
+	case s.GPUs < 1:
+		return fmt.Errorf("perfmodel: GPUs %d must be >= 1", s.GPUs)
+	case p.MaxGPUs > 0 && s.GPUs > p.MaxGPUs:
+		return fmt.Errorf("perfmodel: GPUs %d exceeds profile max %d", s.GPUs, p.MaxGPUs)
+	}
+	return nil
+}
+
+// TrainingCost returns the simulated duration and energy of a training
+// run on the profile.
+//
+// The compute term is roofline-style: 3x forward FLOPs (fw + bw) divided
+// across GPUs, inflated quadratically once the per-GPU batch exceeds the
+// memory knee. The communication term charges one all-reduce per step
+// per extra GPU, which makes small-batch multi-GPU training
+// communication-bound — the Figure 4a effect.
+func TrainingCost(spec TrainSpec, prof GPUProfile) (Cost, error) {
+	if err := spec.validate(prof); err != nil {
+		return Cost{}, err
+	}
+	totalSamples := spec.Samples * float64(spec.Epochs)
+	steps := totalSamples / float64(spec.BatchSize)
+	if steps < 1 {
+		steps = 1
+	}
+	flops := 3 * spec.FLOPsPerSample * totalSamples
+
+	// Memory pressure: a global batch past the knee slows compute
+	// (activation working set exceeds device memory headroom).
+	slowdown := 1.0
+	if b := float64(spec.BatchSize); b > prof.MemBatchKnee {
+		over := b/prof.MemBatchKnee - 1
+		slowdown += prof.MemPressureFactor * over * over
+	}
+
+	// Multi-GPU compute scales as g^(1-δ), not g.
+	effGPUs := math.Pow(float64(spec.GPUs), 1-prof.ParallelEffExp)
+	computeSec := flops * slowdown / (prof.FlopsPerSec * effGPUs)
+	commSec := steps * prof.CommSecPerStepPerGPU * float64(spec.GPUs-1) * commScale(spec.Params)
+	overheadSec := steps * prof.StepOverheadSec
+	totalSec := computeSec + commSec + overheadSec
+
+	// Utilisation: fraction of wall time the GPUs spend computing,
+	// further reduced when small batches under-fill the device.
+	util := computeSec / totalSec
+	if prof.UtilBatchRef > 0 {
+		fill := float64(spec.BatchSize) / prof.UtilBatchRef
+		if fill > 1 {
+			fill = 1
+		}
+		util *= 0.6 + 0.4*fill
+	}
+	power := prof.IdlePowerW + float64(spec.GPUs)*(prof.GPUIdlePowerW+prof.GPUDynamicPowerW*util)
+	return Cost{
+		Duration: secondsToDuration(totalSec),
+		EnergyJ:  power * totalSec,
+	}, nil
+}
+
+// commScale grows the all-reduce cost mildly with model size, normalised
+// to a ~11M-parameter ResNet18-class model.
+func commScale(params float64) float64 {
+	if params <= 0 {
+		return 1
+	}
+	return 0.5 + 0.5*(params/11e6)
+}
+
+// --- Inference (edge CPU) ----------------------------------------------------
+
+// CPUProfile models an edge inference device.
+type CPUProfile struct {
+	Name string
+	// MaxCores is the number of physical cores.
+	MaxCores int
+	// FlopsPerCorePerGHz is the per-core, per-GHz effective throughput.
+	FlopsPerCorePerGHz float64
+	// MinFreqGHz and MaxFreqGHz bound the frequency system parameter.
+	MinFreqGHz, MaxFreqGHz float64
+	// MemBytesPerSec is the memory bandwidth ceiling.
+	MemBytesPerSec float64
+	// BytesPerFLOP approximates the model's memory traffic per FLOP
+	// during inference (weights streaming dominates at batch 1).
+	BytesPerFLOP float64
+	// BatchSetupSec is the fixed per-batch dispatch overhead; it is what
+	// makes batching pay off.
+	BatchSetupSec float64
+	// MemBatchKnee is the batch size beyond which activations thrash the
+	// device's small memory.
+	MemBatchKnee float64
+	// MemPressureFactor scales the slowdown past the knee.
+	MemPressureFactor float64
+	// IdlePowerW is the device's baseline draw.
+	IdlePowerW float64
+	// CorePowerW is each active core's additional draw at the reference
+	// 1 GHz; dynamic power scales ~quadratically with frequency.
+	CorePowerW float64
+}
+
+// InferSpec describes one inference configuration at paper scale.
+type InferSpec struct {
+	// FLOPsPerSample is the paper-scale forward cost per sample.
+	FLOPsPerSample float64
+	// Params is the paper-scale parameter count (memory footprint).
+	Params float64
+	// BatchSize is the number of samples per inference call.
+	BatchSize int
+	// Cores is the number of cores enabled.
+	Cores int
+	// FreqGHz is the configured clock frequency.
+	FreqGHz float64
+}
+
+func (s InferSpec) validate(p CPUProfile) error {
+	switch {
+	case s.FLOPsPerSample <= 0:
+		return fmt.Errorf("perfmodel: FLOPsPerSample %v must be positive", s.FLOPsPerSample)
+	case s.BatchSize < 1:
+		return fmt.Errorf("perfmodel: BatchSize %d must be >= 1", s.BatchSize)
+	case s.Cores < 1:
+		return fmt.Errorf("perfmodel: Cores %d must be >= 1", s.Cores)
+	case s.Cores > p.MaxCores:
+		return fmt.Errorf("perfmodel: Cores %d exceeds device max %d", s.Cores, p.MaxCores)
+	case s.FreqGHz < p.MinFreqGHz || s.FreqGHz > p.MaxFreqGHz:
+		return fmt.Errorf("perfmodel: FreqGHz %v out of [%v, %v]", s.FreqGHz, p.MinFreqGHz, p.MaxFreqGHz)
+	}
+	return nil
+}
+
+// InferResult reports the emulated inference performance of one
+// configuration.
+type InferResult struct {
+	// BatchLatency is the time to process one batch.
+	BatchLatency time.Duration
+	// Throughput is samples per second.
+	Throughput float64
+	// EnergyPerSampleJ is joules per sample, the paper's J/img metric.
+	EnergyPerSampleJ float64
+	// PowerW is the average power draw while processing.
+	PowerW float64
+}
+
+// InferenceCost evaluates an inference configuration on a device.
+//
+// Per-sample work can only exploit multiple cores when a batch offers
+// sample-level parallelism (Amdahl with parallel fraction growing in the
+// batch size); the memory-bandwidth roofline then caps multi-core gains
+// — together these yield the Figure 5 shapes. A fixed per-batch setup
+// cost makes batching pay off until the memory knee reverses it —
+// the Figure 3b shape.
+func InferenceCost(spec InferSpec, prof CPUProfile) (InferResult, error) {
+	if err := spec.validate(prof); err != nil {
+		return InferResult{}, err
+	}
+	batch := float64(spec.BatchSize)
+	flopsPerBatch := spec.FLOPsPerSample * batch
+
+	// Parallel fraction: one sample is mostly sequential layer-by-layer
+	// work; a batch parallelises across samples.
+	parallel := (batch - 1 + 0.15) / (batch + 0.15)
+	cores := float64(spec.Cores)
+	amdahl := 1 / ((1 - parallel) + parallel/cores)
+
+	computeRate := prof.FlopsPerCorePerGHz * spec.FreqGHz // one core
+	computeSec := flopsPerBatch / (computeRate * amdahl)
+
+	// Memory roofline: weights stream once per batch; activations scale
+	// with batch.
+	trafficBytes := spec.Params*4 + flopsPerBatch*prof.BytesPerFLOP
+	memSec := trafficBytes / prof.MemBytesPerSec
+
+	sec := computeSec
+	if memSec > sec {
+		sec = memSec
+	}
+	// Memory pressure past the batch knee (activations exceed cache).
+	if batch > prof.MemBatchKnee {
+		over := batch/prof.MemBatchKnee - 1
+		sec *= 1 + prof.MemPressureFactor*over*over
+	}
+	sec += prof.BatchSetupSec
+
+	// Power: enabled cores draw dynamic power scaled by f² (voltage
+	// tracks frequency), modulated by how busy they are. Utilisation is
+	// the single-core compute time spread across the enabled cores for
+	// the batch's wall time.
+	util := (flopsPerBatch / computeRate) / (cores * sec)
+	if util > 1 {
+		util = 1
+	}
+	freqScale := (spec.FreqGHz / prof.MaxFreqGHz) * (spec.FreqGHz / prof.MaxFreqGHz)
+	power := prof.IdlePowerW + cores*prof.CorePowerW*freqScale*(0.35+0.65*util)
+
+	energy := power * sec
+	return InferResult{
+		BatchLatency:     secondsToDuration(sec),
+		Throughput:       batch / sec,
+		EnergyPerSampleJ: energy / batch,
+		PowerW:           power,
+	}, nil
+}
+
+// secondsToDuration converts seconds to time.Duration, guarding against
+// overflow for pathological inputs.
+func secondsToDuration(sec float64) time.Duration {
+	const maxSec = float64(1<<62) / float64(time.Second)
+	if sec > maxSec {
+		sec = maxSec
+	}
+	if sec < 0 {
+		sec = 0
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// ErrUnknownDevice is returned by profile lookups for unknown names.
+var ErrUnknownDevice = errors.New("perfmodel: unknown device")

@@ -1,0 +1,357 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edgetune/internal/sim"
+)
+
+// refTrain is a ResNet18-class CIFAR10 training run: 50k samples, 10
+// epochs (the reference configuration of the motivation figures).
+func refTrain() TrainSpec {
+	return TrainSpec{
+		FLOPsPerSample: 5.6e8,
+		Params:         11e6,
+		Samples:        50000,
+		Epochs:         10,
+		BatchSize:      32,
+		GPUs:           1,
+	}
+}
+
+// testCPU is a 4-core edge device calibrated like the i7 testbed node.
+func testCPU() CPUProfile {
+	return CPUProfile{
+		Name:               "test-cpu",
+		MaxCores:           4,
+		FlopsPerCorePerGHz: 4e9,
+		MinFreqGHz:         1.2,
+		MaxFreqGHz:         3.5,
+		MemBytesPerSec:     1.2e10,
+		BytesPerFLOP:       0.42,
+		BatchSetupSec:      0.005,
+		MemBatchKnee:       40,
+		MemPressureFactor:  0.8,
+		IdlePowerW:         2,
+		CorePowerW:         3.5,
+	}
+}
+
+func refInfer(batch, cores int) InferSpec {
+	return InferSpec{
+		FLOPsPerSample: 5.6e8,
+		Params:         11e6,
+		BatchSize:      batch,
+		Cores:          cores,
+		FreqGHz:        3.5,
+	}
+}
+
+func mustTrain(t *testing.T, spec TrainSpec) Cost {
+	t.Helper()
+	c, err := TrainingCost(spec, TitanRTX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustInfer(t *testing.T, spec InferSpec) InferResult {
+	t.Helper()
+	r, err := InferenceCost(spec, testCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTrainSpecValidation(t *testing.T) {
+	base := refTrain()
+	mutate := []func(*TrainSpec){
+		func(s *TrainSpec) { s.FLOPsPerSample = 0 },
+		func(s *TrainSpec) { s.Samples = -1 },
+		func(s *TrainSpec) { s.Epochs = 0 },
+		func(s *TrainSpec) { s.BatchSize = 0 },
+		func(s *TrainSpec) { s.GPUs = 0 },
+		func(s *TrainSpec) { s.GPUs = 99 },
+	}
+	for i, m := range mutate {
+		spec := base
+		m(&spec)
+		if _, err := TrainingCost(spec, TitanRTX()); err == nil {
+			t.Errorf("case %d: invalid spec did not error", i)
+		}
+	}
+}
+
+func TestTrainingBaselineMagnitude(t *testing.T) {
+	// The reference run should land in the paper's tens-of-minutes range.
+	c := mustTrain(t, refTrain())
+	minutes := c.Duration.Minutes()
+	if minutes < 5 || minutes > 120 {
+		t.Errorf("reference training = %.1f min, want 5-120", minutes)
+	}
+	if c.KJ() < 10 || c.KJ() > 2000 {
+		t.Errorf("reference training energy = %.1f kJ, out of plausible band", c.KJ())
+	}
+}
+
+// TestFig2aDepthScaling: training runtime and energy grow with depth.
+func TestFig2aDepthScaling(t *testing.T) {
+	var prev Cost
+	for i, layers := range []float64{18, 34, 50} {
+		spec := refTrain()
+		spec.FLOPsPerSample = layers / 18 * 5.6e8
+		spec.Params = layers / 18 * 11e6
+		c := mustTrain(t, spec)
+		if i > 0 && (c.Duration <= prev.Duration || c.EnergyJ <= prev.EnergyJ) {
+			t.Errorf("depth %v: runtime/energy did not grow (%v vs %v)", layers, c, prev)
+		}
+		prev = c
+	}
+}
+
+// TestFig3aTrainingBatch: 256 and 512 run in similar time but different
+// energy; 1024 is slower and more energy-hungry than both.
+func TestFig3aTrainingBatch(t *testing.T) {
+	cost := func(batch int) Cost {
+		spec := refTrain()
+		spec.BatchSize = batch
+		return mustTrain(t, spec)
+	}
+	c256, c512, c1024 := cost(256), cost(512), cost(1024)
+
+	ratioTime := c256.Duration.Seconds() / c512.Duration.Seconds()
+	if ratioTime < 0.95 || ratioTime > 1.1 {
+		t.Errorf("time(256)/time(512) = %.3f, want ~1", ratioTime)
+	}
+	energyGap := c512.EnergyJ / c256.EnergyJ
+	if energyGap < 1.05 {
+		t.Errorf("energy(512)/energy(256) = %.3f, want distinguishable (>1.05)", energyGap)
+	}
+	if c1024.Duration.Seconds() < 1.3*c512.Duration.Seconds() {
+		t.Errorf("batch 1024 not clearly slower: %v vs %v", c1024.Duration, c512.Duration)
+	}
+	if c1024.EnergyJ <= c512.EnergyJ {
+		t.Error("batch 1024 should cost the most energy")
+	}
+}
+
+// TestFig4aSmallBatchMultiGPU: at batch 32, adding GPUs makes training
+// slower (communication-bound); the paper reports up to ~120% worse.
+func TestFig4aSmallBatchMultiGPU(t *testing.T) {
+	cost := func(gpus int) Cost {
+		spec := refTrain()
+		spec.GPUs = gpus
+		return mustTrain(t, spec)
+	}
+	c1, c4, c8 := cost(1), cost(4), cost(8)
+	if c4.Duration <= c1.Duration {
+		t.Errorf("4 GPUs at batch 32 should be slower: %v vs %v", c4.Duration, c1.Duration)
+	}
+	ratio := c8.Duration.Seconds() / c1.Duration.Seconds()
+	if ratio < 1.8 || ratio > 3.0 {
+		t.Errorf("time(8 GPU)/time(1 GPU) at batch 32 = %.2f, want ~2.2 (+120%%)", ratio)
+	}
+	if c8.EnergyJ <= c1.EnergyJ {
+		t.Error("8 GPUs at batch 32 should cost more energy")
+	}
+}
+
+// TestFig4bLargeBatchMultiGPU: at batch 1024, runtime improves but
+// sublinearly, and energy grows despite the lower runtime.
+func TestFig4bLargeBatchMultiGPU(t *testing.T) {
+	cost := func(gpus int) Cost {
+		spec := refTrain()
+		spec.BatchSize = 1024
+		spec.GPUs = gpus
+		return mustTrain(t, spec)
+	}
+	c1, c8 := cost(1), cost(8)
+	speedup := c1.Duration.Seconds() / c8.Duration.Seconds()
+	if speedup <= 1.5 {
+		t.Errorf("8-GPU speedup at batch 1024 = %.2f, want > 1.5", speedup)
+	}
+	if speedup >= 7 {
+		t.Errorf("8-GPU speedup at batch 1024 = %.2f, want sublinear (< 7)", speedup)
+	}
+	if c8.EnergyJ <= c1.EnergyJ {
+		t.Errorf("energy should grow with GPUs even when faster: %v vs %v J", c8.EnergyJ, c1.EnergyJ)
+	}
+}
+
+func TestInferSpecValidation(t *testing.T) {
+	base := refInfer(10, 2)
+	mutate := []func(*InferSpec){
+		func(s *InferSpec) { s.FLOPsPerSample = 0 },
+		func(s *InferSpec) { s.BatchSize = 0 },
+		func(s *InferSpec) { s.Cores = 0 },
+		func(s *InferSpec) { s.Cores = 16 },
+		func(s *InferSpec) { s.FreqGHz = 0.1 },
+		func(s *InferSpec) { s.FreqGHz = 9 },
+	}
+	for i, m := range mutate {
+		spec := base
+		m(&spec)
+		if _, err := InferenceCost(spec, testCPU()); err == nil {
+			t.Errorf("case %d: invalid spec did not error", i)
+		}
+	}
+}
+
+// TestFig2bInferenceDepth: throughput falls and per-image energy rises
+// with model depth.
+func TestFig2bInferenceDepth(t *testing.T) {
+	var prev InferResult
+	for i, layers := range []float64{18, 34, 50} {
+		spec := refInfer(10, 4)
+		spec.FLOPsPerSample = layers / 18 * 5.6e8
+		spec.Params = layers / 18 * 11e6
+		r := mustInfer(t, spec)
+		if i > 0 {
+			if r.Throughput >= prev.Throughput {
+				t.Errorf("depth %v: throughput did not drop (%v vs %v)", layers, r.Throughput, prev.Throughput)
+			}
+			if r.EnergyPerSampleJ <= prev.EnergyPerSampleJ {
+				t.Errorf("depth %v: J/img did not rise", layers)
+			}
+		}
+		prev = r
+	}
+}
+
+// TestFig3bInferenceBatchSweetSpot: throughput rises from batch 1 to 10,
+// then decays by batch 100; J/img improves with batching then worsens.
+func TestFig3bInferenceBatchSweetSpot(t *testing.T) {
+	r1 := mustInfer(t, refInfer(1, 4))
+	r10 := mustInfer(t, refInfer(10, 4))
+	r100 := mustInfer(t, refInfer(100, 4))
+	if r10.Throughput <= r1.Throughput {
+		t.Errorf("batch 10 throughput %v not above batch 1 %v", r10.Throughput, r1.Throughput)
+	}
+	if r100.Throughput >= r10.Throughput {
+		t.Errorf("batch 100 throughput %v should decay below batch 10 %v", r100.Throughput, r10.Throughput)
+	}
+	if r10.EnergyPerSampleJ >= r1.EnergyPerSampleJ {
+		t.Errorf("batch 10 J/img %v not below batch 1 %v", r10.EnergyPerSampleJ, r1.EnergyPerSampleJ)
+	}
+	if r100.EnergyPerSampleJ <= r10.EnergyPerSampleJ {
+		t.Errorf("batch 100 J/img %v should rise above batch 10 %v", r100.EnergyPerSampleJ, r10.EnergyPerSampleJ)
+	}
+}
+
+// TestFig5aSingleSampleCores: batch-1 throughput is ~flat in cores while
+// energy per image rises.
+func TestFig5aSingleSampleCores(t *testing.T) {
+	r1 := mustInfer(t, refInfer(1, 1))
+	r4 := mustInfer(t, refInfer(1, 4))
+	gain := r4.Throughput / r1.Throughput
+	if gain > 1.25 {
+		t.Errorf("batch-1 core scaling gain = %.2f, want ~flat (<1.25)", gain)
+	}
+	if r4.EnergyPerSampleJ <= r1.EnergyPerSampleJ {
+		t.Errorf("batch-1 energy should rise with cores: %v vs %v", r4.EnergyPerSampleJ, r1.EnergyPerSampleJ)
+	}
+}
+
+// TestFig5bMultiSampleCores: at batch 10, cores help, but 4 cores beat 2
+// by only a small margin (paper: ~9%) while drawing ~33% more power.
+func TestFig5bMultiSampleCores(t *testing.T) {
+	r1 := mustInfer(t, refInfer(10, 1))
+	r2 := mustInfer(t, refInfer(10, 2))
+	r4 := mustInfer(t, refInfer(10, 4))
+	if r2.Throughput <= 1.2*r1.Throughput {
+		t.Errorf("2 cores should clearly beat 1: %v vs %v", r2.Throughput, r1.Throughput)
+	}
+	tpGain := r4.Throughput / r2.Throughput
+	if tpGain < 1.02 || tpGain > 1.3 {
+		t.Errorf("throughput(4)/throughput(2) = %.3f, want small gain ~1.1", tpGain)
+	}
+	powerGain := r4.PowerW / r2.PowerW
+	if powerGain < 1.15 {
+		t.Errorf("power(4)/power(2) = %.3f, want ~1.33", powerGain)
+	}
+	if powerGain/tpGain < 1.1 {
+		t.Errorf("4 cores should be clearly less energy-efficient: power x%.2f vs tp x%.2f", powerGain, tpGain)
+	}
+}
+
+// TestFrequencyScaling: lower frequency means lower throughput but also
+// lower power (the DVFS trade-off the inference tuner explores).
+func TestFrequencyScaling(t *testing.T) {
+	hi := mustInfer(t, refInfer(10, 4))
+	lo := refInfer(10, 4)
+	lo.FreqGHz = 1.2
+	rlo := mustInfer(t, lo)
+	if rlo.Throughput >= hi.Throughput {
+		t.Error("lower frequency should reduce throughput")
+	}
+	if rlo.PowerW >= hi.PowerW {
+		t.Error("lower frequency should reduce power")
+	}
+}
+
+// Property: costs are always non-negative and monotone in work volume.
+func TestCostProperties(t *testing.T) {
+	rng := sim.NewRNG(1)
+	f := func(uint8) bool {
+		spec := TrainSpec{
+			FLOPsPerSample: rng.Range(1e7, 1e10),
+			Params:         rng.Range(1e6, 1e8),
+			Samples:        rng.Range(1000, 200000),
+			Epochs:         1 + rng.Intn(30),
+			BatchSize:      32 << rng.Intn(5),
+			GPUs:           1 + rng.Intn(8),
+		}
+		c, err := TrainingCost(spec, TitanRTX())
+		if err != nil || c.Duration < 0 || c.EnergyJ < 0 {
+			return false
+		}
+		// Doubling epochs must not decrease cost.
+		spec2 := spec
+		spec2.Epochs *= 2
+		c2, err := TrainingCost(spec2, TitanRTX())
+		if err != nil {
+			return false
+		}
+		return c2.Duration >= c.Duration && c2.EnergyJ >= c.EnergyJ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInferenceProperties(t *testing.T) {
+	rng := sim.NewRNG(2)
+	prof := testCPU()
+	f := func(uint8) bool {
+		spec := InferSpec{
+			FLOPsPerSample: rng.Range(1e7, 5e9),
+			Params:         rng.Range(1e6, 5e7),
+			BatchSize:      1 + rng.Intn(128),
+			Cores:          1 + rng.Intn(prof.MaxCores),
+			FreqGHz:        rng.Range(prof.MinFreqGHz, prof.MaxFreqGHz),
+		}
+		r, err := InferenceCost(spec, prof)
+		if err != nil {
+			return false
+		}
+		return r.Throughput > 0 && r.EnergyPerSampleJ > 0 && r.BatchLatency > 0 && r.PowerW > prof.IdlePowerW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostAddAndKJ(t *testing.T) {
+	a := Cost{Duration: 1e9, EnergyJ: 1500}
+	b := Cost{Duration: 2e9, EnergyJ: 500}
+	sum := a.Add(b)
+	if sum.Duration != 3e9 || sum.EnergyJ != 2000 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if sum.KJ() != 2 {
+		t.Errorf("KJ = %v, want 2", sum.KJ())
+	}
+}

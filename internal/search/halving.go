@@ -1,0 +1,143 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Evaluator scores a configuration at a rung's budget level. Lower is
+// better. budget is an abstract fidelity in (0, 1] interpreted by the
+// caller (epoch count, dataset fraction, or both for multi-budget).
+type Evaluator func(ctx context.Context, cfg Config, rung int, budget float64) (float64, error)
+
+// HalvingOptions parameterise successive halving (§2.2 of the paper).
+type HalvingOptions struct {
+	// Eta is the reduction factor η: 1/η of configurations survive each
+	// rung. Must be >= 2.
+	Eta int
+	// InitialConfigs is the population of the first rung.
+	InitialConfigs int
+	// Rungs is the number of promotion rounds.
+	Rungs int
+	// BudgetAt maps a rung index (0-based) to the fidelity passed to the
+	// evaluator. If nil, a geometric schedule budget = η^(rung-Rungs+1)
+	// is used, reaching 1.0 at the final rung.
+	BudgetAt func(rung int) float64
+}
+
+func (o HalvingOptions) validate() error {
+	if o.Eta < 2 {
+		return fmt.Errorf("search: eta %d must be >= 2", o.Eta)
+	}
+	if o.InitialConfigs < 1 {
+		return fmt.Errorf("search: initial configs %d must be >= 1", o.InitialConfigs)
+	}
+	if o.Rungs < 1 {
+		return fmt.Errorf("search: rungs %d must be >= 1", o.Rungs)
+	}
+	return nil
+}
+
+func (o HalvingOptions) budgetAt(rung int) float64 {
+	if o.BudgetAt != nil {
+		return o.BudgetAt(rung)
+	}
+	return math.Pow(float64(o.Eta), float64(rung-o.Rungs+1))
+}
+
+// Result is the outcome of a completed search.
+type Result struct {
+	Best    Observation
+	History []Observation
+	// TrialsRun counts evaluator invocations.
+	TrialsRun int
+}
+
+// SuccessiveHalving runs the multi-fidelity halving loop: rung 0 draws
+// InitialConfigs from the sampler at the smallest budget; each subsequent
+// rung re-evaluates the best 1/η at a larger budget. Every evaluation is
+// fed back to the sampler, so a TPE sampler refines its model as rungs
+// progress (this combination is BOHB).
+func SuccessiveHalving(ctx context.Context, sampler Sampler, eval Evaluator, opts HalvingOptions) (Result, error) {
+	var res Result
+	if err := opts.validate(); err != nil {
+		return res, err
+	}
+	type entry struct {
+		cfg   Config
+		score float64
+	}
+	population := make([]entry, 0, opts.InitialConfigs)
+	for i := 0; i < opts.InitialConfigs; i++ {
+		population = append(population, entry{cfg: sampler.Sample()})
+	}
+	res.Best = Observation{Score: math.Inf(1)}
+
+	for rung := 0; rung < opts.Rungs && len(population) > 0; rung++ {
+		budget := opts.budgetAt(rung)
+		for i := range population {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			score, err := eval(ctx, population[i].cfg, rung, budget)
+			if err != nil {
+				return res, fmt.Errorf("rung %d: %w", rung, err)
+			}
+			population[i].score = score
+			obs := Observation{Config: population[i].cfg, Score: score, Budget: budget}
+			sampler.Observe(obs)
+			res.History = append(res.History, obs)
+			res.TrialsRun++
+			if score < res.Best.Score {
+				res.Best = obs
+			}
+		}
+		// Promote the top 1/η.
+		sort.Slice(population, func(i, j int) bool { return population[i].score < population[j].score })
+		keep := len(population) / opts.Eta
+		if keep < 1 {
+			keep = 1
+		}
+		population = population[:keep]
+	}
+	if math.IsInf(res.Best.Score, 1) {
+		return res, fmt.Errorf("search: no successful trials")
+	}
+	return res, nil
+}
+
+// HyperBand runs multiple successive-halving brackets trading off the
+// number of configurations against per-configuration budget (Li et al.
+// 2017). maxRungs bounds the deepest bracket.
+func HyperBand(ctx context.Context, sampler Sampler, eval Evaluator, eta, maxRungs int) (Result, error) {
+	var total Result
+	total.Best = Observation{Score: math.Inf(1)}
+	if eta < 2 {
+		return total, fmt.Errorf("search: eta %d must be >= 2", eta)
+	}
+	if maxRungs < 1 {
+		return total, fmt.Errorf("search: maxRungs %d must be >= 1", maxRungs)
+	}
+	for bracket := maxRungs; bracket >= 1; bracket-- {
+		n := int(math.Pow(float64(eta), float64(bracket-1)))
+		res, err := SuccessiveHalving(ctx, sampler, eval, HalvingOptions{
+			Eta:            eta,
+			InitialConfigs: n,
+			Rungs:          bracket,
+			BudgetAt: func(rung int) float64 {
+				return math.Pow(float64(eta), float64(rung-bracket+1))
+			},
+		})
+		if err != nil {
+			return total, fmt.Errorf("bracket %d: %w", bracket, err)
+		}
+		total.History = append(total.History, res.History...)
+		total.TrialsRun += res.TrialsRun
+		if res.Best.Score < total.Best.Score {
+			total.Best = res.Best
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,335 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"edgetune/internal/sim"
+)
+
+// Observation records the score a configuration achieved at a budget
+// level. Lower scores are better (all EdgeTune objectives are
+// minimised).
+type Observation struct {
+	Config Config
+	Score  float64
+	Budget float64
+}
+
+// Sampler proposes configurations and learns from observations. All
+// implementations are safe for concurrent use.
+type Sampler interface {
+	// Name identifies the strategy ("random", "grid", "bohb").
+	Name() string
+	// Sample proposes one configuration.
+	Sample() Config
+	// Observe feeds back a completed trial result.
+	Observe(obs Observation)
+}
+
+// --- Random search -------------------------------------------------------
+
+// RandomSampler draws configurations uniformly (Bergstra & Bengio 2012),
+// one of the paper's pluggable strategies.
+type RandomSampler struct {
+	mu    sync.Mutex
+	space *Space
+	rng   *sim.RNG
+}
+
+// NewRandomSampler creates a uniform sampler over space.
+func NewRandomSampler(space *Space, seed uint64) *RandomSampler {
+	return &RandomSampler{space: space, rng: sim.NewRNG(seed)}
+}
+
+// Name returns "random".
+func (r *RandomSampler) Name() string { return "random" }
+
+// Sample draws a uniform configuration.
+func (r *RandomSampler) Sample() Config {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.space.Sample(r.rng)
+}
+
+// Observe is a no-op: random search does not learn.
+func (r *RandomSampler) Observe(Observation) {}
+
+// --- Grid search ---------------------------------------------------------
+
+// GridSampler exhaustively enumerates a lattice over the space, cycling
+// when exhausted. PointsPerDim controls the lattice resolution of
+// continuous parameters.
+type GridSampler struct {
+	mu   sync.Mutex
+	grid []Config
+	next int
+}
+
+// NewGridSampler enumerates the full cartesian grid. It returns an error
+// if the grid would exceed maxPoints (guarding against combinatorial
+// explosion).
+func NewGridSampler(space *Space, pointsPerDim, maxPoints int) (*GridSampler, error) {
+	values := make([][]float64, space.Dim())
+	total := 1
+	for i, p := range space.Params() {
+		values[i] = p.GridValues(pointsPerDim)
+		total *= len(values[i])
+		if total > maxPoints {
+			return nil, fmt.Errorf("search: grid of %d+ points exceeds cap %d", total, maxPoints)
+		}
+	}
+	grid := make([]Config, 0, total)
+	idx := make([]int, space.Dim())
+	for {
+		cfg := make(Config, space.Dim())
+		for i, p := range space.Params() {
+			cfg[p.Name] = values[i][idx[i]]
+		}
+		grid = append(grid, cfg)
+		// Odometer increment.
+		d := 0
+		for d < len(idx) {
+			idx[d]++
+			if idx[d] < len(values[d]) {
+				break
+			}
+			idx[d] = 0
+			d++
+		}
+		if d == len(idx) {
+			break
+		}
+	}
+	return &GridSampler{grid: grid}, nil
+}
+
+// Name returns "grid".
+func (g *GridSampler) Name() string { return "grid" }
+
+// Sample returns the next lattice point, cycling at the end.
+func (g *GridSampler) Sample() Config {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cfg := g.grid[g.next%len(g.grid)]
+	g.next++
+	return cfg.Clone()
+}
+
+// Observe is a no-op: grid search does not learn.
+func (g *GridSampler) Observe(Observation) {}
+
+// Size returns the number of lattice points.
+func (g *GridSampler) Size() int { return len(g.grid) }
+
+// --- BOHB / TPE ----------------------------------------------------------
+
+// TPESampler implements the model-based component of BOHB (Falkner et
+// al. 2018): observations are split at the γ-quantile into "good" and
+// "bad" sets, kernel density estimates l(x) and g(x) are fit to each in
+// the unit hypercube, and candidates maximising l(x)/g(x) are proposed.
+// Until minObservations results exist it falls back to random sampling,
+// exactly as BOHB does.
+type TPESampler struct {
+	mu    sync.Mutex
+	space *Space
+	rng   *sim.RNG
+
+	gamma        float64 // quantile separating good from bad
+	nCandidates  int     // candidates scored per proposal
+	minObs       int     // observations required before modelling
+	bandwidth    float64 // KDE kernel bandwidth in unit space
+	observations []Observation
+}
+
+// TPEOptions tunes the TPE sampler; zero values select defaults.
+type TPEOptions struct {
+	Gamma           float64
+	NumCandidates   int
+	MinObservations int
+	Bandwidth       float64
+}
+
+// NewTPESampler creates a BOHB-style sampler over space.
+func NewTPESampler(space *Space, seed uint64, opts TPEOptions) *TPESampler {
+	if opts.Gamma <= 0 || opts.Gamma >= 1 {
+		opts.Gamma = 0.25
+	}
+	if opts.NumCandidates <= 0 {
+		opts.NumCandidates = 24
+	}
+	if opts.MinObservations <= 0 {
+		opts.MinObservations = 2 * (space.Dim() + 1)
+	}
+	if opts.Bandwidth <= 0 {
+		opts.Bandwidth = 0.12
+	}
+	return &TPESampler{
+		space:       space,
+		rng:         sim.NewRNG(seed),
+		gamma:       opts.Gamma,
+		nCandidates: opts.NumCandidates,
+		minObs:      opts.MinObservations,
+		bandwidth:   opts.Bandwidth,
+	}
+}
+
+// Name returns "bohb".
+func (t *TPESampler) Name() string { return "bohb" }
+
+// Observe records a completed trial.
+func (t *TPESampler) Observe(obs Observation) {
+	if math.IsNaN(obs.Score) || math.IsInf(obs.Score, 0) {
+		return // discard broken trials rather than poisoning the model
+	}
+	t.mu.Lock()
+	t.observations = append(t.observations, Observation{
+		Config: obs.Config.Clone(),
+		Score:  obs.Score,
+		Budget: obs.Budget,
+	})
+	t.mu.Unlock()
+}
+
+// ObservationCount reports how many results the model has absorbed.
+func (t *TPESampler) ObservationCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.observations)
+}
+
+// Sample proposes the next configuration: random until warm, then the
+// best of nCandidates draws from the good-density l(x) scored by
+// l(x)/g(x).
+func (t *TPESampler) Sample() Config {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.observations) < t.minObs {
+		return t.space.Sample(t.rng)
+	}
+	good, bad := t.split()
+	if len(good) == 0 || len(bad) == 0 {
+		return t.space.Sample(t.rng)
+	}
+	var (
+		bestCfg   Config
+		bestRatio = math.Inf(-1)
+	)
+	for i := 0; i < t.nCandidates; i++ {
+		u := t.sampleFromKDE(good)
+		lg := t.kdeLogDensity(good, u)
+		gd := t.kdeLogDensity(bad, u)
+		if ratio := lg - gd; ratio > bestRatio {
+			cfg, err := t.space.FromUnit(u)
+			if err != nil {
+				continue
+			}
+			bestRatio, bestCfg = ratio, cfg
+		}
+	}
+	if bestCfg == nil {
+		return t.space.Sample(t.rng)
+	}
+	return bestCfg
+}
+
+// split partitions observations (at the highest budget tier with enough
+// data, per BOHB) into good/bad unit points at the γ quantile of score.
+func (t *TPESampler) split() (good, bad [][]float64) {
+	// Prefer the largest budget with >= minObs observations so the model
+	// learns from the most faithful evaluations available.
+	byBudget := make(map[float64][]Observation)
+	for _, o := range t.observations {
+		byBudget[o.Budget] = append(byBudget[o.Budget], o)
+	}
+	budgets := make([]float64, 0, len(byBudget))
+	for b := range byBudget {
+		budgets = append(budgets, b)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(budgets)))
+	pool := t.observations
+	for _, b := range budgets {
+		if len(byBudget[b]) >= t.minObs {
+			pool = byBudget[b]
+			break
+		}
+	}
+
+	sorted := make([]Observation, len(pool))
+	copy(sorted, pool)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score < sorted[j].Score })
+	nGood := int(t.gamma * float64(len(sorted)))
+	if nGood < 1 {
+		nGood = 1
+	}
+	if nGood >= len(sorted) {
+		nGood = len(sorted) - 1
+	}
+	for i, o := range sorted {
+		u := t.space.ToUnit(o.Config)
+		if i < nGood {
+			good = append(good, u)
+		} else {
+			bad = append(bad, u)
+		}
+	}
+	return good, bad
+}
+
+// sampleFromKDE draws a point from the mixture of Gaussians centred on
+// points, truncated to the unit cube.
+func (t *TPESampler) sampleFromKDE(points [][]float64) []float64 {
+	center := points[t.rng.Intn(len(points))]
+	u := make([]float64, len(center))
+	for i, c := range center {
+		v := c + t.rng.NormFloat64()*t.bandwidth
+		u[i] = clamp(v, 0, 1)
+	}
+	return u
+}
+
+// kdeLogDensity evaluates the log of the Gaussian KDE at u.
+func (t *TPESampler) kdeLogDensity(points [][]float64, u []float64) float64 {
+	if len(points) == 0 {
+		return math.Inf(-1)
+	}
+	inv2h2 := 1 / (2 * t.bandwidth * t.bandwidth)
+	var sum float64
+	for _, p := range points {
+		var d2 float64
+		for i := range u {
+			diff := u[i] - p[i]
+			d2 += diff * diff
+		}
+		sum += math.Exp(-d2 * inv2h2)
+	}
+	return math.Log(sum / float64(len(points)))
+}
+
+// --- Registry ------------------------------------------------------------
+
+// Algorithm names accepted by NewSampler.
+const (
+	AlgoRandom = "random"
+	AlgoGrid   = "grid"
+	AlgoBOHB   = "bohb"
+)
+
+// NewSampler constructs a sampler by algorithm name. BOHB is the paper's
+// default strategy.
+func NewSampler(algo string, space *Space, seed uint64) (Sampler, error) {
+	switch algo {
+	case AlgoRandom:
+		return NewRandomSampler(space, seed), nil
+	case AlgoGrid:
+		return NewGridSampler(space, 4, 100000)
+	case AlgoHalton:
+		return NewHaltonSampler(space, seed), nil
+	case AlgoBOHB, "":
+		return NewTPESampler(space, seed, TPEOptions{}), nil
+	default:
+		return nil, fmt.Errorf("search: unknown algorithm %q", algo)
+	}
+}

@@ -1,0 +1,293 @@
+package search
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+// quadratic is a smooth test objective with its minimum at the given
+// point in unit space.
+func quadratic(s *Space, minimum []float64) func(cfg Config) float64 {
+	return func(cfg Config) float64 {
+		u := s.ToUnit(cfg)
+		var d float64
+		for i := range u {
+			diff := u[i] - minimum[i]
+			d += diff * diff
+		}
+		return d
+	}
+}
+
+func twoDSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace(
+		Param{Name: "x", Kind: Float, Min: 0, Max: 1},
+		Param{Name: "y", Kind: Float, Min: 0, Max: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRandomSamplerCoversSpace(t *testing.T) {
+	s := twoDSpace(t)
+	r := NewRandomSampler(s, 1)
+	var minX, maxX = 1.0, 0.0
+	for i := 0; i < 200; i++ {
+		cfg := r.Sample()
+		if !s.Contains(cfg) {
+			t.Fatal("random sample outside space")
+		}
+		minX = math.Min(minX, cfg["x"])
+		maxX = math.Max(maxX, cfg["x"])
+	}
+	if minX > 0.1 || maxX < 0.9 {
+		t.Errorf("random sampling poorly spread: [%v, %v]", minX, maxX)
+	}
+}
+
+func TestGridSamplerEnumerates(t *testing.T) {
+	s, err := NewSpace(
+		Param{Name: "a", Kind: Choice, Choices: []float64{1, 2, 3}},
+		Param{Name: "b", Kind: Choice, Choices: []float64{10, 20}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGridSampler(s, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 6 {
+		t.Fatalf("grid size = %d, want 6", g.Size())
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 6; i++ {
+		seen[g.Sample().Key()] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("grid enumerated %d unique points, want 6", len(seen))
+	}
+	// Cycles after exhaustion.
+	first := g.Sample().Key()
+	if !seen[first] {
+		t.Error("cycled sample was not part of the grid")
+	}
+}
+
+func TestGridSamplerCap(t *testing.T) {
+	s, err := NewSpace(
+		Param{Name: "a", Kind: Float, Min: 0, Max: 1},
+		Param{Name: "b", Kind: Float, Min: 0, Max: 1},
+		Param{Name: "c", Kind: Float, Min: 0, Max: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGridSampler(s, 100, 1000); err == nil {
+		t.Error("oversized grid did not error")
+	}
+}
+
+func TestTPEWarmupIsRandom(t *testing.T) {
+	s := twoDSpace(t)
+	tpe := NewTPESampler(s, 1, TPEOptions{MinObservations: 10})
+	for i := 0; i < 5; i++ {
+		if !s.Contains(tpe.Sample()) {
+			t.Fatal("warmup sample outside space")
+		}
+	}
+	if tpe.ObservationCount() != 0 {
+		t.Error("sampling should not create observations")
+	}
+}
+
+func TestTPEConcentratesNearOptimum(t *testing.T) {
+	s := twoDSpace(t)
+	obj := quadratic(s, []float64{0.8, 0.2})
+	tpe := NewTPESampler(s, 7, TPEOptions{MinObservations: 10})
+	rand := NewRandomSampler(s, 7)
+
+	// Warm the model with random observations.
+	for i := 0; i < 60; i++ {
+		cfg := rand.Sample()
+		tpe.Observe(Observation{Config: cfg, Score: obj(cfg), Budget: 1})
+	}
+	// TPE proposals should now average a lower objective than fresh
+	// random samples.
+	var tpeSum, randSum float64
+	const n = 40
+	for i := 0; i < n; i++ {
+		tpeSum += obj(tpe.Sample())
+		randSum += obj(rand.Sample())
+	}
+	if tpeSum >= randSum {
+		t.Errorf("TPE mean objective %v not better than random %v", tpeSum/n, randSum/n)
+	}
+}
+
+func TestTPERejectsBrokenScores(t *testing.T) {
+	s := twoDSpace(t)
+	tpe := NewTPESampler(s, 1, TPEOptions{})
+	tpe.Observe(Observation{Config: s.Sample(NewRandomSampler(s, 1).rng), Score: math.NaN()})
+	tpe.Observe(Observation{Config: Config{"x": 0.5, "y": 0.5}, Score: math.Inf(1)})
+	if got := tpe.ObservationCount(); got != 0 {
+		t.Errorf("NaN/Inf observations absorbed: %d", got)
+	}
+}
+
+func TestTPEConcurrentSafety(t *testing.T) {
+	s := twoDSpace(t)
+	tpe := NewTPESampler(s, 1, TPEOptions{MinObservations: 4})
+	obj := quadratic(s, []float64{0.5, 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := NewRandomSampler(s, seed)
+			for i := 0; i < 50; i++ {
+				cfg := r.Sample()
+				tpe.Observe(Observation{Config: cfg, Score: obj(cfg), Budget: 1})
+				_ = tpe.Sample()
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if got := tpe.ObservationCount(); got != 400 {
+		t.Errorf("observations = %d, want 400", got)
+	}
+}
+
+func TestNewSamplerRegistry(t *testing.T) {
+	s := twoDSpace(t)
+	for _, algo := range []string{AlgoRandom, AlgoGrid, AlgoBOHB, ""} {
+		smp, err := NewSampler(algo, s, 1)
+		if err != nil {
+			t.Fatalf("NewSampler(%q): %v", algo, err)
+		}
+		if !s.Contains(smp.Sample()) {
+			t.Errorf("%q sampler produced invalid config", algo)
+		}
+	}
+	if _, err := NewSampler("annealing", s, 1); err == nil {
+		t.Error("unknown algorithm did not error")
+	}
+}
+
+func TestSuccessiveHalvingFindsOptimum(t *testing.T) {
+	s := twoDSpace(t)
+	obj := quadratic(s, []float64{0.3, 0.7})
+	eval := func(_ context.Context, cfg Config, _ int, budget float64) (float64, error) {
+		// Higher budget = less noise, mimicking fidelity.
+		return obj(cfg) * (1 + 0.1/budget), nil
+	}
+	res, err := SuccessiveHalving(context.Background(), NewTPESampler(s, 3, TPEOptions{}), eval, HalvingOptions{
+		Eta: 2, InitialConfigs: 16, Rungs: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Score > 0.2 {
+		t.Errorf("best score %v too far from optimum", res.Best.Score)
+	}
+	// 16 + 8 + 4 + 2 evaluations.
+	if res.TrialsRun != 30 {
+		t.Errorf("TrialsRun = %d, want 30", res.TrialsRun)
+	}
+}
+
+func TestSuccessiveHalvingBudgetsIncrease(t *testing.T) {
+	s := twoDSpace(t)
+	var budgets []float64
+	eval := func(_ context.Context, _ Config, _ int, budget float64) (float64, error) {
+		budgets = append(budgets, budget)
+		return 1, nil
+	}
+	if _, err := SuccessiveHalving(context.Background(), NewRandomSampler(s, 1), eval, HalvingOptions{
+		Eta: 2, InitialConfigs: 4, Rungs: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Rungs: 4 at b0, 2 at b1, 1 at b2 with b0 < b1 < b2 = 1.
+	if len(budgets) != 7 {
+		t.Fatalf("ran %d evals, want 7", len(budgets))
+	}
+	if budgets[0] >= budgets[4] || budgets[4] >= budgets[6] {
+		t.Errorf("budgets not increasing across rungs: %v", budgets)
+	}
+	if budgets[6] != 1 {
+		t.Errorf("final rung budget = %v, want 1", budgets[6])
+	}
+}
+
+func TestSuccessiveHalvingValidation(t *testing.T) {
+	s := twoDSpace(t)
+	eval := func(context.Context, Config, int, float64) (float64, error) { return 0, nil }
+	bad := []HalvingOptions{
+		{Eta: 1, InitialConfigs: 4, Rungs: 2},
+		{Eta: 2, InitialConfigs: 0, Rungs: 2},
+		{Eta: 2, InitialConfigs: 4, Rungs: 0},
+	}
+	for i, opts := range bad {
+		if _, err := SuccessiveHalving(context.Background(), NewRandomSampler(s, 1), eval, opts); err == nil {
+			t.Errorf("case %d: invalid options did not error", i)
+		}
+	}
+}
+
+func TestSuccessiveHalvingContextCancel(t *testing.T) {
+	s := twoDSpace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	eval := func(context.Context, Config, int, float64) (float64, error) {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		return 1, nil
+	}
+	_, err := SuccessiveHalving(ctx, NewRandomSampler(s, 1), eval, HalvingOptions{
+		Eta: 2, InitialConfigs: 8, Rungs: 3,
+	})
+	if err == nil {
+		t.Error("cancelled context did not error")
+	}
+	if calls > 4 {
+		t.Errorf("ran %d evals after cancellation", calls)
+	}
+}
+
+func TestHyperBandRunsBrackets(t *testing.T) {
+	s := twoDSpace(t)
+	obj := quadratic(s, []float64{0.5, 0.5})
+	eval := func(_ context.Context, cfg Config, _ int, _ float64) (float64, error) {
+		return obj(cfg), nil
+	}
+	res, err := HyperBand(context.Background(), NewRandomSampler(s, 5), eval, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brackets: 9 cfg x 3 rungs (9+3+1), 3 cfg x 2 rungs (3+1), 1 cfg x 1.
+	if res.TrialsRun != 13+4+1 {
+		t.Errorf("TrialsRun = %d, want 18", res.TrialsRun)
+	}
+	if res.Best.Score > 0.5 {
+		t.Errorf("best %v unexpectedly poor", res.Best.Score)
+	}
+}
+
+func TestHyperBandValidation(t *testing.T) {
+	s := twoDSpace(t)
+	eval := func(context.Context, Config, int, float64) (float64, error) { return 0, nil }
+	if _, err := HyperBand(context.Background(), NewRandomSampler(s, 1), eval, 1, 2); err == nil {
+		t.Error("eta=1 did not error")
+	}
+	if _, err := HyperBand(context.Background(), NewRandomSampler(s, 1), eval, 2, 0); err == nil {
+		t.Error("maxRungs=0 did not error")
+	}
+}

@@ -1,0 +1,112 @@
+package search
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRadicalInverse(t *testing.T) {
+	tests := []struct {
+		n, base int
+		want    float64
+	}{
+		{n: 1, base: 2, want: 0.5},
+		{n: 2, base: 2, want: 0.25},
+		{n: 3, base: 2, want: 0.75},
+		{n: 1, base: 3, want: 1.0 / 3},
+		{n: 4, base: 3, want: 4.0 / 9},
+	}
+	for _, tt := range tests {
+		if got := radicalInverse(tt.n, tt.base); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("radicalInverse(%d, %d) = %v, want %v", tt.n, tt.base, got, tt.want)
+		}
+	}
+}
+
+func TestHaltonStaysInSpace(t *testing.T) {
+	s := twoDSpace(t)
+	h := NewHaltonSampler(s, 7)
+	for i := 0; i < 500; i++ {
+		if cfg := h.Sample(); !s.Contains(cfg) {
+			t.Fatalf("halton sample %d outside space: %v", i, cfg)
+		}
+	}
+}
+
+// TestHaltonLowerDiscrepancyThanRandom: over a modest budget, the worst
+// empty gap of the Halton stream (measured by 1-D stratification) must
+// beat pseudo-random sampling.
+func TestHaltonLowerDiscrepancyThanRandom(t *testing.T) {
+	s := twoDSpace(t)
+	const (
+		n       = 64
+		buckets = 16
+	)
+	maxGap := func(sampler Sampler) int {
+		var counts [buckets]int
+		for i := 0; i < n; i++ {
+			cfg := sampler.Sample()
+			idx := int(cfg["x"] * buckets)
+			if idx >= buckets {
+				idx = buckets - 1
+			}
+			counts[idx]++
+		}
+		empty := 0
+		for _, c := range counts {
+			if c == 0 {
+				empty++
+			}
+		}
+		return empty
+	}
+	haltonEmpty := maxGap(NewHaltonSampler(s, 1))
+	randomEmpty := maxGap(NewRandomSampler(s, 1))
+	if haltonEmpty > 0 {
+		t.Errorf("halton left %d/16 strata empty after 64 samples", haltonEmpty)
+	}
+	if haltonEmpty > randomEmpty {
+		t.Errorf("halton (%d empty) worse than random (%d empty)", haltonEmpty, randomEmpty)
+	}
+}
+
+func TestHaltonSeedsDiffer(t *testing.T) {
+	s := twoDSpace(t)
+	a := NewHaltonSampler(s, 1)
+	b := NewHaltonSampler(s, 2)
+	if a.Sample().Key() == b.Sample().Key() {
+		t.Error("different seeds start at the same point")
+	}
+}
+
+func TestHaltonInRegistry(t *testing.T) {
+	s := twoDSpace(t)
+	smp, err := NewSampler(AlgoHalton, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.Name() != "halton" {
+		t.Errorf("Name = %q", smp.Name())
+	}
+	if !s.Contains(smp.Sample()) {
+		t.Error("registry halton sample invalid")
+	}
+}
+
+func TestHaltonWideSpaces(t *testing.T) {
+	// More dimensions than prime bases must still work.
+	params := make([]Param, 20)
+	for i := range params {
+		params[i] = Param{Name: string(rune('a' + i)), Kind: Float, Min: 0, Max: 1}
+	}
+	s, err := NewSpace(params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHaltonSampler(s, 3)
+	for i := 0; i < 50; i++ {
+		if cfg := h.Sample(); !s.Contains(cfg) {
+			t.Fatal("wide-space sample invalid")
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package search
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgetune/internal/sim"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace(
+		Param{Name: "layers", Kind: Choice, Choices: []float64{18, 34, 50}},
+		Param{Name: "batch", Kind: Int, Min: 32, Max: 512, Log: true},
+		Param{Name: "dropout", Kind: Float, Min: 0.1, Max: 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParamValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Param
+		wantErr bool
+	}{
+		{name: "valid choice", p: Param{Name: "a", Kind: Choice, Choices: []float64{1, 2}}},
+		{name: "empty name", p: Param{Kind: Choice, Choices: []float64{1}}, wantErr: true},
+		{name: "empty choices", p: Param{Name: "a", Kind: Choice}, wantErr: true},
+		{name: "unsorted choices", p: Param{Name: "a", Kind: Choice, Choices: []float64{2, 1}}, wantErr: true},
+		{name: "valid int", p: Param{Name: "a", Kind: Int, Min: 1, Max: 8}},
+		{name: "min>=max", p: Param{Name: "a", Kind: Int, Min: 8, Max: 8}, wantErr: true},
+		{name: "log with zero min", p: Param{Name: "a", Kind: Float, Min: 0, Max: 1, Log: true}, wantErr: true},
+		{name: "unknown kind", p: Param{Name: "a"}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewSpaceRejectsDuplicates(t *testing.T) {
+	_, err := NewSpace(
+		Param{Name: "a", Kind: Float, Min: 0, Max: 1},
+		Param{Name: "a", Kind: Float, Min: 0, Max: 1},
+	)
+	if err == nil {
+		t.Error("duplicate names did not error")
+	}
+	if _, err := NewSpace(); err == nil {
+		t.Error("empty space did not error")
+	}
+}
+
+func TestSampleInDomain(t *testing.T) {
+	s := testSpace(t)
+	rng := sim.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		cfg := s.Sample(rng)
+		if !s.Contains(cfg) {
+			t.Fatalf("sampled config %v not in space", cfg)
+		}
+	}
+}
+
+func TestUnitRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	rng := sim.NewRNG(2)
+	f := func(uint8) bool {
+		cfg := s.Sample(rng)
+		u := s.ToUnit(cfg)
+		back, err := s.FromUnit(u)
+		if err != nil {
+			return false
+		}
+		// Choice and Int round-trip exactly; floats within tolerance.
+		if back["layers"] != cfg["layers"] {
+			return false
+		}
+		if math.Abs(back["batch"]-cfg["batch"]) > 1.5 {
+			return false
+		}
+		return math.Abs(back["dropout"]-cfg["dropout"]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromUnitClamps(t *testing.T) {
+	p := Param{Name: "x", Kind: Float, Min: 0.1, Max: 0.5}
+	if got := p.FromUnit(-3); got != 0.1 {
+		t.Errorf("FromUnit(-3) = %v, want 0.1", got)
+	}
+	if got := p.FromUnit(7); got != 0.5 {
+		t.Errorf("FromUnit(7) = %v, want 0.5", got)
+	}
+}
+
+func TestIntRounding(t *testing.T) {
+	p := Param{Name: "cores", Kind: Int, Min: 1, Max: 4}
+	for u := 0.0; u <= 1.0; u += 0.01 {
+		v := p.FromUnit(u)
+		if v != math.Round(v) {
+			t.Fatalf("FromUnit(%v) = %v is not integral", u, v)
+		}
+	}
+}
+
+func TestLogScaleSampling(t *testing.T) {
+	p := Param{Name: "batch", Kind: Int, Min: 32, Max: 512, Log: true}
+	// Midpoint of the log range must be the geometric mean, ~128.
+	mid := p.FromUnit(0.5)
+	if mid < 120 || mid > 136 {
+		t.Errorf("log midpoint = %v, want ~128", mid)
+	}
+}
+
+func TestGridValues(t *testing.T) {
+	choice := Param{Name: "layers", Kind: Choice, Choices: []float64{18, 34, 50}}
+	if got := choice.GridValues(10); len(got) != 3 {
+		t.Errorf("choice grid = %v, want the 3 choices", got)
+	}
+	intp := Param{Name: "gpus", Kind: Int, Min: 1, Max: 8}
+	vals := intp.GridValues(8)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] {
+			t.Fatalf("grid values not strictly ascending: %v", vals)
+		}
+	}
+	if vals[0] != 1 || vals[len(vals)-1] != 8 {
+		t.Errorf("grid endpoints = %v, want 1..8", vals)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := testSpace(t)
+	ok := Config{"layers": 34, "batch": 64, "dropout": 0.3}
+	if !s.Contains(ok) {
+		t.Error("valid config rejected")
+	}
+	tests := []Config{
+		{"layers": 33, "batch": 64, "dropout": 0.3},             // not a choice
+		{"layers": 34, "batch": 64.5, "dropout": 0.3},           // non-integer
+		{"layers": 34, "batch": 64, "dropout": 0.9},             // out of range
+		{"layers": 34, "batch": 64},                             // missing key
+		{"layers": 34, "batch": 64, "dropout": 0.3, "extra": 1}, // extra key
+	}
+	for i, cfg := range tests {
+		if s.Contains(cfg) {
+			t.Errorf("case %d: invalid config %v accepted", i, cfg)
+		}
+	}
+}
+
+func TestConfigKeyCanonical(t *testing.T) {
+	a := Config{"x": 1, "y": 2}
+	b := Config{"y": 2, "x": 1}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ for equal configs: %q vs %q", a.Key(), b.Key())
+	}
+	c := Config{"x": 1, "y": 3}
+	if a.Key() == c.Key() {
+		t.Error("different configs share a key")
+	}
+}
+
+func TestConfigCloneIndependent(t *testing.T) {
+	a := Config{"x": 1}
+	b := a.Clone()
+	b["x"] = 2
+	if a["x"] != 1 {
+		t.Error("Clone shares storage")
+	}
+}

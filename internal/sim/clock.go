@@ -1,0 +1,73 @@
+// Package sim provides the deterministic simulation substrate used by all
+// EdgeTune experiments: a virtual clock that advances only when charged,
+// and seeded random-number helpers.
+//
+// The paper reports tuning runtimes in minutes and energy in kilojoules
+// measured on a physical testbed. This reproduction replaces wall-clock
+// measurement with a simulated clock so that experiments are deterministic
+// and complete in milliseconds while still reporting paper-scale units.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value is a clock at time zero, ready
+// to use. Clock is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Advance moves the clock forward by d. Negative durations are ignored so
+// that model rounding noise can never run time backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.now > math.MaxInt64-d {
+		c.now = math.MaxInt64 // saturate instead of wrapping
+	} else {
+		c.now += d
+	}
+	c.mu.Unlock()
+}
+
+// Now reports the current simulated time as an offset from the start.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Minutes reports the current simulated time in minutes, the unit used by
+// the paper's tuning-duration figures.
+func (c *Clock) Minutes() float64 { return c.Now().Minutes() }
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.now = 0
+	c.mu.Unlock()
+}
+
+// Span measures the simulated duration of fn: it records the clock before
+// and after and returns the difference.
+func (c *Clock) Span(fn func()) time.Duration {
+	start := c.Now()
+	fn()
+	return c.Now() - start
+}
+
+// FormatMinutes renders a duration as fractional minutes, matching the
+// axis labels of the paper's figures.
+func FormatMinutes(d time.Duration) string {
+	return fmt.Sprintf("%.2fm", d.Minutes())
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	tests := []struct {
+		name string
+		adds []time.Duration
+		want time.Duration
+	}{
+		{name: "single", adds: []time.Duration{time.Second}, want: time.Second},
+		{name: "accumulates", adds: []time.Duration{time.Second, 2 * time.Second}, want: 3 * time.Second},
+		{name: "ignores negative", adds: []time.Duration{time.Minute, -time.Second}, want: time.Minute},
+		{name: "ignores zero", adds: []time.Duration{0, time.Millisecond}, want: time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := NewClock()
+			for _, d := range tt.adds {
+				c.Advance(d)
+			}
+			if got := c.Now(); got != tt.want {
+				t.Errorf("Now() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClockMinutes(t *testing.T) {
+	c := NewClock()
+	c.Advance(90 * time.Second)
+	if got := c.Minutes(); got != 1.5 {
+		t.Errorf("Minutes() = %v, want 1.5", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Hour)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Errorf("after Reset, Now() = %v, want 0", got)
+	}
+}
+
+func TestClockSpan(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Minute)
+	got := c.Span(func() { c.Advance(42 * time.Second) })
+	if got != 42*time.Second {
+		t.Errorf("Span = %v, want 42s", got)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	const (
+		goroutines = 8
+		perG       = 1000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Duration(goroutines*perG) * time.Microsecond
+	if got := c.Now(); got != want {
+		t.Errorf("concurrent Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNeverDecreases(t *testing.T) {
+	c := NewClock()
+	f := func(steps []int64) bool {
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(time.Duration(s))
+			now := c.Now()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatMinutes(t *testing.T) {
+	if got := FormatMinutes(150 * time.Second); got != "2.50m" {
+		t.Errorf("FormatMinutes = %q, want 2.50m", got)
+	}
+}

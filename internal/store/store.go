@@ -1,0 +1,168 @@
+// Package store is the persistent database of §3.4: inference-tuning
+// results keyed by architecture signature, so that a model structure
+// already tuned for inference is never re-tuned ("avoids retuning
+// architectures and parameters twice, with the cost of a small storage
+// overhead"). The store is an in-memory map with optional JSON
+// persistence.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"edgetune/internal/search"
+)
+
+// Entry is one cached inference-tuning outcome.
+type Entry struct {
+	// Signature identifies the architecture (workload + model
+	// hyperparameter), per workload.Signature.
+	Signature string `json:"signature"`
+	// Device is the edge device the result was tuned for.
+	Device string `json:"device"`
+	// Config is the optimal inference configuration found.
+	Config search.Config `json:"config"`
+	// Throughput is samples/second at the optimal configuration.
+	Throughput float64 `json:"throughput"`
+	// EnergyPerSampleJ is joules per sample at the optimum.
+	EnergyPerSampleJ float64 `json:"energyPerSampleJoules"`
+	// LatencySeconds is the per-batch latency at the optimum.
+	LatencySeconds float64 `json:"latencySeconds"`
+	// Objective is the minimised inference objective value.
+	Objective float64 `json:"objective"`
+	// TrialsRun records how many inference trials produced this entry.
+	TrialsRun int `json:"trialsRun"`
+}
+
+// key combines signature and device: the same architecture tuned for a
+// different device is a different entry.
+func (e Entry) key() string { return e.Signature + "@" + e.Device }
+
+// ErrNotFound is returned by Get for missing entries.
+var ErrNotFound = errors.New("store: entry not found")
+
+// Store is a thread-safe historical result cache. The zero value is
+// ready to use.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+	hits    int
+	misses  int
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// Put inserts or replaces an entry.
+func (s *Store) Put(e Entry) error {
+	if e.Signature == "" {
+		return fmt.Errorf("store: entry with empty signature")
+	}
+	if e.Device == "" {
+		return fmt.Errorf("store: entry with empty device")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries == nil {
+		s.entries = make(map[string]Entry)
+	}
+	e.Config = e.Config.Clone()
+	s.entries[e.key()] = e
+	return nil
+}
+
+// Get looks up the cached result for an architecture on a device,
+// recording the hit/miss statistics the overhead evaluation reports.
+func (s *Store) Get(signature, dev string) (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[signature+"@"+dev]
+	if !ok {
+		s.misses++
+		return Entry{}, fmt.Errorf("%w: %s@%s", ErrNotFound, signature, dev)
+	}
+	s.hits++
+	e.Config = e.Config.Clone()
+	return e, nil
+}
+
+// Len reports the number of cached entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats reports cache hits and misses since creation (or load).
+func (s *Store) Stats() (hits, misses int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Entries returns all entries sorted by key (deterministic order).
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		e.Config = e.Config.Clone()
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// Merge copies every entry of other into s, overwriting duplicates.
+// It supports combining the historical databases of tuning servers that
+// ran independently (e.g. per-device recommendation jobs).
+func (s *Store) Merge(other *Store) error {
+	if other == nil {
+		return errors.New("store: merge with nil store")
+	}
+	for _, e := range other.Entries() {
+		if err := s.Put(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Save writes the store as JSON to path (atomic rename).
+func (s *Store) Save(path string) error {
+	data, err := json.MarshalIndent(s.Entries(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads a JSON store from path.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("store: parse %s: %w", path, err)
+	}
+	s := New()
+	for _, e := range entries {
+		if err := s.Put(e); err != nil {
+			return nil, fmt.Errorf("store: invalid entry in %s: %w", path, err)
+		}
+	}
+	return s, nil
+}

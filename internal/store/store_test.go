@@ -1,0 +1,209 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"edgetune/internal/search"
+)
+
+func entry(sig, dev string) Entry {
+	return Entry{
+		Signature:        sig,
+		Device:           dev,
+		Config:           search.Config{"infer_batch": 8, "cores": 2},
+		Throughput:       42,
+		EnergyPerSampleJ: 0.5,
+		LatencySeconds:   0.19,
+		Objective:        0.0119,
+		TrialsRun:        12,
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	if err := s.Put(entry("IC/layers=18", "i7")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("IC/layers=18", "i7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Throughput != 42 {
+		t.Errorf("Throughput = %v, want 42", got.Throughput)
+	}
+	if _, err := s.Get("IC/layers=50", "i7"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing entry error = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Get("IC/layers=18", "rpi3b+"); !errors.Is(err, ErrNotFound) {
+		t.Error("same signature on another device must miss")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Store
+	if err := s.Put(entry("a", "d")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Error("zero-value store broken")
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := New()
+	if err := s.Put(Entry{Device: "i7"}); err == nil {
+		t.Error("empty signature accepted")
+	}
+	if err := s.Put(Entry{Signature: "x"}); err == nil {
+		t.Error("empty device accepted")
+	}
+}
+
+func TestHitMissStats(t *testing.T) {
+	s := New()
+	_ = s.Put(entry("a", "d"))
+	_, _ = s.Get("a", "d")
+	_, _ = s.Get("a", "d")
+	_, _ = s.Get("b", "d")
+	hits, misses := s.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 2/1", hits, misses)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New()
+	_ = s.Put(entry("a", "d"))
+	got, _ := s.Get("a", "d")
+	got.Config["infer_batch"] = 999
+	again, _ := s.Get("a", "d")
+	if again.Config["infer_batch"] != 8 {
+		t.Error("Get leaks shared config storage")
+	}
+}
+
+func TestPutCopiesConfig(t *testing.T) {
+	s := New()
+	e := entry("a", "d")
+	_ = s.Put(e)
+	e.Config["infer_batch"] = 999
+	got, _ := s.Get("a", "d")
+	if got.Config["infer_batch"] != 8 {
+		t.Error("Put stored caller's map by reference")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	s := New()
+	_ = s.Put(entry("z", "d"))
+	_ = s.Put(entry("a", "d"))
+	_ = s.Put(entry("a", "c"))
+	es := s.Entries()
+	if len(es) != 3 {
+		t.Fatalf("Len = %d, want 3", len(es))
+	}
+	if es[0].Device != "c" || es[1].Signature != "a" || es[2].Signature != "z" {
+		t.Errorf("entries not sorted: %v", es)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	s := New()
+	_ = s.Put(entry("IC/layers=18", "i7"))
+	_ = s.Put(entry("OD/dropout=0.3", "rpi3b+"))
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", loaded.Len())
+	}
+	got, err := loaded.Get("IC/layers=18", "i7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config["cores"] != 2 || got.Objective != 0.0119 {
+		t.Errorf("round-trip mangled entry: %+v", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("corrupt file accepted")
+	}
+	// Structurally valid JSON with an invalid entry.
+	invalid := filepath.Join(t.TempDir(), "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`[{"signature":""}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(invalid); err == nil {
+		t.Error("invalid entry accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	_ = a.Put(entry("x", "i7"))
+	stale := entry("y", "i7")
+	stale.Throughput = 1
+	_ = a.Put(stale)
+
+	b := New()
+	fresh := entry("y", "i7")
+	fresh.Throughput = 99
+	_ = b.Put(fresh)
+	_ = b.Put(entry("z", "rpi3b+"))
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 {
+		t.Errorf("merged Len = %d, want 3", a.Len())
+	}
+	got, err := a.Get("y", "i7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Throughput != 99 {
+		t.Errorf("merge did not overwrite duplicate: %v", got.Throughput)
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sig := string(rune('a' + (n+i)%4))
+				_ = s.Put(entry(sig, "d"))
+				_, _ = s.Get(sig, "d")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+}

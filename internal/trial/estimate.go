@@ -1,0 +1,41 @@
+package trial
+
+import (
+	"edgetune/internal/perfmodel"
+	"edgetune/internal/search"
+	"edgetune/internal/workload"
+)
+
+// EstimateEpochSeconds predicts the simulated duration of one
+// full-dataset training epoch for a configuration — the conversion
+// factor a duration-based budget (budget.NewTime, the paper's third
+// budget type) needs to translate its time caps into epoch allowances.
+func EstimateEpochSeconds(w *workload.Workload, cfg search.Config, gpu perfmodel.GPUProfile) (float64, error) {
+	if gpu.FlopsPerSec == 0 {
+		gpu = perfmodel.TitanRTX()
+	}
+	flops, params, err := w.PaperCost(cfg)
+	if err != nil {
+		return 0, err
+	}
+	batch := int(cfg[workload.ParamTrainBatch])
+	if batch < 1 {
+		batch = 128
+	}
+	gpus := 1
+	if g, ok := cfg[workload.ParamGPUs]; ok && g >= 1 {
+		gpus = int(g)
+	}
+	cost, err := perfmodel.TrainingCost(perfmodel.TrainSpec{
+		FLOPsPerSample: flops,
+		Params:         params,
+		Samples:        w.Split.Train.PaperSamples(),
+		Epochs:         1,
+		BatchSize:      batch,
+		GPUs:           gpus,
+	}, gpu)
+	if err != nil {
+		return 0, err
+	}
+	return cost.Duration.Seconds(), nil
+}

@@ -1,0 +1,96 @@
+package trial
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"edgetune/internal/budget"
+	"edgetune/internal/perfmodel"
+	"edgetune/internal/search"
+	"edgetune/internal/workload"
+)
+
+func TestEstimateEpochSecondsMatchesTrialCharge(t *testing.T) {
+	w := workload.MustNew("IC", 1)
+	cfg := search.Config{
+		workload.ParamLayers:     18,
+		workload.ParamTrainBatch: 128,
+		workload.ParamGPUs:       1,
+	}
+	perEpoch, err := EstimateEpochSeconds(w, cfg, perfmodel.GPUProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perEpoch <= 0 {
+		t.Fatal("non-positive estimate")
+	}
+	// A 4-epoch full-data trial should charge ~4x the per-epoch estimate.
+	r, err := NewRunner(w, perfmodel.GPUProfile{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background(), Request{
+		Config: cfg,
+		Alloc:  budget.Allocation{Epochs: 4, DataFraction: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Cost.Duration.Seconds() / perEpoch
+	if math.Abs(ratio-4) > 0.2 {
+		t.Errorf("4-epoch trial charged %.2fx the per-epoch estimate, want ~4x", ratio)
+	}
+}
+
+func TestEstimateEpochSecondsDefaults(t *testing.T) {
+	w := workload.MustNew("OD", 1)
+	// Missing batch/gpus use defaults rather than erroring.
+	perEpoch, err := EstimateEpochSeconds(w, search.Config{workload.ParamDropout: 0.3}, perfmodel.GPUProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perEpoch <= 0 {
+		t.Error("defaulted estimate not positive")
+	}
+	if _, err := EstimateEpochSeconds(w, search.Config{}, perfmodel.GPUProfile{}); err == nil {
+		t.Error("config without model param accepted")
+	}
+}
+
+// TestTimeBudgetIntegration wires the paper's third budget type end to
+// end: a TimeStrategy built from the epoch estimate produces
+// allocations a trial can run.
+func TestTimeBudgetIntegration(t *testing.T) {
+	w := workload.MustNew("IC", 1)
+	cfg := search.Config{
+		workload.ParamLayers:     18,
+		workload.ParamTrainBatch: 64,
+		workload.ParamGPUs:       1,
+	}
+	perEpoch, err := EstimateEpochSeconds(w, cfg, perfmodel.GPUProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := budget.NewTime(perEpoch, 10*perEpoch, perEpoch, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(w, perfmodel.GPUProfile{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 1; it <= 4; it++ {
+		alloc := strat.At(it)
+		res, err := r.Run(context.Background(), Request{Config: cfg, Alloc: alloc})
+		if err != nil {
+			t.Fatalf("it %d: %v", it, err)
+		}
+		// The trial's charged time must respect the iteration's cap
+		// (within one epoch of rounding).
+		cap := perEpoch * float64(it+1)
+		if res.Cost.Duration.Seconds() > cap {
+			t.Errorf("it %d: trial took %.0fs, cap %.0fs", it, res.Cost.Duration.Seconds(), cap)
+		}
+	}
+}

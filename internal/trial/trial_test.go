@@ -1,0 +1,197 @@
+package trial
+
+import (
+	"context"
+	"testing"
+
+	"edgetune/internal/budget"
+	"edgetune/internal/perfmodel"
+	"edgetune/internal/search"
+	"edgetune/internal/workload"
+)
+
+func icRunner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(workload.MustNew("IC", 1), perfmodel.GPUProfile{}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func icConfig() search.Config {
+	return search.Config{
+		workload.ParamLayers:     18,
+		workload.ParamTrainBatch: 128,
+		workload.ParamGPUs:       1,
+	}
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(nil, perfmodel.GPUProfile{}, 1); err == nil {
+		t.Error("nil workload accepted")
+	}
+	r := icRunner(t)
+	if r.GPUProfile().Name != "titan-rtx" {
+		t.Error("zero GPU profile did not default to Titan RTX")
+	}
+}
+
+func TestRunProducesPlausibleResult(t *testing.T) {
+	r := icRunner(t)
+	res, err := r.Run(context.Background(), Request{
+		Config: icConfig(),
+		Alloc:  budget.Allocation{Epochs: 4, DataFraction: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy <= 0.15 || res.Accuracy > 1 {
+		t.Errorf("accuracy = %v, want learnable (> chance 0.1)", res.Accuracy)
+	}
+	if res.Cost.Duration <= 0 || res.Cost.EnergyJ <= 0 {
+		t.Errorf("cost = %+v, want positive", res.Cost)
+	}
+	if res.Steps <= 0 {
+		t.Error("no optimiser steps recorded")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	req := Request{Config: icConfig(), Alloc: budget.Allocation{Epochs: 2, DataFraction: 0.3}}
+	a, err := icRunner(t).Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := icRunner(t).Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy != b.Accuracy || a.Cost != b.Cost {
+		t.Errorf("same seed+request differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestBiggerBudgetHigherAccuracy: the learning curve must respond to the
+// budget — this is the property every budget strategy exploits.
+func TestBiggerBudgetHigherAccuracy(t *testing.T) {
+	r := icRunner(t)
+	small, err := r.Run(context.Background(), Request{
+		Config: icConfig(),
+		Alloc:  budget.Allocation{Epochs: 1, DataFraction: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := r.Run(context.Background(), Request{
+		Config: icConfig(),
+		Alloc:  budget.Allocation{Epochs: 10, DataFraction: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Accuracy <= small.Accuracy {
+		t.Errorf("10 epochs on full data (%.3f) not above 1 epoch on 10%% (%.3f)",
+			large.Accuracy, small.Accuracy)
+	}
+	if large.Cost.Duration <= small.Cost.Duration {
+		t.Error("bigger budget must cost more simulated time")
+	}
+}
+
+// TestFullBudgetReachesTarget: a well-chosen configuration (small batch,
+// the regime the tuner discovers) trained at full budget must clear the
+// paper's 80% accuracy goal.
+func TestFullBudgetReachesTarget(t *testing.T) {
+	r := icRunner(t)
+	cfg := icConfig()
+	cfg[workload.ParamTrainBatch] = 32
+	res, err := r.Run(context.Background(), Request{
+		Config: cfg,
+		Alloc:  budget.Allocation{Epochs: 10, DataFraction: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt := r.Workload().TargetAccuracy(); res.Accuracy < tgt {
+		t.Errorf("full-budget accuracy %.3f below target %.2f", res.Accuracy, tgt)
+	}
+}
+
+func TestMoreGPUsChangesCostNotAccuracy(t *testing.T) {
+	r := icRunner(t)
+	base := Request{Config: icConfig(), Alloc: budget.Allocation{Epochs: 2, DataFraction: 0.3}}
+	multi := Request{Config: icConfig().Clone(), Alloc: base.Alloc}
+	multi.Config[workload.ParamGPUs] = 8
+	a, err := r.Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(context.Background(), multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost == b.Cost {
+		t.Error("GPU count did not change the simulated cost")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	r := icRunner(t)
+	ctx := context.Background()
+	tests := []struct {
+		name string
+		req  Request
+	}{
+		{name: "zero epochs", req: Request{Config: icConfig(), Alloc: budget.Allocation{Epochs: 0, DataFraction: 1}}},
+		{name: "bad fraction", req: Request{Config: icConfig(), Alloc: budget.Allocation{Epochs: 1, DataFraction: 0}}},
+		{name: "missing batch", req: Request{Config: search.Config{workload.ParamLayers: 18}, Alloc: budget.Allocation{Epochs: 1, DataFraction: 1}}},
+		{name: "bad layers", req: Request{Config: search.Config{workload.ParamLayers: 19, workload.ParamTrainBatch: 64}, Alloc: budget.Allocation{Epochs: 1, DataFraction: 1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := r.Run(ctx, tt.req); err == nil {
+				t.Error("invalid request accepted")
+			}
+		})
+	}
+}
+
+func TestRunHonoursCancelledContext(t *testing.T) {
+	r := icRunner(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Run(ctx, Request{Config: icConfig(), Alloc: budget.Allocation{Epochs: 1, DataFraction: 0.1}}); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestAllWorkloadsRunnable(t *testing.T) {
+	configs := map[string]search.Config{
+		"IC":  {workload.ParamLayers: 34, workload.ParamTrainBatch: 64},
+		"SR":  {workload.ParamEmbedDim: 64, workload.ParamTrainBatch: 64},
+		"NLP": {workload.ParamStride: 2, workload.ParamTrainBatch: 64},
+		"OD":  {workload.ParamDropout: 0.2, workload.ParamTrainBatch: 64},
+	}
+	for _, id := range workload.IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, err := NewRunner(workload.MustNew(id, 1), perfmodel.GPUProfile{}, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run(context.Background(), Request{
+				Config: configs[id],
+				Alloc:  budget.Allocation{Epochs: 6, DataFraction: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chance := 1 / float64(r.Workload().Split.Test.Classes)
+			if res.Accuracy < 1.5*chance {
+				t.Errorf("accuracy %.3f below 1.5x chance", res.Accuracy)
+			}
+		})
+	}
+}

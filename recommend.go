@@ -1,0 +1,101 @@
+package edgetune
+
+import (
+	"context"
+	"errors"
+
+	"edgetune/internal/core"
+	"edgetune/internal/device"
+	"edgetune/internal/store"
+	"edgetune/internal/workload"
+)
+
+// RecommendRequest asks for inference deployment recommendations for an
+// already-tuned model across several edge devices — the paper's
+// multi-device deployment scenario (§1).
+type RecommendRequest struct {
+	// Workload identifies the model family: IC, SR, NLP, or OD.
+	Workload string
+	// ModelConfig is the tuned configuration (e.g. a Report.BestConfig).
+	ModelConfig map[string]float64
+	// Devices lists the target devices; empty means all built-in ones.
+	Devices []string
+	// Metric is the inference objective (default MetricRuntime).
+	Metric Metric
+	// Trials is the number of inference configurations explored per
+	// device (default 24).
+	Trials int
+	// StorePath optionally persists results across calls.
+	StorePath string
+	// Seed drives determinism.
+	Seed uint64
+}
+
+// Recommend tunes the inference configuration of a trained model for
+// each requested device and returns one recommendation per device,
+// sorted by device name.
+func Recommend(ctx context.Context, req RecommendRequest) ([]InferenceRecommendation, error) {
+	if req.Workload == "" {
+		return nil, errors.New("edgetune: recommend needs a workload")
+	}
+	w, err := workload.New(req.Workload, req.Seed^0x9e3779b9)
+	if err != nil {
+		return nil, err
+	}
+	cfg := configFromMap(req.ModelConfig)
+	if _, _, err := w.PaperCost(cfg); err != nil {
+		return nil, err
+	}
+
+	names := req.Devices
+	if len(names) == 0 {
+		names = Devices()
+	}
+	devs := make([]device.Device, 0, len(names))
+	for _, n := range names {
+		d, err := device.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		devs = append(devs, d)
+	}
+
+	var st *store.Store
+	if req.StorePath != "" {
+		st, err = loadOrNewStore(req.StorePath)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		st = store.New()
+	}
+
+	entries, err := core.RecommendForDevices(ctx, w, cfg, devs, core.InferenceServerOptions{
+		Metric: core.Metric(req.Metric),
+		Trials: req.Trials,
+		Store:  st,
+		Seed:   req.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if req.StorePath != "" {
+		if err := st.Save(req.StorePath); err != nil {
+			return nil, err
+		}
+	}
+
+	recs := make([]InferenceRecommendation, len(entries))
+	for i, e := range entries {
+		recs[i] = InferenceRecommendation{
+			Device:           e.Device,
+			BatchSize:        int(e.Config[workload.ParamInferBatch]),
+			Cores:            int(e.Config[workload.ParamCores]),
+			FrequencyGHz:     e.Config[workload.ParamFreq],
+			Throughput:       e.Throughput,
+			EnergyPerSampleJ: e.EnergyPerSampleJ,
+			LatencySeconds:   e.LatencySeconds,
+		}
+	}
+	return recs, nil
+}

@@ -1,0 +1,90 @@
+package edgetune
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecommendAllDevices(t *testing.T) {
+	recs, err := Recommend(context.Background(), RecommendRequest{
+		Workload:    "IC",
+		ModelConfig: map[string]float64{"layers": 18},
+		Trials:      10,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d recommendations, want one per built-in device", len(recs))
+	}
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		seen[r.Device] = true
+		if r.BatchSize < 1 || r.Cores < 1 || r.Throughput <= 0 {
+			t.Errorf("implausible recommendation: %+v", r)
+		}
+	}
+	if len(seen) != 3 {
+		t.Error("duplicate devices in recommendations")
+	}
+}
+
+func TestRecommendSubsetAndMetric(t *testing.T) {
+	recs, err := Recommend(context.Background(), RecommendRequest{
+		Workload:    "OD",
+		ModelConfig: map[string]float64{"dropout": 0.3},
+		Devices:     []string{"rpi3b+"},
+		Metric:      MetricEnergy,
+		Trials:      8,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Device != "rpi3b+" {
+		t.Fatalf("recs = %+v, want only rpi3b+", recs)
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Recommend(ctx, RecommendRequest{}); err == nil {
+		t.Error("missing workload accepted")
+	}
+	if _, err := Recommend(ctx, RecommendRequest{Workload: "IC"}); err == nil {
+		t.Error("missing model config accepted")
+	}
+	if _, err := Recommend(ctx, RecommendRequest{
+		Workload:    "IC",
+		ModelConfig: map[string]float64{"layers": 18},
+		Devices:     []string{"tpu"},
+	}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestRecommendPersistentStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "recs.json")
+	req := RecommendRequest{
+		Workload:    "SR",
+		ModelConfig: map[string]float64{"embed_dim": 64},
+		Trials:      6,
+		StorePath:   path,
+		Seed:        9,
+	}
+	first, err := Recommend(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Recommend(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("persisted store returned a different recommendation: %+v vs %+v", first[i], second[i])
+		}
+	}
+}
