@@ -1,0 +1,25 @@
+#!/bin/sh
+# Local CI gate: formatting, vet, build, and the full test suite under
+# the race detector. Fails fast on the first problem.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: all checks passed"

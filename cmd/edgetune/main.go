@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"edgetune"
 )
@@ -46,6 +47,15 @@ func run(args []string, out io.Writer) error {
 		storePath    = fs.String("store", "", "persist the historical inference database to this JSON file")
 		seed         = fs.Uint64("seed", 1, "random seed (jobs are deterministic per seed)")
 		asJSON       = fs.Bool("json", false, "print the report as JSON")
+
+		faultCrash      = fs.Float64("fault-crash", 0, "probability a training trial crashes partway")
+		faultNaN        = fs.Float64("fault-nan", 0, "probability a training trial diverges to NaN")
+		faultStraggler  = fs.Float64("fault-straggler", 0, "probability a trial straggles (cost inflated)")
+		faultFlap       = fs.Float64("fault-flap", 0, "probability the edge device drops an inference attempt")
+		faultStoreWrite = fs.Float64("fault-store-write", 0, "probability a historical-store write fails")
+		faultDrop       = fs.Float64("fault-drop", 0, "probability an inference reply is lost in flight")
+		maxAttempts     = fs.Int("max-attempts", 0, "retry cap per training trial under faults (default 3)")
+		checkpoint      = fs.Bool("checkpoint", false, "checkpoint completed rungs for resumable tuning")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +83,16 @@ func run(args []string, out io.Writer) error {
 			StopAtTarget:       *stopAtTarget,
 			StorePath:          *storePath,
 			Seed:               *seed,
+			Faults: edgetune.FaultConfig{
+				TrialCrash:   *faultCrash,
+				TrialNaN:     *faultNaN,
+				Straggler:    *faultStraggler,
+				DeviceFlap:   *faultFlap,
+				StoreWrite:   *faultStoreWrite,
+				DroppedReply: *faultDrop,
+			},
+			MaxTrialAttempts: *maxAttempts,
+			Checkpoint:       *checkpoint,
 		}
 	}
 
@@ -100,16 +120,40 @@ func printReport(out io.Writer, r *edgetune.Report) {
 	fmt.Fprintf(out, "  best accuracy:     %.3f (max observed %.3f, target reached: %v)\n",
 		r.BestAccuracy, r.MaxAccuracy, r.ReachedTarget)
 	fmt.Fprintf(out, "  best configuration:\n")
-	for k, v := range r.BestConfig {
-		fmt.Fprintf(out, "    %-12s %g\n", k, v)
+	keys := make([]string, 0, len(r.BestConfig))
+	for k := range r.BestConfig {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(out, "    %-12s %g\n", k, r.BestConfig[k])
 	}
 	rec := r.Recommendation
 	if rec.BatchSize > 0 {
-		fmt.Fprintf(out, "  inference recommendation (%s):\n", rec.Device)
+		label := "inference recommendation"
+		if r.RecommendationDegraded {
+			label += " (degraded fallback)"
+		}
+		fmt.Fprintf(out, "  %s (%s):\n", label, rec.Device)
 		fmt.Fprintf(out, "    batch size    %d\n", rec.BatchSize)
 		fmt.Fprintf(out, "    cores         %d\n", rec.Cores)
 		fmt.Fprintf(out, "    frequency     %.2f GHz\n", rec.FrequencyGHz)
 		fmt.Fprintf(out, "    throughput    %.1f samples/s\n", rec.Throughput)
 		fmt.Fprintf(out, "    energy        %.3f J/sample\n", rec.EnergyPerSampleJ)
+	}
+	res := r.Resilience
+	if res.TotalFaults > 0 || res.Retries > 0 || res.ResumedRungs > 0 {
+		fmt.Fprintf(out, "  resilience:\n")
+		fmt.Fprintf(out, "    faults injected   %d\n", res.TotalFaults)
+		for _, f := range res.Faults {
+			fmt.Fprintf(out, "      %-15s %d\n", f.Class, f.Count)
+		}
+		fmt.Fprintf(out, "    retries           %d\n", res.Retries)
+		fmt.Fprintf(out, "    breaker open/half/close  %d/%d/%d\n",
+			res.BreakerOpens, res.BreakerHalfOpens, res.BreakerCloses)
+		fmt.Fprintf(out, "    degraded outcomes %d\n", res.Degraded)
+		if res.ResumedRungs > 0 {
+			fmt.Fprintf(out, "    resumed rungs     %d\n", res.ResumedRungs)
+		}
 	}
 }

@@ -93,6 +93,36 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunChaosTextReport(t *testing.T) {
+	path := quickJobFile(t, edgetune.Job{
+		Workload: "IC",
+		Seed:     1,
+		Faults:   edgetune.FaultConfig{TrialCrash: 0.3, DroppedReply: 0.3},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-job", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"resilience:", "faults injected", "retries"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("chaos report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFaultFlagValidation(t *testing.T) {
+	// An out-of-range probability must fail fast, before any trial runs
+	// — this exercises the flag plumbing without a full tuning job.
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "IC", "-fault-crash", "1.5"}, &out); err == nil {
+		t.Error("out-of-range -fault-crash accepted")
+	}
+	if err := run([]string{"-workload", "IC", "-max-attempts", "-2"}, &out); err == nil {
+		t.Error("negative -max-attempts accepted")
+	}
+}
+
 func TestRunNoInferenceOmitsRecommendation(t *testing.T) {
 	path := quickJobFile(t, edgetune.Job{Workload: "IC", Seed: 1, WithoutInference: true})
 	var out bytes.Buffer

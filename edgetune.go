@@ -29,7 +29,9 @@ import (
 	"os"
 
 	"edgetune/internal/core"
+	"edgetune/internal/counters"
 	"edgetune/internal/device"
+	"edgetune/internal/fault"
 	"edgetune/internal/search"
 	"edgetune/internal/store"
 	"edgetune/internal/workload"
@@ -127,6 +129,78 @@ type Job struct {
 	// Seed drives all randomised components; jobs are fully
 	// deterministic given a seed.
 	Seed uint64
+	// Faults injects deterministic failures into the trial and
+	// inference paths for resilience testing; the zero value injects
+	// nothing. Fault decisions derive from the job seed, so a faulty
+	// job replays exactly.
+	Faults FaultConfig
+	// MaxTrialAttempts caps retries per training trial under injected
+	// faults (default 3).
+	MaxTrialAttempts int
+	// Checkpoint records completed successive-halving rungs in the
+	// historical store (and, with StorePath set, on disk) so an
+	// interrupted job resumes without re-running finished trials.
+	Checkpoint bool
+}
+
+// FaultConfig sets per-site injection probabilities for the supported
+// failure classes (all in [0,1]; zero disables a class).
+type FaultConfig struct {
+	// TrialCrash kills a training trial partway through.
+	TrialCrash float64
+	// TrialNaN makes a trial diverge after consuming its full budget.
+	TrialNaN float64
+	// Straggler inflates a trial's cost by up to StragglerFactor.
+	Straggler float64
+	// StragglerFactor is the maximum slowdown multiplier (default 4).
+	StragglerFactor float64
+	// DeviceFlap makes the emulated edge device drop an inference
+	// tuning attempt.
+	DeviceFlap float64
+	// StoreWrite fails a write to the historical store.
+	StoreWrite float64
+	// DroppedReply loses an inference server reply in flight.
+	DroppedReply float64
+}
+
+func (f FaultConfig) toInternal() fault.Config {
+	return fault.Config{
+		TrialCrash:      f.TrialCrash,
+		TrialNaN:        f.TrialNaN,
+		Straggler:       f.Straggler,
+		StragglerFactor: f.StragglerFactor,
+		DeviceFlap:      f.DeviceFlap,
+		StoreWrite:      f.StoreWrite,
+		DroppedReply:    f.DroppedReply,
+	}
+}
+
+// FaultCount reports how often one injected fault class fired.
+type FaultCount struct {
+	Class string
+	Count int64
+}
+
+// ResilienceReport aggregates a job's fault-tolerance accounting.
+type ResilienceReport struct {
+	// TotalFaults counts every injected fault, with Faults breaking the
+	// total down by class.
+	TotalFaults int64
+	Faults      []FaultCount
+	// Retries counts re-run training trials and re-submitted inference
+	// requests.
+	Retries int64
+	// Breaker transition counts for the inference server's per-device
+	// circuit breaker.
+	BreakerOpens     int64
+	BreakerHalfOpens int64
+	BreakerCloses    int64
+	// Degraded counts outcomes served from fallbacks (historical store
+	// or performance-model estimate) instead of live inference tuning.
+	Degraded int64
+	// ResumedRungs counts successive-halving rungs restored from a
+	// checkpoint instead of re-run.
+	ResumedRungs int64
 }
 
 // InferenceRecommendation is the deployment configuration EdgeTune
@@ -177,6 +251,11 @@ type Report struct {
 	// Recommendation is the inference deployment advice (zero when
 	// WithoutInference was set).
 	Recommendation InferenceRecommendation
+	// RecommendationDegraded marks a recommendation that came from a
+	// fallback because live inference tuning was unavailable.
+	RecommendationDegraded bool
+	// Resilience reports fault injection and recovery accounting.
+	Resilience ResilienceReport
 }
 
 // Tune runs a tuning job to completion.
@@ -226,6 +305,14 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 		InferTrials:    job.InferenceTrials,
 		Store:          st,
 		Seed:           job.Seed,
+		Fault:          job.Faults.toInternal(),
+		MaxAttempts:    job.MaxTrialAttempts,
+		Checkpoint:     job.Checkpoint,
+	}
+	if job.Checkpoint && job.StorePath != "" {
+		// Flush checkpoints through the persisted store so a killed
+		// process can resume from disk.
+		opts.CheckpointPath = job.StorePath
 	}
 
 	var res core.Result
@@ -260,6 +347,9 @@ func buildReport(res core.Result) *Report {
 		TrialsRun:      res.TrialsRun,
 		CacheHits:      res.CacheHits,
 		CacheMisses:    res.CacheMisses,
+
+		RecommendationDegraded: res.RecommendationDegraded,
+		Resilience:             buildResilienceReport(res.Resilience),
 	}
 	if res.Recommendation.Signature != "" {
 		r.Recommendation = InferenceRecommendation{
@@ -271,6 +361,22 @@ func buildReport(res core.Result) *Report {
 			EnergyPerSampleJ: res.Recommendation.EnergyPerSampleJ,
 			LatencySeconds:   res.Recommendation.LatencySeconds,
 		}
+	}
+	return r
+}
+
+func buildResilienceReport(s counters.ResilienceSnapshot) ResilienceReport {
+	r := ResilienceReport{
+		TotalFaults:      s.TotalFaults,
+		Retries:          s.Retries,
+		BreakerOpens:     s.BreakerOpens,
+		BreakerHalfOpens: s.BreakerHalfOpens,
+		BreakerCloses:    s.BreakerCloses,
+		Degraded:         s.Degraded,
+		ResumedRungs:     s.ResumedRungs,
+	}
+	for _, f := range s.Faults {
+		r.Faults = append(r.Faults, FaultCount{Class: f.Class, Count: f.Count})
 	}
 	return r
 }

@@ -1,9 +1,13 @@
 package edgetune
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"path/filepath"
 	"testing"
+
+	"edgetune/internal/store"
 )
 
 func quickJob() Job {
@@ -134,6 +138,94 @@ func TestTuneDifferentDevicesDifferentRecommendations(t *testing.T) {
 	}
 	if recs["i7"].Throughput <= recs["rpi3b+"].Throughput {
 		t.Error("i7 recommendation should out-run the Pi")
+	}
+}
+
+func chaosJob() Job {
+	job := quickJob()
+	job.Brackets = 2
+	job.Faults = FaultConfig{
+		TrialCrash:   0.15,
+		Straggler:    0.2,
+		DeviceFlap:   0.1,
+		DroppedReply: 0.2,
+	}
+	return job
+}
+
+// TestTuneFaultyJobDeterministicReplay: fault injection derives from
+// the job seed, so two identical faulty jobs must produce byte-for-byte
+// identical reports.
+func TestTuneFaultyJobDeterministicReplay(t *testing.T) {
+	run := func() []byte {
+		rep, err := Tune(context.Background(), chaosJob())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed faulty jobs produced different reports:\n%s\n%s", a, b)
+	}
+	var rep Report
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resilience.TotalFaults == 0 {
+		t.Error("chaos job recorded no faults")
+	}
+	if rep.Recommendation.BatchSize < 1 {
+		t.Error("chaos job produced no recommendation")
+	}
+}
+
+func TestTuneFaultValidation(t *testing.T) {
+	job := quickJob()
+	job.Faults.TrialCrash = 1.5
+	if _, err := Tune(context.Background(), job); err == nil {
+		t.Error("out-of-range fault probability accepted")
+	}
+	job = quickJob()
+	job.MaxTrialAttempts = -1
+	if _, err := Tune(context.Background(), job); err == nil {
+		t.Error("negative attempt cap accepted")
+	}
+}
+
+// TestTuneCheckpointJobCompletes: a checkpointing job with a persisted
+// store finishes cleanly and retires its checkpoint from the file.
+func TestTuneCheckpointJobCompletes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.json")
+	job := quickJob()
+	job.StorePath = path
+	job.Checkpoint = true
+	rep, err := Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resilience.ResumedRungs != 0 {
+		t.Errorf("fresh job resumed %d rungs", rep.Resilience.ResumedRungs)
+	}
+	st, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys := st.CheckpointKeys(); len(keys) != 0 {
+		t.Errorf("completed job left checkpoints behind: %v", keys)
+	}
+	// Re-running the identical job must not be confused by the
+	// persisted store.
+	again, err := Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheMisses != 0 {
+		t.Errorf("second run missed the persisted store %d times", again.CacheMisses)
 	}
 }
 

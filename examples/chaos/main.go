@@ -1,0 +1,57 @@
+// Chaos: run a tuning job under deterministic fault injection — trial
+// crashes, NaN divergence, stragglers, a flaky edge device, store write
+// failures, and dropped inference replies — and show how the tuner
+// rides it out with retries, a circuit breaker, and degraded fallbacks
+// while still producing a recommendation. Re-running with the same seed
+// replays the exact same faults and the exact same report.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"edgetune"
+)
+
+func main() {
+	report, err := edgetune.Tune(context.Background(), edgetune.Job{
+		Workload: "IC",
+		Configs:  4,
+		Rungs:    4,
+		Brackets: 2,
+		Seed:     42,
+		Faults: edgetune.FaultConfig{
+			TrialCrash:   0.15, // trials die partway through training
+			TrialNaN:     0.05, // trials diverge after a full budget
+			Straggler:    0.20, // trials run up to 4x slower
+			DeviceFlap:   0.10, // the edge device drops tuning attempts
+			StoreWrite:   0.10, // the historical store loses writes
+			DroppedReply: 0.15, // inference replies vanish in flight
+		},
+		Checkpoint: true, // completed rungs survive a kill
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tuned %s through the chaos: %d trials, %.1f simulated minutes\n",
+		report.Workload, report.TrialsRun, report.TuningMinutes)
+
+	res := report.Resilience
+	fmt.Printf("\nfaults injected: %d\n", res.TotalFaults)
+	for _, f := range res.Faults {
+		fmt.Printf("  %-15s %d\n", f.Class, f.Count)
+	}
+	fmt.Printf("retries: %d, degraded outcomes: %d\n", res.Retries, res.Degraded)
+	fmt.Printf("breaker transitions (open/half-open/close): %d/%d/%d\n",
+		res.BreakerOpens, res.BreakerHalfOpens, res.BreakerCloses)
+
+	rec := report.Recommendation
+	suffix := ""
+	if report.RecommendationDegraded {
+		suffix = " (degraded fallback)"
+	}
+	fmt.Printf("\nstill recommends%s: batch %d, %d cores at %.2f GHz on %s\n",
+		suffix, rec.BatchSize, rec.Cores, rec.FrequencyGHz, rec.Device)
+}

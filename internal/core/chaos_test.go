@@ -1,0 +1,415 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"edgetune/internal/fault"
+	"edgetune/internal/store"
+)
+
+// chaosOptions is smallOptions with one fault class dialled up.
+func chaosOptions(cfg fault.Config) Options {
+	opts := smallOptions("IC")
+	opts.Fault = cfg
+	return opts
+}
+
+// TestTuneUnderEachFaultClass drives the full tuning loop with each
+// fault class at a substantial rate: the job must still return a
+// recommendation, record the injected faults, and be deterministic
+// across identical runs.
+func TestTuneUnderEachFaultClass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	cases := []struct {
+		name  string
+		class fault.Class
+		cfg   fault.Config
+	}{
+		{"trial-crash", fault.TrialCrash, fault.Config{TrialCrash: 0.15}},
+		{"trial-nan", fault.TrialNaN, fault.Config{TrialNaN: 0.15}},
+		{"straggler", fault.Straggler, fault.Config{Straggler: 0.25, StragglerFactor: 3}},
+		{"device-flap", fault.DeviceFlap, fault.Config{DeviceFlap: 0.2}},
+		{"store-write", fault.StoreWrite, fault.Config{StoreWrite: 0.2}},
+		{"dropped-reply", fault.DroppedReply, fault.Config{DroppedReply: 0.2}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			a, err := Tune(context.Background(), chaosOptions(tc.cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Recommendation.Signature == "" {
+				t.Error("no recommendation under faults")
+			}
+			if a.BestConfig == nil {
+				t.Error("no best config under faults")
+			}
+			if got := a.Resilience.FaultCount(string(tc.class)); got == 0 {
+				t.Errorf("no %s faults recorded in %d trials", tc.class, a.TrialsRun)
+			}
+			b, err := Tune(context.Background(), chaosOptions(tc.cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.BestScore != b.BestScore || a.TuningDuration != b.TuningDuration {
+				t.Errorf("same-seed chaos runs differ: %v/%v vs %v/%v",
+					a.BestScore, a.TuningDuration, b.BestScore, b.TuningDuration)
+			}
+			if !reflect.DeepEqual(a.Resilience, b.Resilience) {
+				t.Errorf("resilience counters differ across identical runs:\n%+v\n%+v",
+					a.Resilience, b.Resilience)
+			}
+		})
+	}
+}
+
+// TestTuneUnderCombinedFaults turns every class on at once.
+func TestTuneUnderCombinedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	cfg := fault.Config{
+		TrialCrash:   0.1,
+		TrialNaN:     0.1,
+		Straggler:    0.1,
+		DeviceFlap:   0.1,
+		StoreWrite:   0.1,
+		DroppedReply: 0.1,
+	}
+	res, err := Tune(context.Background(), chaosOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recommendation.Signature == "" {
+		t.Error("no recommendation under combined faults")
+	}
+	if res.Resilience.TotalFaults == 0 {
+		t.Error("no faults recorded with every class enabled")
+	}
+	// Retry cost must be charged to the budget: a clean run of the same
+	// job is never more expensive.
+	clean, err := Tune(context.Background(), smallOptions("IC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilience.Retries > 0 && res.TuningDuration <= clean.TuningDuration {
+		t.Errorf("faulty run (%d retries) not costlier: %v vs clean %v",
+			res.Resilience.Retries, res.TuningDuration, clean.TuningDuration)
+	}
+}
+
+// TestTuneDegradesWhenDeviceIsDown: with the device flapping on every
+// request, the breaker must open and the tuner must fall back to
+// estimated inference data — degraded, but a recommendation all the
+// same.
+func TestTuneDegradesWhenDeviceIsDown(t *testing.T) {
+	res, err := Tune(context.Background(), chaosOptions(fault.Config{DeviceFlap: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilience.BreakerOpens == 0 {
+		t.Error("breaker never opened with the device permanently down")
+	}
+	if res.Resilience.Degraded == 0 {
+		t.Error("no degraded outcomes with live inference impossible")
+	}
+	if !res.RecommendationDegraded {
+		t.Error("final recommendation not marked degraded")
+	}
+	if res.Recommendation.Throughput <= 0 {
+		t.Errorf("degraded recommendation implausible: %+v", res.Recommendation)
+	}
+	degraded := 0
+	for _, tr := range res.Trials {
+		if tr.Outcome == OutcomeDegraded {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Error("no trial records marked degraded")
+	}
+}
+
+// TestTuneFailedTrialsAreDropped: with crashes certain, every trial
+// exhausts its attempts; the bracket completes with failed records and
+// the job reports that nothing succeeded instead of crashing.
+func TestTuneAllTrialsFail(t *testing.T) {
+	opts := chaosOptions(fault.Config{TrialCrash: 1})
+	opts.MaxBrackets = 1
+	_, err := Tune(context.Background(), opts)
+	if err == nil || err.Error() != "core: no successful trials" {
+		t.Errorf("err = %v, want no-successful-trials", err)
+	}
+}
+
+// TestTuneFailedTrialAccounting: at a moderate crash rate, failed and
+// retried trials appear in the records with their attempts and retry
+// cost, and failed trials never win.
+func TestTuneFailedTrialAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	opts := chaosOptions(fault.Config{TrialCrash: 0.4})
+	opts.MaxAttempts = 2
+	res, err := Tune(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRetry, sawFailed := false, false
+	for _, tr := range res.Trials {
+		if tr.Attempts > 1 {
+			sawRetry = true
+			if tr.RetryCost.Duration <= 0 {
+				t.Errorf("retried trial charged no retry cost: %+v", tr)
+			}
+		}
+		if tr.Outcome == OutcomeFailed {
+			sawFailed = true
+			if tr.Score != failedTrialScore {
+				t.Errorf("failed trial score = %v", tr.Score)
+			}
+			if tr.Config.Key() == res.BestConfig.Key() && res.BestScore == failedTrialScore {
+				t.Error("failed trial selected as best")
+			}
+		}
+	}
+	if !sawRetry {
+		t.Error("no retried trials at 40% crash rate")
+	}
+	if !sawFailed {
+		t.Skip("no exhausted trials this seed; retry accounting still covered")
+	}
+}
+
+// errKilled simulates a process kill at a rung boundary.
+var errKilled = errors.New("chaos: killed")
+
+// TestTuneCheckpointResume kills the job after an early rung and
+// resumes it from the store checkpoint: the resumed run must re-execute
+// zero completed rungs and finish the full schedule.
+func TestTuneCheckpointResume(t *testing.T) {
+	st := store.New()
+	makeOpts := func() Options {
+		opts := smallOptions("IC")
+		opts.Store = st
+		opts.Checkpoint = true
+		return opts
+	}
+
+	// Reference: the same job uninterrupted, on a fresh store.
+	full, err := Tune(context.Background(), func() Options {
+		o := smallOptions("IC")
+		o.Checkpoint = true
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: kill after bracket 0, rung 1.
+	partialOpts := makeOpts()
+	partialOpts.afterRung = func(bracket, rung int) error {
+		if bracket == 0 && rung == 1 {
+			return errKilled
+		}
+		return nil
+	}
+	partial, err := Tune(context.Background(), partialOpts)
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("kill hook not honoured: %v", err)
+	}
+	if partial.TrialsRun == 0 || partial.TrialsRun >= full.TrialsRun {
+		t.Fatalf("partial run executed %d trials, full schedule is %d", partial.TrialsRun, full.TrialsRun)
+	}
+	if len(st.CheckpointKeys()) != 1 {
+		t.Fatalf("checkpoint keys = %v", st.CheckpointKeys())
+	}
+
+	// Phase 2: resume with identical options against the same store.
+	resumed, err := Tune(context.Background(), makeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero re-execution: the restored trials plus the freshly executed
+	// ones exactly fill the schedule.
+	if resumed.TrialsRun != full.TrialsRun {
+		t.Errorf("resumed run finished with %d trials, schedule is %d (re-ran completed rungs?)",
+			resumed.TrialsRun, full.TrialsRun)
+	}
+	newTrials := resumed.TrialsRun - partial.TrialsRun
+	if newTrials <= 0 || newTrials >= full.TrialsRun {
+		t.Errorf("resume executed %d new trials, want a strict remainder of %d", newTrials, full.TrialsRun)
+	}
+	if resumed.Resilience.ResumedRungs != 2 {
+		t.Errorf("ResumedRungs = %d, want 2", resumed.Resilience.ResumedRungs)
+	}
+	// Each (bracket, rung) slot holds exactly the halving schedule's
+	// population — a re-executed rung would double its records.
+	wantPerRung := map[[2]int]int{}
+	for _, tr := range full.Trials {
+		wantPerRung[[2]int{tr.Bracket, tr.Rung}]++
+	}
+	gotPerRung := map[[2]int]int{}
+	for _, tr := range resumed.Trials {
+		gotPerRung[[2]int{tr.Bracket, tr.Rung}]++
+	}
+	if !reflect.DeepEqual(wantPerRung, gotPerRung) {
+		t.Errorf("per-rung trial counts differ:\nfull:    %v\nresumed: %v", wantPerRung, gotPerRung)
+	}
+	if resumed.Recommendation.Signature == "" {
+		t.Error("resumed run produced no recommendation")
+	}
+	// A successful run retires its checkpoint.
+	if keys := st.CheckpointKeys(); len(keys) != 0 {
+		t.Errorf("checkpoint not cleared after success: %v", keys)
+	}
+}
+
+// TestTuneCheckpointResumeAtBracketBoundary kills exactly at the end of
+// bracket 0; the resume must start bracket 1 with a fresh population.
+func TestTuneCheckpointResumeAtBracketBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	st := store.New()
+	opts := smallOptions("IC")
+	opts.Store = st
+	opts.Checkpoint = true
+	opts.afterRung = func(bracket, rung int) error {
+		if bracket == 0 && rung == opts.Rungs-1 {
+			return errKilled
+		}
+		return nil
+	}
+	partial, err := Tune(context.Background(), opts)
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("kill hook not honoured: %v", err)
+	}
+	opts.afterRung = nil
+	resumed, err := Tune(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resilience.ResumedRungs != int64(opts.Rungs) {
+		t.Errorf("ResumedRungs = %d, want %d", resumed.Resilience.ResumedRungs, opts.Rungs)
+	}
+	if resumed.TrialsRun != 2*partial.TrialsRun {
+		t.Errorf("resumed %d trials, want %d (one full extra bracket)", resumed.TrialsRun, 2*partial.TrialsRun)
+	}
+	for _, tr := range resumed.Trials[partial.TrialsRun:] {
+		if tr.Bracket != 1 {
+			t.Fatalf("resume re-entered bracket %d", tr.Bracket)
+		}
+	}
+}
+
+// TestTuneCheckpointSurvivesKill persists checkpoints through the store
+// file, as a killed process would leave behind, and resumes from a
+// freshly loaded store.
+func TestTuneCheckpointSurvivesKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	path := t.TempDir() + "/store.json"
+	opts := smallOptions("IC")
+	opts.Store = store.New()
+	opts.Checkpoint = true
+	opts.CheckpointPath = path
+	opts.afterRung = func(bracket, rung int) error {
+		if bracket == 0 && rung == 0 {
+			return errKilled
+		}
+		return nil
+	}
+	partial, err := Tune(context.Background(), opts)
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("kill hook not honoured: %v", err)
+	}
+
+	// "New process": reload everything from disk.
+	loaded, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2 := smallOptions("IC")
+	opts2.Store = loaded
+	opts2.Checkpoint = true
+	opts2.CheckpointPath = path
+	resumed, err := Tune(context.Background(), opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resilience.ResumedRungs != 1 {
+		t.Errorf("ResumedRungs = %d, want 1", resumed.Resilience.ResumedRungs)
+	}
+	if resumed.TrialsRun <= partial.TrialsRun {
+		t.Error("resume from disk did not continue the schedule")
+	}
+	if keys := loaded.CheckpointKeys(); len(keys) != 0 {
+		t.Errorf("checkpoint not cleared: %v", keys)
+	}
+}
+
+// TestTuneCheckpointIgnoredForDifferentJob: a checkpoint must only be
+// resumed by the job shape that wrote it.
+func TestTuneCheckpointIgnoredForDifferentJob(t *testing.T) {
+	st := store.New()
+	opts := smallOptions("IC")
+	opts.Store = st
+	opts.Checkpoint = true
+	opts.afterRung = func(bracket, rung int) error { return errKilled }
+	if _, err := Tune(context.Background(), opts); !errors.Is(err, errKilled) {
+		t.Fatal(err)
+	}
+	other := smallOptions("IC")
+	other.Store = st
+	other.Checkpoint = true
+	other.Seed = 99 // different job shape -> different checkpoint key
+	res, err := Tune(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilience.ResumedRungs != 0 {
+		t.Errorf("foreign checkpoint resumed %d rungs", res.Resilience.ResumedRungs)
+	}
+}
+
+// TestTuneChaosWithCheckpointDeterministic: checkpointing plus faults
+// plus a kill/resume still yields deterministic resilience accounting
+// for the resumed portion.
+func TestTuneChaosResumeCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	st := store.New()
+	opts := chaosOptions(fault.Config{TrialCrash: 0.1, DroppedReply: 0.1})
+	opts.Store = st
+	opts.Checkpoint = true
+	opts.afterRung = func(bracket, rung int) error {
+		if bracket == 1 && rung == 0 {
+			return errKilled
+		}
+		return nil
+	}
+	if _, err := Tune(context.Background(), opts); !errors.Is(err, errKilled) {
+		t.Fatal(err)
+	}
+	opts.afterRung = nil
+	resumed, err := Tune(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Recommendation.Signature == "" {
+		t.Error("no recommendation after chaotic resume")
+	}
+	if resumed.Resilience.ResumedRungs == 0 {
+		t.Error("resume did not skip completed rungs")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"edgetune/internal/counters"
+	"edgetune/internal/search"
+	"edgetune/internal/store"
+)
+
+// checkpointVersion guards the serialized layout; a mismatch discards
+// the checkpoint rather than resuming from incompatible state.
+const checkpointVersion = 1
+
+// cpMember is one surviving population member at a checkpoint.
+type cpMember struct {
+	Config search.Config `json:"config"`
+	Score  float64       `json:"score"`
+}
+
+// tuneCheckpoint captures everything needed to resume a Tune call
+// after the last completed rung: the surviving population, the
+// accumulated result, the incumbent, and the resilience counters. It
+// is serialized into the historical store (and through it to disk when
+// the store is persisted), so a killed job resumes without re-running
+// finished trials.
+type tuneCheckpoint struct {
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+	// Bracket/NextRung locate the next unit of work. A bracket
+	// boundary is encoded as (bracket+1, 0) with a nil population.
+	Bracket  int        `json:"bracket"`
+	NextRung int        `json:"nextRung"`
+	Pop      []cpMember `json:"population,omitempty"`
+
+	Trials         []TrialRecord `json:"trials"`
+	TrialsRun      int           `json:"trialsRun"`
+	TuningNanos    int64         `json:"tuningNanos"`
+	TuningEnergyKJ float64       `json:"tuningEnergyKJ"`
+	MaxAccuracy    float64       `json:"maxAccuracy"`
+	ReachedTarget  bool          `json:"reachedTarget"`
+
+	HasBest      bool          `json:"hasBest"`
+	BestScore    float64       `json:"bestScore"`
+	BestConfig   search.Config `json:"bestConfig,omitempty"`
+	BestAccuracy float64       `json:"bestAccuracy"`
+	BestMeets    bool          `json:"bestMeets"`
+
+	Resilience counters.ResilienceSnapshot `json:"resilience"`
+}
+
+// checkpointKey identifies a job's checkpoint slot: resuming is only
+// valid when the job shape that produced the checkpoint matches.
+func checkpointKey(o Options) string {
+	return fmt.Sprintf("tune/%s/%s/%s/%s/%s/eta%d/c%d/r%d/b%d/seed%d/sys%t/inf%t/acc%t",
+		o.Workload.ID, o.Device.Profile.Name, o.Metric, o.BudgetKind, o.ModelAlgo,
+		o.Eta, o.InitialConfigs, o.Rungs, o.MaxBrackets, o.Seed,
+		o.SystemParams, o.InferenceAware, o.AccuracyOnly)
+}
+
+// saveCheckpoint serializes the in-progress state into the store and,
+// when a path is configured, flushes the store to disk so the
+// checkpoint survives a process kill.
+func saveCheckpoint(st *store.Store, path string, cp tuneCheckpoint) error {
+	cp.Version = checkpointVersion
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("core: marshal checkpoint: %w", err)
+	}
+	if err := st.SaveCheckpoint(cp.Key, data); err != nil {
+		return err
+	}
+	if path != "" {
+		if err := st.Save(path); err != nil {
+			return fmt.Errorf("core: flush checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// loadCheckpoint returns the stored checkpoint for key, if one exists
+// and is compatible.
+func loadCheckpoint(st *store.Store, key string) (tuneCheckpoint, bool) {
+	var cp tuneCheckpoint
+	data, ok := st.LoadCheckpoint(key)
+	if !ok {
+		return cp, false
+	}
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return tuneCheckpoint{}, false
+	}
+	if cp.Version != checkpointVersion || cp.Key != key {
+		return tuneCheckpoint{}, false
+	}
+	return cp, true
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -94,6 +95,88 @@ func TestAwaitOutcomePropagatesErrors(t *testing.T) {
 	cancel()
 	if _, err := awaitOutcome(ctx, make(chan InferOutcome), time.Second); err == nil {
 		t.Error("context cancellation not propagated")
+	}
+}
+
+// slowInfServer builds a single-worker server whose uncached requests
+// take long enough to hold the worker while later submissions queue.
+func slowInfServer(t *testing.T, trials int) *InferenceServer {
+	t.Helper()
+	w := workload.MustNew("IC", 1)
+	dev := device.I7()
+	space, err := w.InferenceSpace(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewInferenceServer(InferenceServerOptions{
+		Device:  dev,
+		Space:   space,
+		Metric:  MetricRuntime,
+		Trials:  trials,
+		Workers: 1,
+		Store:   store.New(),
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestInferenceServerSubmitHonoursContextWhileQueued: with the only
+// worker busy, a queued request whose context is cancelled must fail
+// promptly instead of waiting for the worker to free up.
+func TestInferenceServerSubmitHonoursContextWhileQueued(t *testing.T) {
+	srv := slowInfServer(t, 2_000_000)
+	busyCtx, busyCancel := context.WithCancel(context.Background())
+	busy := srv.Submit(busyCtx, icRequest())
+
+	// Submit applies backpressure: with the only worker busy it blocks
+	// until the queue accepts the job or the caller's context fires, so
+	// the deadline below is what unblocks it.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	queued := srv.Submit(ctx, InferRequest{
+		Signature: "IC/layers=34", FLOPsPerSample: 1.2e9, Params: 21e6,
+	})
+	select {
+	case out := <-queued:
+		if out.Err == nil {
+			t.Error("cancelled queued request succeeded")
+		} else if !errors.Is(out.Err, context.DeadlineExceeded) {
+			t.Errorf("queued request error = %v, want its context's deadline", out.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled queued request never replied")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("cancelled request waited %v for the busy worker", waited)
+	}
+	busyCancel()
+	<-busy // drain so Close does not race the in-flight request
+}
+
+// TestInferenceServerCancelMidTune: cancelling the caller's context
+// while its request is being tuned aborts between inference trials, and
+// a caller cancellation must not trip the device's breaker.
+func TestInferenceServerCancelMidTune(t *testing.T) {
+	srv := slowInfServer(t, 2_000_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := srv.Submit(ctx, icRequest())
+	time.Sleep(20 * time.Millisecond) // let the worker start tuning
+	cancel()
+	select {
+	case out := <-ch:
+		if out.Err == nil {
+			t.Error("cancelled mid-tune request succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not abort the tuning loop")
+	}
+	if st := srv.br.snapshotState(); st != breakerClosed {
+		t.Errorf("caller cancellation moved the breaker to state %d", st)
 	}
 }
 

@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"edgetune/internal/counters"
 	"edgetune/internal/device"
+	"edgetune/internal/fault"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
 	"edgetune/internal/store"
@@ -30,7 +32,8 @@ type InferOutcome struct {
 	// Cached reports whether the result came from the historical store.
 	Cached bool
 	// TuningCost is the simulated cost of the inference trials run (zero
-	// when cached).
+	// when cached). Failed attempts still charge their cost, so
+	// resilience is inference-aware too.
 	TuningCost perfmodel.Cost
 	// Err carries a per-request failure.
 	Err error
@@ -59,6 +62,24 @@ type InferenceServerOptions struct {
 	// Seed drives deterministic, order-independent tuning: each
 	// request's sampler is seeded from the signature.
 	Seed uint64
+	// Fault optionally injects device-flap, store-write, and
+	// dropped-reply faults (nil = none).
+	Fault *fault.Injector
+	// Recorder accumulates resilience counters (nil = not recorded).
+	Recorder *counters.Resilience
+	// MaxAttempts bounds the per-request tuning attempts when injected
+	// faults make the device flap or the store write fail (default 3).
+	MaxAttempts int
+	// BreakerThreshold is the number of consecutive request failures
+	// that opens the per-device circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is the number of fast-failed requests an open
+	// breaker rejects before half-opening a probe (default 2; doubles
+	// after each failed probe).
+	BreakerCooldown int
+	// RequestTimeout bounds one request's serving wall time
+	// (default 30s).
+	RequestTimeout time.Duration
 }
 
 func (o *InferenceServerOptions) normalise() error {
@@ -83,18 +104,37 @@ func (o *InferenceServerOptions) normalise() error {
 	if o.Workers <= 0 {
 		o.Workers = 2
 	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
 	return nil
 }
 
 // InferenceServer is the asynchronous inference tuning component
 // (§3.4). Requests are pipelined through a worker pool; completed
 // results land in the historical store and duplicate in-flight requests
-// are coalesced.
+// are coalesced. The serving path is resilient: injected faults are
+// retried up to MaxAttempts per request, and a per-device circuit
+// breaker fast-fails callers while the device is misbehaving so the
+// Model Tuning Server can degrade to historical or estimated results
+// instead of stalling.
 type InferenceServer struct {
 	opts InferenceServerOptions
 
 	mu      sync.Mutex
 	pending map[string][]chan InferOutcome // waiters per in-flight signature
+	seq     int                            // request sequence, for per-request fault sites
+
+	br *breaker // per-device breaker (one device per server)
 
 	reqCh chan inferJob
 	wg    sync.WaitGroup
@@ -103,6 +143,9 @@ type InferenceServer struct {
 }
 
 type inferJob struct {
+	// ctx is the submitting caller's context; the worker honours it
+	// while the request is queued and between inference trials.
+	ctx   context.Context
 	req   InferRequest
 	reply chan InferOutcome
 }
@@ -116,6 +159,7 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 	s := &InferenceServer{
 		opts:    opts,
 		pending: make(map[string][]chan InferOutcome),
+		br:      newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Recorder),
 		reqCh:   make(chan inferJob),
 		stop:    make(chan struct{}),
 	}
@@ -134,7 +178,9 @@ func (s *InferenceServer) Close() {
 
 // Submit asynchronously requests tuning for req and returns a channel
 // that will receive exactly one outcome. Duplicate submissions of the
-// same in-flight signature share a single tuning run.
+// same in-flight signature share a single tuning run. Caller
+// cancellation is honoured while the request is queued and while it is
+// being tuned, and an open circuit breaker fails the request fast.
 func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan InferOutcome {
 	out := make(chan InferOutcome, 1)
 	if req.Signature == "" {
@@ -142,9 +188,28 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 		return out
 	}
 
-	// Fast path: historical store (§3.4 table look-up).
+	// Fast path: historical store (§3.4 table look-up). Cache hits
+	// bypass the breaker — they need no device. The reply itself can
+	// still be dropped in flight: the site is per-request, so a
+	// resubmission rolls a fresh decision.
 	if e, err := s.opts.Store.Get(req.Signature, s.opts.Device.Profile.Name); err == nil {
+		s.mu.Lock()
+		seq := s.seq
+		s.seq++
+		s.mu.Unlock()
+		if ferr := s.opts.Fault.Fail(fault.DroppedReply, fmt.Sprintf("%s#%d", req.Signature, seq), 0); ferr != nil {
+			out <- InferOutcome{Err: ferr}
+			return out
+		}
 		out <- InferOutcome{Entry: e, Cached: true}
+		return out
+	}
+
+	// Fail fast while the device's breaker is rejecting traffic; the
+	// caller falls back to degraded data instead of queueing work that
+	// is known to fail.
+	if !s.br.allow() {
+		out <- InferOutcome{Err: ErrCircuitOpen}
 		return out
 	}
 
@@ -178,7 +243,7 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	}()
 
 	select {
-	case s.reqCh <- inferJob{req: req, reply: reply}:
+	case s.reqCh <- inferJob{ctx: ctx, req: req, reply: reply}:
 	case <-s.stop:
 		reply <- InferOutcome{Err: errors.New("core: inference server shut down")}
 	case <-ctx.Done():
@@ -187,33 +252,94 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	return out
 }
 
-// worker drains the request channel, tuning one request at a time.
+// worker drains the request channel, serving one request at a time and
+// keeping the breaker's view of the device up to date.
 func (s *InferenceServer) worker() {
 	defer s.wg.Done()
 	for {
 		select {
 		case job := <-s.reqCh:
-			entry, cost, err := s.tune(job.req)
-			if err != nil {
-				job.reply <- InferOutcome{Err: err}
-				continue
+			out := s.serve(job.ctx, job.req)
+			switch {
+			case out.Err == nil:
+				s.br.success()
+			case errors.Is(out.Err, context.Canceled):
+				// Caller walked away; says nothing about the device.
+			default:
+				s.br.failure()
 			}
-			if err := s.opts.Store.Put(entry); err != nil {
-				job.reply <- InferOutcome{Err: err}
-				continue
-			}
-			job.reply <- InferOutcome{Entry: entry, TuningCost: cost}
+			job.reply <- out
 		case <-s.stop:
 			return
 		}
 	}
 }
 
+// serve runs one request end to end: tune, persist, reply — each step
+// subject to injected faults and retried up to MaxAttempts, with every
+// attempt's simulated cost charged to the request.
+func (s *InferenceServer) serve(ctx context.Context, req InferRequest) InferOutcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.opts.RequestTimeout)
+	defer cancel()
+
+	var total perfmodel.Cost
+	var lastErr error
+	for attempt := 0; attempt < s.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.opts.Recorder.AddRetry()
+		}
+		entry, cost, err := s.tune(ctx, req, attempt)
+		total = total.Add(cost)
+		if err != nil {
+			lastErr = err
+			if fault.IsFault(err) {
+				continue // transient by construction: retry
+			}
+			break // organic error or cancellation: not retryable here
+		}
+		if err := s.putEntry(req, entry, attempt); err != nil {
+			lastErr = err
+			if fault.IsFault(err) {
+				continue
+			}
+			break
+		}
+		// The work is done and stored; the reply itself can still be
+		// lost in flight. A retrying caller then recovers cheaply via
+		// the store fast path.
+		if ferr := s.opts.Fault.Fail(fault.DroppedReply, req.Signature, attempt); ferr != nil {
+			return InferOutcome{Err: ferr, TuningCost: total}
+		}
+		return InferOutcome{Entry: entry, TuningCost: total}
+	}
+	return InferOutcome{Err: lastErr, TuningCost: total}
+}
+
+// putEntry persists a tuning result, subject to injected store-write
+// failures.
+func (s *InferenceServer) putEntry(req InferRequest, entry store.Entry, attempt int) error {
+	if ferr := s.opts.Fault.Fail(fault.StoreWrite, req.Signature, attempt); ferr != nil {
+		return ferr
+	}
+	return s.opts.Store.Put(entry)
+}
+
 // tune runs the inference parameter search for one architecture: the
 // §3.4 process of exploring batch size and system parameters on the
-// emulated device with the configured algorithm and objective.
-func (s *InferenceServer) tune(req InferRequest) (store.Entry, perfmodel.Cost, error) {
+// emulated device with the configured algorithm and objective. The
+// sampler seed depends only on the signature, so a retried attempt
+// reproduces the same search — attempts differ only in which faults
+// fire.
+func (s *InferenceServer) tune(ctx context.Context, req InferRequest, attempt int) (store.Entry, perfmodel.Cost, error) {
 	var cost perfmodel.Cost
+	// Injected device flap: the emulated board dropped off the network
+	// for this attempt.
+	if ferr := s.opts.Fault.Fail(fault.DeviceFlap, req.Signature, attempt); ferr != nil {
+		return store.Entry{}, cost, ferr
+	}
 	sampler, err := search.NewSampler(s.opts.Algo, s.opts.Space, s.opts.Seed^hashSignature(req.Signature))
 	if err != nil {
 		return store.Entry{}, cost, err
@@ -225,6 +351,11 @@ func (s *InferenceServer) tune(req InferRequest) (store.Entry, perfmodel.Cost, e
 		bestScore = -1.0
 	)
 	for i := 0; i < s.opts.Trials; i++ {
+		// Honour cancellation and the per-request deadline between
+		// trials, not only at request boundaries.
+		if err := ctx.Err(); err != nil {
+			return store.Entry{}, cost, err
+		}
 		cfg := sampler.Sample()
 		spec := perfmodel.InferSpec{
 			FLOPsPerSample: req.FLOPsPerSample,
@@ -273,6 +404,15 @@ func hashSignature(s string) uint64 {
 	return h
 }
 
+// transientInferError reports whether an inference outcome error is
+// worth a cheap resubmit or a degraded fallback (injected faults,
+// breaker rejections, missed deadlines) rather than a hard abort.
+func transientInferError(err error) bool {
+	return fault.IsFault(err) ||
+		errors.Is(err, ErrCircuitOpen) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // awaitOutcome blocks for an outcome with a deadline, used by the model
 // server to enforce the containment claim (§3.3: the inference result
 // must arrive before the training trial ends).
@@ -286,7 +426,7 @@ func awaitOutcome(ctx context.Context, ch <-chan InferOutcome, limit time.Durati
 		}
 		return res, nil
 	case <-timer.C:
-		return InferOutcome{}, fmt.Errorf("core: inference result missed the %v deadline", limit)
+		return InferOutcome{}, fmt.Errorf("core: inference result missed the %v deadline: %w", limit, context.DeadlineExceeded)
 	case <-ctx.Done():
 		return InferOutcome{}, ctx.Err()
 	}

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"edgetune/internal/budget"
+	"edgetune/internal/counters"
 	"edgetune/internal/device"
+	"edgetune/internal/fault"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
 	"edgetune/internal/store"
@@ -75,6 +77,33 @@ type Options struct {
 	Store *store.Store
 	// Seed drives all randomised components.
 	Seed uint64
+
+	// Fault configures deterministic fault injection across the trial
+	// and inference paths; the zero value injects nothing.
+	Fault fault.Config
+	// MaxAttempts caps the attempts per training trial under injected
+	// faults (default 3); it also bounds the inference server's
+	// per-request retries.
+	MaxAttempts int
+	// RetryBaseDelay is the simulated backoff base between trial
+	// attempts (default 5s); attempt n waits base·2ⁿ·(1+jitter), and
+	// the wait is charged to the tuning budget like any other cost.
+	RetryBaseDelay time.Duration
+	// BreakerThreshold and BreakerCooldown configure the inference
+	// server's per-device circuit breaker (defaults 3 and 2).
+	BreakerThreshold int
+	BreakerCooldown  int
+	// Checkpoint serializes completed rungs into the Store so a
+	// killed/cancelled job can resume without re-running them.
+	Checkpoint bool
+	// CheckpointPath additionally flushes the Store to this file after
+	// each rung, making checkpoints durable across process kills.
+	CheckpointPath string
+
+	// afterRung, when non-nil, runs after each completed (and
+	// checkpointed) rung; a non-nil return aborts the job. Test-only:
+	// it simulates a kill at a deterministic point.
+	afterRung func(bracket, rung int) error
 }
 
 func (o *Options) normalise() error {
@@ -135,8 +164,41 @@ func (o *Options) normalise() error {
 	if o.Store == nil {
 		o.Store = store.New()
 	}
+	if err := o.Fault.Validate(); err != nil {
+		return err
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 3
+	}
+	if o.MaxAttempts < 1 {
+		return fmt.Errorf("core: max attempts %d must be >= 1", o.MaxAttempts)
+	}
+	if o.RetryBaseDelay == 0 {
+		o.RetryBaseDelay = 5 * time.Second
+	}
+	if o.RetryBaseDelay < 0 {
+		return fmt.Errorf("core: negative retry base delay %v", o.RetryBaseDelay)
+	}
 	return nil
 }
+
+// Trial outcomes: how the record's scores were obtained.
+const (
+	// OutcomeOK is a fully measured trial.
+	OutcomeOK = "ok"
+	// OutcomeDegraded means the inference term came from a fallback
+	// (historical store or performance-model estimate) because live
+	// inference tuning was unavailable.
+	OutcomeDegraded = "degraded"
+	// OutcomeFailed means every attempt failed; the trial was dropped
+	// from the bracket without killing the job.
+	OutcomeFailed = "failed"
+)
+
+// failedTrialScore ranks failed trials behind every real score while
+// staying JSON-serialisable (checkpoints round-trip through encoding/
+// json, which rejects infinities).
+const failedTrialScore = math.MaxFloat64
 
 // TrialRecord documents one completed training trial.
 type TrialRecord struct {
@@ -157,6 +219,14 @@ type TrialRecord struct {
 	// this trial trained (zero on cache hits and for inference-unaware
 	// runs).
 	InferTuning perfmodel.Cost
+
+	// Outcome is OutcomeOK, OutcomeDegraded, or OutcomeFailed.
+	Outcome string
+	// Attempts is how many runs this trial took (1 = no retries).
+	Attempts int
+	// RetryCost is the simulated cost of failed attempts plus backoff
+	// waits, charged to the tuning budget on top of TrainCost.
+	RetryCost perfmodel.Cost
 }
 
 // Result is the EdgeTune output (§3.1): the optimal trained
@@ -178,10 +248,15 @@ type Result struct {
 	// Recommendation is the optimal inference configuration for the
 	// winning architecture (empty if not inference-aware).
 	Recommendation store.Entry
+	// RecommendationDegraded reports that the final recommendation came
+	// from a fallback (historical store or estimate) because live
+	// inference tuning was unavailable.
+	RecommendationDegraded bool
 
 	// TuningDuration is the simulated wall time of the tuning job: the
-	// sum of training-trial durations. Inference tuning is pipelined
-	// inside training trials (§3.3) and adds no duration.
+	// sum of training-trial durations, including failed attempts and
+	// retry backoff waits. Inference tuning is pipelined inside
+	// training trials (§3.3) and adds no duration.
 	TuningDuration time.Duration
 	// TuningEnergyKJ sums training energy plus the inference server's
 	// (small) emulation energy.
@@ -199,13 +274,21 @@ type Result struct {
 	Trials      []TrialRecord
 	// ReachedTarget reports whether the target accuracy was met.
 	ReachedTarget bool
+
+	// Resilience aggregates the fault-tolerance counters: injected
+	// faults by class, retries, breaker transitions, degraded
+	// outcomes, and rungs skipped by checkpoint resume.
+	Resilience counters.ResilienceSnapshot
 }
 
 // Tune runs the EdgeTune onefold tuning loop (Algorithm 1): brackets of
 // successive halving over the joint space, with asynchronous inference
-// tuning folded into each trial's objective.
-func Tune(ctx context.Context, opts Options) (Result, error) {
-	var res Result
+// tuning folded into each trial's objective. Under fault injection the
+// loop retries failed trials with exponential backoff (charged to the
+// budget), degrades to historical or estimated inference data when the
+// inference server is unavailable, and — with Checkpoint set —
+// serializes completed rungs so a killed job resumes where it stopped.
+func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 	if err := opts.normalise(); err != nil {
 		return res, err
 	}
@@ -213,6 +296,13 @@ func Tune(ctx context.Context, opts Options) (Result, error) {
 	res.Workload = w.ID
 	res.Device = opts.Device.Profile.Name
 	res.Metric = opts.Metric
+
+	recd := counters.NewResilience()
+	defer func() { res.Resilience = recd.Snapshot() }()
+	inj, err := fault.NewInjector(opts.Fault, opts.Seed, recd)
+	if err != nil {
+		return res, err
+	}
 
 	space, err := w.TrainSpace(opts.SystemParams)
 	if err != nil {
@@ -230,6 +320,7 @@ func Tune(ctx context.Context, opts Options) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	runner.SetFaultInjector(inj)
 
 	var infSrv *InferenceServer
 	if opts.InferenceAware {
@@ -238,14 +329,19 @@ func Tune(ctx context.Context, opts Options) (Result, error) {
 			return res, err
 		}
 		infSrv, err = NewInferenceServer(InferenceServerOptions{
-			Device:  opts.Device,
-			Space:   infSpace,
-			Algo:    opts.InferAlgo,
-			Metric:  opts.Metric,
-			Trials:  opts.InferTrials,
-			Workers: opts.InferWorkers,
-			Store:   opts.Store,
-			Seed:    opts.Seed,
+			Device:           opts.Device,
+			Space:            infSpace,
+			Algo:             opts.InferAlgo,
+			Metric:           opts.Metric,
+			Trials:           opts.InferTrials,
+			Workers:          opts.InferWorkers,
+			Store:            opts.Store,
+			Seed:             opts.Seed,
+			Fault:            inj,
+			Recorder:         recd,
+			MaxAttempts:      opts.MaxAttempts,
+			BreakerThreshold: opts.BreakerThreshold,
+			BreakerCooldown:  opts.BreakerCooldown,
 		})
 		if err != nil {
 			return res, err
@@ -286,15 +382,62 @@ func Tune(ctx context.Context, opts Options) (Result, error) {
 		score float64
 	}
 
-	for bracket := 0; bracket < opts.MaxBrackets; bracket++ {
+	// Checkpoint resume: restore the accumulated state and skip the
+	// rungs a previous run already completed.
+	cpKey := checkpointKey(opts)
+	startBracket, startRung := 0, 0
+	var resumedPop []member
+	if opts.Checkpoint {
+		if cp, ok := loadCheckpoint(opts.Store, cpKey); ok {
+			startBracket, startRung = cp.Bracket, cp.NextRung
+			for _, m := range cp.Pop {
+				resumedPop = append(resumedPop, member{cfg: m.Config, score: m.Score})
+			}
+			res.Trials = cp.Trials
+			res.TrialsRun = cp.TrialsRun
+			res.TuningDuration = time.Duration(cp.TuningNanos)
+			res.TuningEnergyKJ = cp.TuningEnergyKJ
+			res.MaxAccuracy = cp.MaxAccuracy
+			res.ReachedTarget = cp.ReachedTarget
+			if cp.HasBest {
+				best.score = cp.BestScore
+				best.cfg = cp.BestConfig
+				best.acc = cp.BestAccuracy
+				best.meets = cp.BestMeets
+			}
+			// Rebuild the sampler's model from the completed trials so
+			// the resumed search continues informed.
+			for _, tr := range cp.Trials {
+				if tr.Outcome == OutcomeFailed {
+					continue
+				}
+				sampler.Observe(search.Observation{
+					Config: tr.Config,
+					Score:  tr.Score,
+					Budget: tr.Alloc.Cost(),
+				})
+			}
+			recd.Restore(cp.Resilience)
+			recd.AddResumedRungs(int64(cp.Bracket*opts.Rungs + cp.NextRung))
+		}
+	}
+
+	for bracket := startBracket; bracket < opts.MaxBrackets; bracket++ {
 		if opts.StopAtTarget && res.ReachedTarget {
 			break
 		}
-		population := make([]member, 0, opts.InitialConfigs)
-		for i := 0; i < opts.InitialConfigs; i++ {
-			population = append(population, member{cfg: sampler.Sample()})
+		var population []member
+		rung0 := 0
+		if bracket == startBracket && resumedPop != nil {
+			population = resumedPop
+			rung0 = startRung
+		} else {
+			population = make([]member, 0, opts.InitialConfigs)
+			for i := 0; i < opts.InitialConfigs; i++ {
+				population = append(population, member{cfg: sampler.Sample()})
+			}
 		}
-		for rung := 0; rung < opts.Rungs && len(population) > 0; rung++ {
+		for rung := rung0; rung < opts.Rungs && len(population) > 0; rung++ {
 			alloc := strat.At(rung + 1)
 			if rung == opts.Rungs-1 {
 				// The final rung always confirms survivors at the
@@ -306,7 +449,7 @@ func Tune(ctx context.Context, opts Options) (Result, error) {
 				if err := ctx.Err(); err != nil {
 					return res, err
 				}
-				rec, err := runTrial(ctx, runner, infSrv, obj, opts, population[i].cfg, alloc, satAlloc)
+				rec, err := runResilientTrial(ctx, runner, infSrv, obj, opts, recd, inj, population[i].cfg, alloc, satAlloc)
 				if err != nil {
 					return res, err
 				}
@@ -316,11 +459,18 @@ func Tune(ctx context.Context, opts Options) (Result, error) {
 
 				res.Trials = append(res.Trials, rec)
 				res.TrialsRun++
-				res.TuningDuration += rec.TrainCost.Duration
+				res.TuningDuration += rec.TrainCost.Duration + rec.RetryCost.Duration
 				// Inference tuning is pipelined: it adds energy but no
-				// wall time (§3.3).
-				res.TuningEnergyKJ += (rec.TrainCost.EnergyJ + rec.InferTuning.EnergyJ) / 1000
+				// wall time (§3.3). Failed attempts and backoff waits
+				// are charged like any other cost.
+				res.TuningEnergyKJ += (rec.TrainCost.EnergyJ + rec.InferTuning.EnergyJ + rec.RetryCost.EnergyJ) / 1000
 
+				if rec.Outcome == OutcomeFailed {
+					// The trial is out of the bracket; nothing to learn
+					// from a score that measures the injector, not the
+					// configuration.
+					continue
+				}
 				sampler.Observe(search.Observation{
 					Config: population[i].cfg,
 					Score:  rec.Score,
@@ -345,6 +495,46 @@ func Tune(ctx context.Context, opts Options) (Result, error) {
 				keep = 1
 			}
 			population = population[:keep]
+
+			if opts.Checkpoint {
+				cp := tuneCheckpoint{
+					Key:            cpKey,
+					Bracket:        bracket,
+					NextRung:       rung + 1,
+					Trials:         res.Trials,
+					TrialsRun:      res.TrialsRun,
+					TuningNanos:    int64(res.TuningDuration),
+					TuningEnergyKJ: res.TuningEnergyKJ,
+					MaxAccuracy:    res.MaxAccuracy,
+					ReachedTarget:  res.ReachedTarget,
+					Resilience:     recd.Snapshot(),
+				}
+				if rung+1 >= opts.Rungs {
+					// Bracket boundary: the next unit of work is a
+					// fresh population.
+					cp.Bracket = bracket + 1
+					cp.NextRung = 0
+				} else {
+					for _, m := range population {
+						cp.Pop = append(cp.Pop, cpMember{Config: m.cfg, Score: m.score})
+					}
+				}
+				if !math.IsInf(best.score, 1) {
+					cp.HasBest = true
+					cp.BestScore = best.score
+					cp.BestConfig = best.cfg
+					cp.BestAccuracy = best.acc
+					cp.BestMeets = best.meets
+				}
+				if err := saveCheckpoint(opts.Store, opts.CheckpointPath, cp); err != nil {
+					return res, err
+				}
+			}
+			if opts.afterRung != nil {
+				if err := opts.afterRung(bracket, rung); err != nil {
+					return res, err
+				}
+			}
 		}
 		// StopAtTarget ends tuning at bracket granularity: the bracket
 		// that first reaches the target accuracy completes its halving
@@ -365,15 +555,37 @@ func Tune(ctx context.Context, opts Options) (Result, error) {
 		if err != nil {
 			return res, err
 		}
+		sig := w.Signature(best.cfg)
 		out := <-infSrv.Submit(ctx, InferRequest{
-			Signature:      w.Signature(best.cfg),
+			Signature:      sig,
 			FLOPsPerSample: flops,
 			Params:         params,
 		})
-		if out.Err != nil {
+		switch {
+		case out.Err == nil:
+			res.Recommendation = out.Entry
+		case ctx.Err() != nil:
+			return res, ctx.Err()
+		case transientInferError(out.Err):
+			entry, derr := fallbackEntry(opts, sig, flops, params)
+			if derr != nil {
+				return res, fmt.Errorf("core: recommendation unavailable: %w (fallback: %v)", out.Err, derr)
+			}
+			recd.AddDegraded()
+			res.Recommendation = entry
+			res.RecommendationDegraded = true
+		default:
 			return res, out.Err
 		}
-		res.Recommendation = out.Entry
+	}
+
+	if opts.Checkpoint {
+		opts.Store.ClearCheckpoint(cpKey)
+		if opts.CheckpointPath != "" {
+			if err := opts.Store.Save(opts.CheckpointPath); err != nil {
+				return res, err
+			}
+		}
 	}
 
 	hits, misses := opts.Store.Stats()
@@ -383,10 +595,67 @@ func Tune(ctx context.Context, opts Options) (Result, error) {
 	return res, nil
 }
 
+// runResilientTrial wraps runTrial with the retry policy: injected
+// failures are retried with exponential backoff and deterministic
+// jitter up to MaxAttempts, every failed attempt and backoff wait is
+// charged to the record's RetryCost, and an exhausted trial is marked
+// OutcomeFailed rather than killing the whole job.
+func runResilientTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer, obj Objective, opts Options, recd *counters.Resilience, inj *fault.Injector, cfg search.Config, alloc, satAlloc budget.Allocation) (TrialRecord, error) {
+	var wasted perfmodel.Cost
+	site := fmt.Sprintf("%s|e%d|f%g", cfg.Key(), alloc.Epochs, alloc.DataFraction)
+	for attempt := 0; ; attempt++ {
+		rec, err := runTrial(ctx, runner, infSrv, obj, opts, recd, cfg, alloc, satAlloc, attempt)
+		if err == nil {
+			rec.Attempts = attempt + 1
+			rec.RetryCost = wasted
+			if rec.Outcome == "" {
+				rec.Outcome = OutcomeOK
+			}
+			return rec, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The job was cancelled; a checkpointed run resumes later.
+			return rec, cerr
+		}
+		if !fault.IsFault(err) {
+			// Organic errors (invalid configurations, broken platforms)
+			// are bugs to surface, not turbulence to ride out.
+			return rec, err
+		}
+		// Charge what the failed attempt consumed before dying. The
+		// inference tuning it sheltered is pipelined, so only its
+		// energy counts (as for successful trials).
+		wasted.Duration += rec.TrainCost.Duration
+		wasted.EnergyJ += rec.TrainCost.EnergyJ + rec.InferTuning.EnergyJ
+		if attempt+1 >= opts.MaxAttempts {
+			return TrialRecord{
+				Config:    cfg.Clone(),
+				Alloc:     alloc,
+				Outcome:   OutcomeFailed,
+				Attempts:  attempt + 1,
+				RetryCost: wasted,
+				Score:     failedTrialScore,
+			}, nil
+		}
+		recd.AddRetry()
+		// Exponential backoff with deterministic jitter, on simulated
+		// time: the cluster isn't hammered and the budget pays for the
+		// wait.
+		backoff := opts.RetryBaseDelay << uint(attempt)
+		jitter := inj.Uniform("backoff/"+site, attempt)
+		wasted.Duration += backoff + time.Duration(jitter*float64(opts.RetryBaseDelay))
+	}
+}
+
 // runTrial executes one trial with the pipelined inference request of
 // Algorithm 1: the request is fired before training starts, and the
-// result is awaited before the trial's objective is computed.
-func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer, obj Objective, opts Options, cfg search.Config, alloc, satAlloc budget.Allocation) (TrialRecord, error) {
+// result is awaited before the trial's objective is computed. When the
+// inference path is unavailable (breaker open, retries exhausted,
+// reply dropped), the trial degrades to the historical store or a
+// performance-model estimate instead of failing — the outcome is
+// marked OutcomeDegraded so reports distinguish measured from
+// estimated scores.
+func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer, obj Objective, opts Options, recd *counters.Resilience, cfg search.Config, alloc, satAlloc budget.Allocation, attempt int) (TrialRecord, error) {
 	rec := TrialRecord{Config: cfg.Clone(), Alloc: alloc}
 	w := opts.Workload
 	if _, ok := rec.Config[workload.ParamGPUs]; !ok {
@@ -402,17 +671,28 @@ func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer
 	if err != nil {
 		return rec, err
 	}
+	sig := w.Signature(cfg)
 	var infCh <-chan InferOutcome
 	if infSrv != nil {
 		infCh = infSrv.Submit(ctx, InferRequest{
-			Signature:      w.Signature(cfg),
+			Signature:      sig,
 			FLOPsPerSample: flops,
 			Params:         params,
 		})
 	}
 
-	trialRes, err := runner.Run(ctx, trial.Request{Config: rec.Config, Alloc: alloc})
+	trialRes, err := runner.Run(ctx, trial.Request{Config: rec.Config, Alloc: alloc, Attempt: attempt})
 	if err != nil {
+		// Surface the partial cost so the retry loop can charge it, and
+		// drain the pipelined inference request: its tuning energy is
+		// part of the wasted attempt, and leaving it in flight would
+		// let a retry race against its completion.
+		rec.TrainCost = trialRes.Cost
+		if infCh != nil {
+			if out, aerr := awaitOutcome(ctx, infCh, 30*time.Second); aerr == nil || out.TuningCost.Duration > 0 {
+				rec.InferTuning = out.TuningCost
+			}
+		}
 		return rec, err
 	}
 	rec.Accuracy = trialRes.Accuracy
@@ -435,14 +715,48 @@ func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer
 	var inf perfmodel.InferResult
 	if infSrv != nil {
 		out, err := awaitOutcome(ctx, infCh, 30*time.Second)
-		if err != nil {
+		switch {
+		case err == nil:
+			rec.InferCached = out.Cached
+			rec.InferTuning = out.TuningCost
+			inf = perfmodel.InferResult{
+				Throughput:       out.Entry.Throughput,
+				EnergyPerSampleJ: out.Entry.EnergyPerSampleJ,
+			}
+		case ctx.Err() != nil:
+			return rec, ctx.Err()
+		case transientInferError(err):
+			rec.InferTuning = out.TuningCost
+			// One cheap resubmit first: a dropped reply whose result
+			// reached the store resolves instantly from the fast path.
+			recd.AddRetry()
+			retry := <-infSrv.Submit(ctx, InferRequest{
+				Signature:      sig,
+				FLOPsPerSample: flops,
+				Params:         params,
+			})
+			if retry.Err == nil {
+				rec.InferCached = retry.Cached
+				rec.InferTuning = rec.InferTuning.Add(retry.TuningCost)
+				inf = perfmodel.InferResult{
+					Throughput:       retry.Entry.Throughput,
+					EnergyPerSampleJ: retry.Entry.EnergyPerSampleJ,
+				}
+				break
+			}
+			// Graceful degradation: historical entry, else estimate.
+			entry, derr := fallbackEntry(opts, sig, flops, params)
+			if derr != nil {
+				return rec, fmt.Errorf("core: inference unavailable: %w (fallback: %v)", err, derr)
+			}
+			recd.AddDegraded()
+			rec.Outcome = OutcomeDegraded
+			inf = perfmodel.InferResult{
+				Throughput:       entry.Throughput,
+				EnergyPerSampleJ: entry.EnergyPerSampleJ,
+			}
+		default:
 			return rec, err
-		}
-		rec.InferCached = out.Cached
-		rec.InferTuning = out.TuningCost
-		inf = perfmodel.InferResult{
-			Throughput:       out.Entry.Throughput,
-			EnergyPerSampleJ: out.Entry.EnergyPerSampleJ,
 		}
 	}
 
@@ -455,6 +769,33 @@ func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer
 		rec.Score = obj.TrainOnlyScore(fullCost, trialRes.Accuracy)
 	}
 	return rec, nil
+}
+
+// fallbackEntry produces degraded inference data for an architecture
+// when live tuning is unavailable: the historical store entry if one
+// exists, otherwise the performance model's estimate of the device's
+// untuned default configuration.
+func fallbackEntry(opts Options, sig string, flops, params float64) (store.Entry, error) {
+	if e, err := opts.Store.Get(sig, opts.Device.Profile.Name); err == nil {
+		return e, nil
+	}
+	spec := opts.Device.DefaultSpec(flops, params)
+	r, err := opts.Device.Estimate(spec)
+	if err != nil {
+		return store.Entry{}, err
+	}
+	return store.Entry{
+		Signature: sig,
+		Device:    opts.Device.Profile.Name,
+		Config: search.Config{
+			workload.ParamInferBatch: float64(spec.BatchSize),
+			workload.ParamCores:      float64(spec.Cores),
+			workload.ParamFreq:       spec.FreqGHz,
+		},
+		Throughput:       r.Throughput,
+		EnergyPerSampleJ: r.EnergyPerSampleJ,
+		LatencySeconds:   r.BatchLatency.Seconds(),
+	}, nil
 }
 
 // containment sums the pipelined inference-tuning durations and counts

@@ -1,0 +1,152 @@
+package counters
+
+import (
+	"sort"
+	"sync"
+)
+
+// Resilience accumulates the fault-tolerance counters of a tuning job:
+// injected faults by class, retries, circuit-breaker transitions,
+// degraded outcomes, and checkpoint-resume savings. All methods are
+// safe for concurrent use and nil-safe, so call sites need no guards
+// when resilience accounting is disabled.
+type Resilience struct {
+	mu     sync.Mutex
+	faults map[string]int64
+
+	retries          int64
+	breakerOpens     int64
+	breakerHalfOpens int64
+	breakerCloses    int64
+	degraded         int64
+	resumedRungs     int64
+}
+
+// NewResilience returns an empty counter set.
+func NewResilience() *Resilience {
+	return &Resilience{faults: make(map[string]int64)}
+}
+
+// RecordFault counts one injected fault of the named class.
+func (r *Resilience) RecordFault(class string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.faults == nil {
+		r.faults = make(map[string]int64)
+	}
+	r.faults[class]++
+}
+
+// AddRetry counts one retried operation (trial re-run or inference
+// request re-attempt).
+func (r *Resilience) AddRetry() { r.add(&r.retries) }
+
+// AddBreakerOpen counts a closed→open (or half-open→open) transition.
+func (r *Resilience) AddBreakerOpen() { r.add(&r.breakerOpens) }
+
+// AddBreakerHalfOpen counts an open→half-open transition.
+func (r *Resilience) AddBreakerHalfOpen() { r.add(&r.breakerHalfOpens) }
+
+// AddBreakerClose counts a half-open→closed transition.
+func (r *Resilience) AddBreakerClose() { r.add(&r.breakerCloses) }
+
+// AddDegraded counts one outcome served from a fallback (historical
+// store entry or performance-model estimate) instead of a measurement.
+func (r *Resilience) AddDegraded() { r.add(&r.degraded) }
+
+// AddResumedRungs counts rungs skipped because a checkpoint already
+// held their results.
+func (r *Resilience) AddResumedRungs(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resumedRungs += n
+}
+
+func (r *Resilience) add(field *int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	*field++
+}
+
+// FaultCount is one (class, count) pair of a snapshot, sorted by class.
+type FaultCount struct {
+	Class string `json:"class"`
+	Count int64  `json:"count"`
+}
+
+// ResilienceSnapshot is a point-in-time copy of the counters, with
+// deterministic (sorted) fault ordering so reports serialise
+// byte-identically across same-seed runs.
+type ResilienceSnapshot struct {
+	Faults           []FaultCount `json:"faults,omitempty"`
+	TotalFaults      int64        `json:"totalFaults"`
+	Retries          int64        `json:"retries"`
+	BreakerOpens     int64        `json:"breakerOpens"`
+	BreakerHalfOpens int64        `json:"breakerHalfOpens"`
+	BreakerCloses    int64        `json:"breakerCloses"`
+	Degraded         int64        `json:"degraded"`
+	ResumedRungs     int64        `json:"resumedRungs"`
+}
+
+// FaultCount reports the count for one class (0 if never injected).
+func (s ResilienceSnapshot) FaultCount(class string) int64 {
+	for _, f := range s.Faults {
+		if f.Class == class {
+			return f.Count
+		}
+	}
+	return 0
+}
+
+// Snapshot copies the current counters. A nil receiver yields a zero
+// snapshot.
+func (r *Resilience) Snapshot() ResilienceSnapshot {
+	var s ResilienceSnapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for class, n := range r.faults {
+		s.Faults = append(s.Faults, FaultCount{Class: class, Count: n})
+		s.TotalFaults += n
+	}
+	sort.Slice(s.Faults, func(i, j int) bool { return s.Faults[i].Class < s.Faults[j].Class })
+	s.Retries = r.retries
+	s.BreakerOpens = r.breakerOpens
+	s.BreakerHalfOpens = r.breakerHalfOpens
+	s.BreakerCloses = r.breakerCloses
+	s.Degraded = r.degraded
+	s.ResumedRungs = r.resumedRungs
+	return s
+}
+
+// Restore overwrites the counters from a snapshot, used when resuming a
+// checkpointed job so that the final report's totals cover the whole
+// job rather than only the resumed portion.
+func (r *Resilience) Restore(s ResilienceSnapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = make(map[string]int64, len(s.Faults))
+	for _, f := range s.Faults {
+		r.faults[f.Class] = f.Count
+	}
+	r.retries = s.Retries
+	r.breakerOpens = s.BreakerOpens
+	r.breakerHalfOpens = s.BreakerHalfOpens
+	r.breakerCloses = s.BreakerCloses
+	r.degraded = s.Degraded
+	r.resumedRungs = s.ResumedRungs
+}

@@ -10,7 +10,19 @@ import (
 	"edgetune/internal/workload"
 )
 
+// skipUnderRace exempts the full experiment reproductions from -race
+// runs: they multiply dozens of complete tuning jobs by the detector's
+// ~10-20x slowdown and blow the package test timeout, while all the
+// concurrency they exercise is race-tested directly in internal/core.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("full experiment reproductions are too slow under the race detector")
+	}
+}
+
 func TestAllExperimentsProduceTables(t *testing.T) {
+	skipUnderRace(t)
 	for _, exp := range All() {
 		tab, err := exp.Run()
 		if err != nil {
@@ -49,6 +61,7 @@ func cell(t *testing.T, tab Table, row, col int) float64 {
 // TestFig02Shape: training cost grows with depth; inference throughput
 // falls and J/img grows.
 func TestFig02Shape(t *testing.T) {
+	skipUnderRace(t)
 	tab, err := Fig02ModelHyper()
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +82,7 @@ func TestFig02Shape(t *testing.T) {
 // TestFig04Shape: at batch 32, 8 GPUs are ~2.2x slower than 1; at batch
 // 1024 they are faster but energy grows.
 func TestFig04Shape(t *testing.T) {
+	skipUnderRace(t)
 	tab, err := Fig04TrainSystem()
 	if err != nil {
 		t.Fatal(err)
@@ -90,6 +104,7 @@ func TestFig04Shape(t *testing.T) {
 // TestFig10Shape: BOHB's last trials concentrate near the optimum more
 // than random and grid.
 func TestFig10Shape(t *testing.T) {
+	skipUnderRace(t)
 	tab, err := Fig10SearchAlgos()
 	if err != nil {
 		t.Fatal(err)
@@ -106,6 +121,7 @@ func TestFig10Shape(t *testing.T) {
 // dataset budget never reaches the target; multi-budget reaches it with
 // far cheaper trials than the epoch budget.
 func TestFig12Shape(t *testing.T) {
+	skipUnderRace(t)
 	if _, err := Fig12Convergence(); err != nil {
 		t.Fatal(err)
 	}
@@ -145,6 +161,7 @@ func TestFig12Shape(t *testing.T) {
 // TestFig13Shape: among converged budgets, multi-budget has the lowest
 // tuning duration and energy on every workload.
 func TestFig13Shape(t *testing.T) {
+	skipUnderRace(t)
 	if _, err := Fig13BudgetAll(); err != nil {
 		t.Fatal(err)
 	}
@@ -173,6 +190,7 @@ func TestFig13Shape(t *testing.T) {
 // TestFig14Shape: EdgeTune beats Tune by at least the paper's 18%
 // runtime and 50% energy on every workload.
 func TestFig14Shape(t *testing.T) {
+	skipUnderRace(t)
 	if _, err := Fig14VsTune(); err != nil {
 		t.Fatal(err)
 	}
@@ -201,6 +219,7 @@ func TestFig14Shape(t *testing.T) {
 // TestFig15Shape: median estimation error stays well under the paper's
 // ~20% bound.
 func TestFig15Shape(t *testing.T) {
+	skipUnderRace(t)
 	tp, en, err := Fig15Medians()
 	if err != nil {
 		t.Fatal(err)
@@ -216,6 +235,7 @@ func TestFig15Shape(t *testing.T) {
 // objective's recommendations have higher throughput, the energy
 // objective's use less inference energy per sample.
 func TestFig16Shape(t *testing.T) {
+	skipUnderRace(t)
 	if _, err := Fig16Objectives(); err != nil {
 		t.Fatal(err)
 	}
@@ -251,6 +271,7 @@ func TestFig16Shape(t *testing.T) {
 // HyperPower's on every workload and strictly better somewhere, while
 // HyperPower's tuning energy is lower (its aggressive termination).
 func TestFig17Shape(t *testing.T) {
+	skipUnderRace(t)
 	tab, err := Fig17VsHyperPower()
 	if err != nil {
 		t.Fatal(err)

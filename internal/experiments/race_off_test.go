@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled mirrors whether the binary was built with -race; the full
+// experiment reproductions are skipped under the race detector (see
+// skipUnderRace).
+const raceEnabled = false

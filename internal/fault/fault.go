@@ -1,0 +1,224 @@
+// Package fault is a seeded, deterministic fault-injection layer for
+// chaos-testing the tuning servers. Each injection decision is a pure
+// function of (seed, class, site, attempt): the tuple is hashed into a
+// fresh internal/sim RNG, so decisions are independent of goroutine
+// scheduling and a run replays exactly from its seed — the property the
+// deterministic-replay tests rely on. The zero probability config (and
+// a nil *Injector) injects nothing, so production paths carry the hooks
+// at no cost.
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"edgetune/internal/counters"
+	"edgetune/internal/sim"
+)
+
+// Class names one injectable failure mode.
+type Class string
+
+// The fault classes observed on real edge fleets (flapping boards,
+// diverging SGD runs, stragglers, lossy links) that the chaos suite
+// drives through the tuner.
+const (
+	// TrialCrash kills a training trial partway through (spot
+	// preemption, OOM, worker loss). The crashed attempt still charges
+	// a deterministic fraction of its training cost.
+	TrialCrash Class = "trial-crash"
+	// TrialNaN makes a training run diverge after consuming its full
+	// budget (bad hyperparameter/seed interaction).
+	TrialNaN Class = "trial-nan"
+	// Straggler slows a trial down without failing it.
+	Straggler Class = "straggler"
+	// DeviceFlap makes the emulated edge device unreachable for one
+	// inference-tuning attempt.
+	DeviceFlap Class = "device-flap"
+	// StoreWrite fails a historical-store write.
+	StoreWrite Class = "store-write"
+	// DroppedReply loses an inference server reply after the work was
+	// done (the result is stored but the requester never hears back).
+	DroppedReply Class = "dropped-reply"
+)
+
+// Classes lists every fault class in deterministic order.
+func Classes() []Class {
+	return []Class{DeviceFlap, DroppedReply, StoreWrite, Straggler, TrialCrash, TrialNaN}
+}
+
+// Config holds per-class injection probabilities in [0, 1].
+type Config struct {
+	// TrialCrash, TrialNaN, and Straggler fire per training-trial
+	// attempt.
+	TrialCrash float64 `json:"trialCrash,omitempty"`
+	TrialNaN   float64 `json:"trialNaN,omitempty"`
+	Straggler  float64 `json:"straggler,omitempty"`
+	// StragglerFactor is the maximum slowdown of a straggling trial
+	// (default 4; the actual factor is drawn in [1, StragglerFactor]).
+	StragglerFactor float64 `json:"stragglerFactor,omitempty"`
+	// DeviceFlap and StoreWrite fire per inference-tuning attempt;
+	// DroppedReply fires per successfully tuned request.
+	DeviceFlap   float64 `json:"deviceFlap,omitempty"`
+	StoreWrite   float64 `json:"storeWrite,omitempty"`
+	DroppedReply float64 `json:"droppedReply,omitempty"`
+}
+
+// Enabled reports whether any class has a non-zero probability.
+func (c Config) Enabled() bool {
+	for _, class := range Classes() {
+		if c.prob(class) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks all probabilities and the straggler factor.
+func (c Config) Validate() error {
+	for _, class := range Classes() {
+		if p := c.prob(class); p < 0 || p > 1 {
+			return fmt.Errorf("fault: %s probability %v out of [0,1]", class, p)
+		}
+	}
+	if c.StragglerFactor < 0 || (c.StragglerFactor > 0 && c.StragglerFactor < 1) {
+		return fmt.Errorf("fault: straggler factor %v must be >= 1", c.StragglerFactor)
+	}
+	return nil
+}
+
+func (c Config) prob(class Class) float64 {
+	switch class {
+	case TrialCrash:
+		return c.TrialCrash
+	case TrialNaN:
+		return c.TrialNaN
+	case Straggler:
+		return c.Straggler
+	case DeviceFlap:
+		return c.DeviceFlap
+	case StoreWrite:
+		return c.StoreWrite
+	case DroppedReply:
+		return c.DroppedReply
+	default:
+		return 0
+	}
+}
+
+// Error is an injected fault, distinguishable from organic failures so
+// the resilience layer retries only what is transient by construction.
+type Error struct {
+	Class Class
+	Site  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s", e.Class, e.Site)
+}
+
+// IsFault reports whether err is (or wraps) an injected fault.
+func IsFault(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// ClassOf returns the fault class of an injected fault ("" otherwise).
+func ClassOf(err error) Class {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Class
+	}
+	return ""
+}
+
+// Injector makes the injection decisions. A nil Injector never fires.
+type Injector struct {
+	cfg  Config
+	seed uint64
+	rec  *counters.Resilience
+}
+
+// NewInjector validates cfg and returns an injector whose decisions
+// derive from seed. Fired faults are recorded into rec (which may be
+// nil).
+func NewInjector(cfg Config, seed uint64, rec *counters.Resilience) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.StragglerFactor == 0 {
+		cfg.StragglerFactor = 4
+	}
+	return &Injector{cfg: cfg, seed: seed, rec: rec}, nil
+}
+
+// rng derives the decision stream for one (class, site, attempt) tuple.
+func (in *Injector) rng(class Class, site string, attempt int) *sim.RNG {
+	h := in.seed ^ 0x243f6a8885a308d3 // decorrelate from other seed users
+	h = fnvMix(h, string(class))
+	h = fnvMix(h, site)
+	h ^= uint64(attempt) * 0x9e3779b97f4a7c15
+	return sim.NewRNG(h)
+}
+
+// Should reports whether a fault of class fires at site on the given
+// attempt, recording it when it does.
+func (in *Injector) Should(class Class, site string, attempt int) bool {
+	if in == nil {
+		return false
+	}
+	p := in.cfg.prob(class)
+	if p <= 0 {
+		return false
+	}
+	if in.rng(class, site, attempt).Float64() >= p {
+		return false
+	}
+	in.rec.RecordFault(string(class))
+	return true
+}
+
+// Fail returns an injected *Error when the fault fires, nil otherwise.
+func (in *Injector) Fail(class Class, site string, attempt int) error {
+	if !in.Should(class, site, attempt) {
+		return nil
+	}
+	return &Error{Class: class, Site: site}
+}
+
+// Uniform returns a deterministic value in [0, 1) for site/attempt,
+// used for crash fractions and backoff jitter so those are replayable
+// too. A nil injector returns 0.5.
+func (in *Injector) Uniform(site string, attempt int) float64 {
+	if in == nil {
+		return 0.5
+	}
+	r := in.rng("uniform", site, attempt)
+	r.Uint64() // skip the decision draw so Uniform decorrelates from Should
+	return r.Float64()
+}
+
+// StragglerFactor returns the slowdown multiplier for a straggling
+// trial at site/attempt, in [1, cfg.StragglerFactor].
+func (in *Injector) StragglerFactor(site string, attempt int) float64 {
+	if in == nil {
+		return 1
+	}
+	max := in.cfg.StragglerFactor
+	if max <= 1 {
+		return 1
+	}
+	return 1 + (max-1)*in.Uniform("straggle/"+site, attempt)
+}
+
+// fnvMix folds s into h with FNV-1a steps.
+func fnvMix(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= 0xff
+	h *= 1099511628211
+	return h
+}

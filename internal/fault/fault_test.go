@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"edgetune/internal/counters"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config invalid: %v", err)
+	}
+	if err := (Config{TrialCrash: 1.5}).Validate(); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if err := (Config{DeviceFlap: -0.1}).Validate(); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if err := (Config{StragglerFactor: 0.5}).Validate(); err == nil {
+		t.Error("straggler factor < 1 accepted")
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(Config{StoreWrite: 0.1}).Enabled() {
+		t.Error("non-zero config reports disabled")
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	for _, class := range Classes() {
+		if in.Should(class, "site", 0) {
+			t.Errorf("nil injector fired %s", class)
+		}
+		if err := in.Fail(class, "site", 0); err != nil {
+			t.Errorf("nil injector failed %s: %v", class, err)
+		}
+	}
+	if f := in.StragglerFactor("site", 0); f != 1 {
+		t.Errorf("nil straggler factor = %v", f)
+	}
+}
+
+func TestDecisionsDeterministicAndOrderIndependent(t *testing.T) {
+	cfg := Config{TrialCrash: 0.3, DeviceFlap: 0.3, DroppedReply: 0.3}
+	mk := func() *Injector {
+		in, err := NewInjector(cfg, 42, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	// Query b in reverse order: per-tuple decisions must not depend on
+	// call order (they are stateless hashes, not a shared stream).
+	type q struct {
+		class   Class
+		site    string
+		attempt int
+	}
+	var qs []q
+	for i := 0; i < 50; i++ {
+		qs = append(qs, q{TrialCrash, fmt.Sprintf("cfg-%d", i), i % 3})
+		qs = append(qs, q{DeviceFlap, fmt.Sprintf("sig-%d", i), i % 2})
+	}
+	want := make([]bool, len(qs))
+	for i, x := range qs {
+		want[i] = a.Should(x.class, x.site, x.attempt)
+	}
+	for i := len(qs) - 1; i >= 0; i-- {
+		if got := b.Should(qs[i].class, qs[i].site, qs[i].attempt); got != want[i] {
+			t.Fatalf("decision %d changed with call order", i)
+		}
+	}
+}
+
+func TestDifferentAttemptsDifferentDecisions(t *testing.T) {
+	in, err := NewInjector(Config{TrialCrash: 0.5}, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With p=0.5 across 64 attempts, both outcomes must occur: a retry
+	// re-rolls rather than deterministically re-failing forever.
+	var fired, clean bool
+	for attempt := 0; attempt < 64; attempt++ {
+		if in.Should(TrialCrash, "cfg", attempt) {
+			fired = true
+		} else {
+			clean = true
+		}
+	}
+	if !fired || !clean {
+		t.Errorf("attempt dimension not mixed: fired=%v clean=%v", fired, clean)
+	}
+}
+
+func TestEmpiricalRate(t *testing.T) {
+	in, err := NewInjector(Config{StoreWrite: 0.2}, 123, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, hits := 5000, 0
+	for i := 0; i < n; i++ {
+		if in.Should(StoreWrite, fmt.Sprintf("s-%d", i), 0) {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(n)
+	if math.Abs(rate-0.2) > 0.03 {
+		t.Errorf("empirical rate %v far from configured 0.2", rate)
+	}
+}
+
+func TestRecording(t *testing.T) {
+	rec := counters.NewResilience()
+	in, err := NewInjector(Config{TrialNaN: 1}, 1, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !in.Should(TrialNaN, "cfg", i) {
+			t.Fatal("p=1 fault did not fire")
+		}
+	}
+	s := rec.Snapshot()
+	if s.FaultCount(string(TrialNaN)) != 3 || s.TotalFaults != 3 {
+		t.Errorf("snapshot = %+v, want 3 trial-nan faults", s)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	in, err := NewInjector(Config{DeviceFlap: 1}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferr := in.Fail(DeviceFlap, "sig", 0)
+	if ferr == nil {
+		t.Fatal("p=1 Fail returned nil")
+	}
+	if !IsFault(ferr) {
+		t.Error("IsFault missed an injected error")
+	}
+	wrapped := fmt.Errorf("request: %w", ferr)
+	if !IsFault(wrapped) || ClassOf(wrapped) != DeviceFlap {
+		t.Error("wrapped fault not recognised")
+	}
+	if IsFault(errors.New("organic")) || ClassOf(errors.New("organic")) != "" {
+		t.Error("organic error classified as fault")
+	}
+}
+
+func TestStragglerFactorRange(t *testing.T) {
+	in, err := NewInjector(Config{Straggler: 1, StragglerFactor: 3}, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		f := in.StragglerFactor(fmt.Sprintf("s-%d", i), 0)
+		if f < 1 || f > 3 {
+			t.Fatalf("factor %v out of [1,3]", f)
+		}
+	}
+	// Deterministic per tuple.
+	if in.StragglerFactor("s-1", 0) != in.StragglerFactor("s-1", 0) {
+		t.Error("straggler factor not deterministic")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	rec := counters.NewResilience()
+	in, err := NewInjector(Config{TrialCrash: 0.5}, 3, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in.Should(TrialCrash, fmt.Sprintf("%d-%d", g, i), i%4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if rec.Snapshot().TotalFaults == 0 {
+		t.Error("no faults recorded under concurrency")
+	}
+}

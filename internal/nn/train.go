@@ -16,6 +16,11 @@ type TrainConfig struct {
 	WeightDecay float64
 	// Shuffle controls whether samples are re-permuted each epoch.
 	Shuffle bool
+	// Check, when non-nil, is polled before every mini-batch; a
+	// non-nil return aborts training with that error, so long runs
+	// respond to cancellation between chunks rather than only at the
+	// call boundary.
+	Check func() error
 }
 
 // TrainStats reports what a training run actually did, so the performance
@@ -59,6 +64,11 @@ func Train(net *Network, x *tensor.Matrix, labels []int, cfg TrainConfig, rng *s
 		var epochLoss float64
 		var batches int
 		for start := 0; start < n; start += cfg.BatchSize {
+			if cfg.Check != nil {
+				if err := cfg.Check(); err != nil {
+					return stats, err
+				}
+			}
 			end := start + cfg.BatchSize
 			if end > n {
 				end = n

@@ -52,6 +52,10 @@ type Store struct {
 	entries map[string]Entry
 	hits    int
 	misses  int
+	// checkpoints holds opaque job-progress blobs keyed by job, so a
+	// crashed tuning run can resume from its last completed rung using
+	// the same persistence as the historical database.
+	checkpoints map[string]json.RawMessage
 }
 
 // New returns an empty store.
@@ -132,9 +136,74 @@ func (s *Store) Merge(other *Store) error {
 	return nil
 }
 
+// SaveCheckpoint stores an opaque progress blob under key, replacing
+// any previous one.
+func (s *Store) SaveCheckpoint(key string, data []byte) error {
+	if key == "" {
+		return errors.New("store: checkpoint with empty key")
+	}
+	if !json.Valid(data) {
+		return fmt.Errorf("store: checkpoint %q is not valid JSON", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.checkpoints == nil {
+		s.checkpoints = make(map[string]json.RawMessage)
+	}
+	s.checkpoints[key] = append(json.RawMessage(nil), data...)
+	return nil
+}
+
+// LoadCheckpoint returns the blob stored under key, if any.
+func (s *Store) LoadCheckpoint(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.checkpoints[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// ClearCheckpoint removes the blob stored under key (a no-op when
+// absent), called when the checkpointed job completes.
+func (s *Store) ClearCheckpoint(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.checkpoints, key)
+}
+
+// CheckpointKeys lists stored checkpoint keys in sorted order.
+func (s *Store) CheckpointKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.checkpoints))
+	for k := range s.checkpoints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// storeFile is the on-disk representation: entries plus in-flight job
+// checkpoints. Load also accepts the legacy format, a bare entry array.
+type storeFile struct {
+	Entries     []Entry                    `json:"entries"`
+	Checkpoints map[string]json.RawMessage `json:"checkpoints,omitempty"`
+}
+
 // Save writes the store as JSON to path (atomic rename).
 func (s *Store) Save(path string) error {
-	data, err := json.MarshalIndent(s.Entries(), "", "  ")
+	file := storeFile{Entries: s.Entries()}
+	s.mu.Lock()
+	if len(s.checkpoints) > 0 {
+		file.Checkpoints = make(map[string]json.RawMessage, len(s.checkpoints))
+		for k, v := range s.checkpoints {
+			file.Checkpoints[k] = append(json.RawMessage(nil), v...)
+		}
+	}
+	s.mu.Unlock()
+	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: marshal: %w", err)
 	}
@@ -148,20 +217,29 @@ func (s *Store) Save(path string) error {
 	return nil
 }
 
-// Load reads a JSON store from path.
+// Load reads a JSON store from path, accepting both the current
+// {entries, checkpoints} document and the legacy bare-array format.
 func Load(path string) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: read %s: %w", path, err)
 	}
-	var entries []Entry
-	if err := json.Unmarshal(data, &entries); err != nil {
-		return nil, fmt.Errorf("store: parse %s: %w", path, err)
+	var file storeFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		// Legacy format: a bare entry array.
+		if legacyErr := json.Unmarshal(data, &file.Entries); legacyErr != nil {
+			return nil, fmt.Errorf("store: parse %s: %w", path, err)
+		}
 	}
 	s := New()
-	for _, e := range entries {
+	for _, e := range file.Entries {
 		if err := s.Put(e); err != nil {
 			return nil, fmt.Errorf("store: invalid entry in %s: %w", path, err)
+		}
+	}
+	for k, v := range file.Checkpoints {
+		if err := s.SaveCheckpoint(k, v); err != nil {
+			return nil, fmt.Errorf("store: invalid checkpoint in %s: %w", path, err)
 		}
 	}
 	return s, nil

@@ -1,11 +1,13 @@
 package store
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"edgetune/internal/search"
 )
@@ -185,6 +187,176 @@ func TestMerge(t *testing.T) {
 	}
 	if err := a.Merge(nil); err == nil {
 		t.Error("nil merge accepted")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.SaveCheckpoint("", []byte(`{}`)); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.SaveCheckpoint("job", []byte(`{broken`)); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	if _, ok := s.LoadCheckpoint("job"); ok {
+		t.Error("missing checkpoint found")
+	}
+	if err := s.SaveCheckpoint("job", []byte(`{"rung":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LoadCheckpoint("job")
+	if !ok || string(got) != `{"rung":2}` {
+		t.Fatalf("round trip = %q, %v", got, ok)
+	}
+	// Persist across Save/Load together with entries.
+	_ = s.Put(entry("a", "d"))
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Errorf("entries lost: %d", loaded.Len())
+	}
+	got, ok = loaded.LoadCheckpoint("job")
+	var cp struct {
+		Rung int `json:"rung"`
+	}
+	if !ok {
+		t.Fatal("checkpoint lost across save/load")
+	}
+	if err := json.Unmarshal(got, &cp); err != nil || cp.Rung != 2 {
+		t.Errorf("checkpoint mangled across save/load: %q (%v)", got, err)
+	}
+	if keys := loaded.CheckpointKeys(); len(keys) != 1 || keys[0] != "job" {
+		t.Errorf("CheckpointKeys = %v", keys)
+	}
+	loaded.ClearCheckpoint("job")
+	if _, ok := loaded.LoadCheckpoint("job"); ok {
+		t.Error("cleared checkpoint still present")
+	}
+}
+
+func TestLoadLegacyArrayFormat(t *testing.T) {
+	// Stores written before the checkpoint extension were bare entry
+	// arrays; they must keep loading.
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	legacy := `[{"signature":"IC/layers=18","device":"i7","config":{"infer_batch":8},"throughput":42}]`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("legacy load got %d entries", s.Len())
+	}
+	got, err := s.Get("IC/layers=18", "i7")
+	if err != nil || got.Throughput != 42 {
+		t.Errorf("legacy entry mangled: %+v, %v", got, err)
+	}
+}
+
+// TestConcurrentPutSameKey: concurrent writers to one key must settle
+// on one writer's complete entry — overwrite semantics, never a torn
+// mix of two entries. Run with -race.
+func TestConcurrentPutSameKey(t *testing.T) {
+	s := New()
+	const writers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e := entry("hot", "d")
+				// Writer n stamps every field with its id so torn
+				// writes are detectable.
+				e.Throughput = float64(n)
+				e.TrialsRun = n
+				e.Config = search.Config{"infer_batch": float64(n)}
+				_ = s.Put(e)
+			}
+		}(g)
+	}
+	wg.Wait()
+	got, err := s.Get("hot", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Throughput != float64(got.TrialsRun) || got.Config["infer_batch"] != got.Throughput {
+		t.Errorf("torn write: %+v", got)
+	}
+}
+
+// TestConcurrentMergeAndPut: Merge racing with Put (and with reads)
+// must leave the union of all writes, with every entry intact. Run
+// with -race.
+func TestConcurrentMergeAndPut(t *testing.T) {
+	src := New()
+	for _, sig := range []string{"m1", "m2", "m3", "m4"} {
+		_ = src.Put(entry(sig, "d"))
+	}
+	dst := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := dst.Merge(src); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = dst.Put(entry("p", "d"))
+				_, _ = dst.Get("m1", "d")
+				_ = dst.Entries()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if dst.Len() != 5 {
+		t.Errorf("Len = %d, want 4 merged + 1 put", dst.Len())
+	}
+	for _, sig := range []string{"m1", "m2", "m3", "m4", "p"} {
+		got, err := dst.Get(sig, "d")
+		if err != nil {
+			t.Errorf("%s lost: %v", sig, err)
+			continue
+		}
+		if got.Throughput != 42 || got.Config["infer_batch"] != 8 {
+			t.Errorf("%s mangled: %+v", sig, got)
+		}
+	}
+}
+
+// TestMergeSelf: merging a store into itself must not deadlock (Merge
+// snapshots via Entries before taking the write path).
+func TestMergeSelf(t *testing.T) {
+	s := New()
+	_ = s.Put(entry("a", "d"))
+	done := make(chan error, 1)
+	go func() { done <- s.Merge(s) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("self-merge deadlocked")
+	}
+	if s.Len() != 1 {
+		t.Errorf("self-merge changed Len to %d", s.Len())
 	}
 }
 

@@ -8,8 +8,10 @@ package trial
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"edgetune/internal/budget"
+	"edgetune/internal/fault"
 	"edgetune/internal/nn"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
@@ -25,6 +27,9 @@ type Runner struct {
 	// lr and momentum are the fixed optimiser settings; the paper tunes
 	// batch size, not the learning rate, in its evaluation (§5.1).
 	lr, momentum float64
+	// injector optionally injects crash/NaN/straggler faults (nil =
+	// none).
+	injector *fault.Injector
 }
 
 // NewRunner creates a trial runner. The GPU profile defaults to the
@@ -39,6 +44,11 @@ func NewRunner(w *workload.Workload, gpu perfmodel.GPUProfile, seed uint64) (*Ru
 	return &Runner{workload: w, gpu: gpu, seed: seed, lr: 0.018, momentum: 0.9}, nil
 }
 
+// SetFaultInjector arms the runner with a fault injector; trials then
+// crash, diverge, or straggle according to the injector's seeded
+// decisions.
+func (r *Runner) SetFaultInjector(in *fault.Injector) { r.injector = in }
+
 // Request describes one trial.
 type Request struct {
 	// Config holds the model hyperparameter, training batch size, and
@@ -46,6 +56,18 @@ type Request struct {
 	Config search.Config
 	// Alloc is the budget the trial may consume.
 	Alloc budget.Allocation
+	// Attempt is the zero-based retry attempt. Each attempt re-rolls
+	// the fault decisions and reseeds training, so a retried trial is
+	// a genuine re-run rather than a deterministic repeat of the
+	// failure.
+	Attempt int
+}
+
+// site identifies the request for fault decisions: the same config
+// retried at the same budget re-rolls via Attempt, while different
+// rungs of the same config are independent sites.
+func (req Request) site() string {
+	return fmt.Sprintf("%s|e%d|f%g", req.Config.Key(), req.Alloc.Epochs, req.Alloc.DataFraction)
 }
 
 // Result reports what a trial achieved and what it cost.
@@ -53,12 +75,17 @@ type Result struct {
 	// Accuracy on the held-out evaluation set.
 	Accuracy float64
 	// Cost is the simulated (duration, energy) of the trial at paper
-	// scale.
+	// scale. On an injected failure, Cost carries what the failed
+	// attempt consumed before dying, so the tuner can charge retries
+	// to the budget.
 	Cost perfmodel.Cost
 	// Steps is the number of optimiser steps actually taken.
 	Steps int
 	// Alloc echoes the budget consumed.
 	Alloc budget.Allocation
+	// Straggled reports an injected slowdown (the result is valid but
+	// its cost is inflated).
+	Straggled bool
 }
 
 // Workload exposes the runner's workload.
@@ -68,7 +95,9 @@ func (r *Runner) Workload() *workload.Workload { return r.workload }
 func (r *Runner) GPUProfile() perfmodel.GPUProfile { return r.gpu }
 
 // Run executes one trial. Training is deterministic given the runner
-// seed and the request (config + allocation).
+// seed and the request (config + allocation + attempt). Cancellation is
+// honoured between mini-batches, not only at entry, so an abandoned
+// bracket stops paying for its in-flight trial promptly.
 func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 	var res Result
 	if err := ctx.Err(); err != nil {
@@ -89,7 +118,34 @@ func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 		gpus = int(g)
 	}
 
-	rng := sim.NewRNG(r.seed ^ hashString(req.Config.Key()))
+	flops, params, err := r.workload.PaperCost(req.Config)
+	if err != nil {
+		return res, err
+	}
+
+	// Injected crash: the trial dies a deterministic fraction of the
+	// way through. The dead attempt still charges that fraction of its
+	// projected cost (preempted workers bill for the time they held),
+	// and the actual SGD run is skipped.
+	site := req.site()
+	if ferr := r.injector.Fail(fault.TrialCrash, site, req.Attempt); ferr != nil {
+		cost, cerr := r.projectedCost(flops, params, req, batch, gpus)
+		if cerr != nil {
+			return res, cerr
+		}
+		frac := 0.05 + 0.9*r.injector.Uniform("crash/"+site, req.Attempt)
+		res.Cost = perfmodel.Cost{
+			Duration: scaleDuration(cost.Duration, frac),
+			EnergyJ:  cost.EnergyJ * frac,
+		}
+		res.Alloc = req.Alloc
+		return res, ferr
+	}
+
+	// XOR-folding the attempt into the seed keeps attempt 0 identical
+	// to the pre-resilience behaviour while giving retries fresh
+	// initialisation and shuffling.
+	rng := sim.NewRNG(r.seed ^ hashString(req.Config.Key()) ^ (uint64(req.Attempt) * 0xa5a5b5b5c5c5d5d5))
 	net, err := r.workload.BuildModel(req.Config, rng)
 	if err != nil {
 		return res, err
@@ -123,6 +179,7 @@ func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 		LR:        lr,
 		Momentum:  r.momentum,
 		Shuffle:   true,
+		Check:     ctx.Err,
 	}, rng)
 	if err != nil {
 		return res, err
@@ -131,10 +188,6 @@ func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 		return res, err
 	}
 
-	flops, params, err := r.workload.PaperCost(req.Config)
-	if err != nil {
-		return res, err
-	}
 	cost, err := perfmodel.TrainingCost(perfmodel.TrainSpec{
 		FLOPsPerSample: flops,
 		Params:         params,
@@ -147,11 +200,55 @@ func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 		return res, err
 	}
 
+	// Injected NaN divergence: the run consumed its whole budget and
+	// produced garbage.
+	if ferr := r.injector.Fail(fault.TrialNaN, site, req.Attempt); ferr != nil {
+		res.Cost = cost
+		res.Alloc = req.Alloc
+		res.Steps = stats.Steps
+		return res, ferr
+	}
+
+	// Injected straggler: the result stands but arrives late (and
+	// hot), modelling flapping thermal throttling or a slow worker.
+	if r.injector.Should(fault.Straggler, site, req.Attempt) {
+		factor := r.injector.StragglerFactor(site, req.Attempt)
+		cost.Duration = scaleDuration(cost.Duration, factor)
+		cost.EnergyJ *= factor
+		res.Straggled = true
+	}
+
 	res.Accuracy = net.Accuracy(test.X, test.Labels)
 	res.Cost = cost
 	res.Steps = stats.Steps
 	res.Alloc = req.Alloc
 	return res, nil
+}
+
+// projectedCost is the full simulated cost this request would have
+// charged, used to bill partial work for crashed attempts.
+func (r *Runner) projectedCost(flops, params float64, req Request, batch, gpus int) (perfmodel.Cost, error) {
+	train, _, err := r.workload.Data(req.Config)
+	if err != nil {
+		return perfmodel.Cost{}, err
+	}
+	sub, err := train.Subset(req.Alloc.DataFraction)
+	if err != nil {
+		return perfmodel.Cost{}, err
+	}
+	return perfmodel.TrainingCost(perfmodel.TrainSpec{
+		FLOPsPerSample: flops,
+		Params:         params,
+		Samples:        sub.PaperSamples(),
+		Epochs:         req.Alloc.Epochs,
+		BatchSize:      batch,
+		GPUs:           gpus,
+	}, r.gpu)
+}
+
+// scaleDuration multiplies a duration by a float factor.
+func scaleDuration(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f)
 }
 
 // hashString is FNV-1a, used to derive per-config training seeds.

@@ -2,9 +2,13 @@ package trial
 
 import (
 	"context"
+	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"edgetune/internal/budget"
+	"edgetune/internal/fault"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
 	"edgetune/internal/workload"
@@ -163,6 +167,128 @@ func TestRunHonoursCancelledContext(t *testing.T) {
 	cancel()
 	if _, err := r.Run(ctx, Request{Config: icConfig(), Alloc: budget.Allocation{Epochs: 1, DataFraction: 0.1}}); err == nil {
 		t.Error("cancelled context accepted")
+	}
+}
+
+// countdownCtx reports cancellation after its Err method has been
+// polled n times — a deterministic stand-in for "the bracket was
+// cancelled while this trial was mid-training".
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunCancelledMidTraining: cancellation arriving after the trial
+// has started must abort it between mini-batches, not after the full
+// SGD run. The countdown survives the entry poll, so only the
+// per-mini-batch Check can observe the cancellation.
+func TestRunCancelledMidTraining(t *testing.T) {
+	r := icRunner(t)
+	req := Request{Config: icConfig(), Alloc: budget.Allocation{Epochs: 8, DataFraction: 1}}
+
+	_, err := r.Run(newCountdownCtx(2), req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-training cancellation not honoured: err = %v", err)
+	}
+}
+
+func TestRunRetryAttemptReseeds(t *testing.T) {
+	r := icRunner(t)
+	req := Request{Config: icConfig(), Alloc: budget.Allocation{Epochs: 2, DataFraction: 0.3}}
+	a, err := r.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Attempt = 1
+	b, err := r.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy == b.Accuracy {
+		t.Error("retry attempt did not reseed training")
+	}
+}
+
+func setInjector(t *testing.T, r *Runner, cfg fault.Config) {
+	t.Helper()
+	in, err := fault.NewInjector(cfg, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetFaultInjector(in)
+}
+
+func trialReq() Request {
+	return Request{Config: icConfig(), Alloc: budget.Allocation{Epochs: 2, DataFraction: 0.3}}
+}
+
+func TestRunInjectedCrashChargesPartialCost(t *testing.T) {
+	r := icRunner(t)
+	setInjector(t, r, fault.Config{TrialCrash: 1})
+	res, err := r.Run(context.Background(), trialReq())
+	if fault.ClassOf(err) != fault.TrialCrash {
+		t.Fatalf("err = %v, want injected crash", err)
+	}
+	if res.Cost.Duration <= 0 || res.Cost.EnergyJ <= 0 {
+		t.Error("crashed attempt charged no cost")
+	}
+	clean, err := icRunner(t).Run(context.Background(), trialReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Duration >= clean.Cost.Duration {
+		t.Errorf("crashed cost %v not below full cost %v", res.Cost.Duration, clean.Cost.Duration)
+	}
+}
+
+func TestRunInjectedNaNChargesFullCost(t *testing.T) {
+	r := icRunner(t)
+	setInjector(t, r, fault.Config{TrialNaN: 1})
+	res, err := r.Run(context.Background(), trialReq())
+	if fault.ClassOf(err) != fault.TrialNaN {
+		t.Fatalf("err = %v, want injected NaN divergence", err)
+	}
+	clean, cerr := icRunner(t).Run(context.Background(), trialReq())
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if res.Cost != clean.Cost {
+		t.Errorf("diverged run cost %+v, want full cost %+v", res.Cost, clean.Cost)
+	}
+}
+
+func TestRunInjectedStragglerInflatesCost(t *testing.T) {
+	r := icRunner(t)
+	setInjector(t, r, fault.Config{Straggler: 1, StragglerFactor: 3})
+	res, err := r.Run(context.Background(), trialReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Straggled {
+		t.Fatal("p=1 straggler did not fire")
+	}
+	clean, err := icRunner(t).Run(context.Background(), trialReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy != clean.Accuracy {
+		t.Error("straggler changed the training outcome")
+	}
+	if res.Cost.Duration <= clean.Cost.Duration || res.Cost.Duration > 3*clean.Cost.Duration+time.Microsecond {
+		t.Errorf("straggler cost %v vs clean %v outside (1,3]x", res.Cost.Duration, clean.Cost.Duration)
 	}
 }
 
