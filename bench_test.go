@@ -17,6 +17,7 @@ import (
 
 	"edgetune/internal/budget"
 	"edgetune/internal/core"
+	"edgetune/internal/device"
 	"edgetune/internal/experiments"
 	"edgetune/internal/nn"
 	"edgetune/internal/perfmodel"
@@ -250,6 +251,50 @@ func BenchmarkStoreLookup(b *testing.B) {
 		if _, err := st.Get("sig50", "i7"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSubmitSaturated measures the shed path: with the only worker
+// held by a long-running request and the intake queue full, every
+// further Submit must be rejected in constant time without blocking the
+// caller or leaking a goroutine per rejection.
+func BenchmarkSubmitSaturated(b *testing.B) {
+	w := workload.MustNew("IC", 1)
+	dev := device.I7()
+	space, err := w.InferenceSpace(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := core.NewInferenceServer(core.InferenceServerOptions{
+		Device:     dev,
+		Space:      space,
+		Metric:     core.MetricRuntime,
+		Trials:     2_000_000,
+		Workers:    1,
+		QueueLimit: 4,
+		Store:      store.New(),
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		srv.Submit(ctx, core.InferRequest{
+			Signature:      "IC/layers=" + strconv.Itoa(18+i),
+			FLOPsPerSample: 1.8e9,
+			Params:         11e6,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		<-srv.Submit(ctx, core.InferRequest{
+			Signature:      "IC/layers=999",
+			FLOPsPerSample: 1.8e9,
+			Params:         11e6,
+		})
 	}
 }
 

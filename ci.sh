@@ -22,4 +22,7 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== go test -shuffle=on =="
+go test -shuffle=on ./...
+
 echo "ci: all checks passed"

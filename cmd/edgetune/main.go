@@ -52,6 +52,9 @@ func run(args []string, out io.Writer) error {
 		faultNaN        = fs.Float64("fault-nan", 0, "probability a training trial diverges to NaN")
 		faultStraggler  = fs.Float64("fault-straggler", 0, "probability a trial straggles (cost inflated)")
 		faultFlap       = fs.Float64("fault-flap", 0, "probability the edge device drops an inference attempt")
+		faultBrownout   = fs.Float64("fault-brownout", 0, "probability an inference attempt is slowed by a device brown-out")
+		brownoutFactor  = fs.Float64("brownout-factor", 0, "maximum brown-out slowdown multiplier (default 6)")
+		faultOverload   = fs.Float64("fault-overload", 0, "probability an inference submission is shed by a synthetic overload burst")
 		faultStoreWrite = fs.Float64("fault-store-write", 0, "probability a historical-store write fails")
 		faultDrop       = fs.Float64("fault-drop", 0, "probability an inference reply is lost in flight")
 		maxAttempts     = fs.Int("max-attempts", 0, "retry cap per training trial under faults (default 3)")
@@ -84,12 +87,15 @@ func run(args []string, out io.Writer) error {
 			StorePath:          *storePath,
 			Seed:               *seed,
 			Faults: edgetune.FaultConfig{
-				TrialCrash:   *faultCrash,
-				TrialNaN:     *faultNaN,
-				Straggler:    *faultStraggler,
-				DeviceFlap:   *faultFlap,
-				StoreWrite:   *faultStoreWrite,
-				DroppedReply: *faultDrop,
+				TrialCrash:     *faultCrash,
+				TrialNaN:       *faultNaN,
+				Straggler:      *faultStraggler,
+				DeviceFlap:     *faultFlap,
+				DeviceBrownout: *faultBrownout,
+				BrownoutFactor: *brownoutFactor,
+				OverloadBurst:  *faultOverload,
+				StoreWrite:     *faultStoreWrite,
+				DroppedReply:   *faultDrop,
 			},
 			MaxTrialAttempts: *maxAttempts,
 			Checkpoint:       *checkpoint,
@@ -155,5 +161,18 @@ func printReport(out io.Writer, r *edgetune.Report) {
 		if res.ResumedRungs > 0 {
 			fmt.Fprintf(out, "    resumed rungs     %d\n", res.ResumedRungs)
 		}
+	}
+	// Serving counters, printed in a fixed order so reports are
+	// byte-stable across identically-seeded runs.
+	if res.Shed > 0 || res.RateLimited > 0 || res.Preempted > 0 ||
+		res.Hedges > 0 || res.Quarantines > 0 || res.Probes > 0 || res.Drained > 0 {
+		fmt.Fprintf(out, "  serving:\n")
+		fmt.Fprintf(out, "    shed              %d\n", res.Shed)
+		fmt.Fprintf(out, "    rate limited      %d\n", res.RateLimited)
+		fmt.Fprintf(out, "    preempted         %d\n", res.Preempted)
+		fmt.Fprintf(out, "    hedges (won)      %d (%d)\n", res.Hedges, res.HedgeWins)
+		fmt.Fprintf(out, "    quarantines       %d\n", res.Quarantines)
+		fmt.Fprintf(out, "    probes            %d\n", res.Probes)
+		fmt.Fprintf(out, "    drained           %d\n", res.Drained)
 	}
 }

@@ -111,6 +111,32 @@ func TestRunChaosTextReport(t *testing.T) {
 	}
 }
 
+func TestRunOverloadTextReport(t *testing.T) {
+	path := quickJobFile(t, edgetune.Job{
+		Workload: "IC",
+		Seed:     1,
+		Faults:   edgetune.FaultConfig{OverloadBurst: 0.5},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-job", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"serving:", "shed", "rate limited", "hedges (won)", "drained"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("overload report missing %q:\n%s", want, got)
+		}
+	}
+	// Same seed, same job: the serving block must be byte-stable.
+	var again bytes.Buffer
+	if err := run([]string{"-job", path}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if got != again.String() {
+		t.Error("identically-seeded runs produced different reports")
+	}
+}
+
 func TestRunFaultFlagValidation(t *testing.T) {
 	// An out-of-range probability must fail fast, before any trial runs
 	// — this exercises the flag plumbing without a full tuning job.

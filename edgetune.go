@@ -157,6 +157,15 @@ type FaultConfig struct {
 	// DeviceFlap makes the emulated edge device drop an inference
 	// tuning attempt.
 	DeviceFlap float64
+	// DeviceBrownout slows an inference tuning attempt by up to
+	// BrownoutFactor without failing it — the thermally-throttled
+	// straggler the inference server hedges against.
+	DeviceBrownout float64
+	// BrownoutFactor is the maximum brown-out slowdown (default 6).
+	BrownoutFactor float64
+	// OverloadBurst sheds an inference submission at the admission
+	// gate, emulating a synthetic traffic spike.
+	OverloadBurst float64
 	// StoreWrite fails a write to the historical store.
 	StoreWrite float64
 	// DroppedReply loses an inference server reply in flight.
@@ -170,6 +179,9 @@ func (f FaultConfig) toInternal() fault.Config {
 		Straggler:       f.Straggler,
 		StragglerFactor: f.StragglerFactor,
 		DeviceFlap:      f.DeviceFlap,
+		DeviceBrownout:  f.DeviceBrownout,
+		BrownoutFactor:  f.BrownoutFactor,
+		OverloadBurst:   f.OverloadBurst,
 		StoreWrite:      f.StoreWrite,
 		DroppedReply:    f.DroppedReply,
 	}
@@ -201,6 +213,25 @@ type ResilienceReport struct {
 	// ResumedRungs counts successive-halving rungs restored from a
 	// checkpoint instead of re-run.
 	ResumedRungs int64
+	// Shed and RateLimited count inference submissions rejected by the
+	// server's admission control (queue overflow or injected overload
+	// bursts, and per-client token-bucket rejections); Preempted counts
+	// queued background requests evicted for critical ones.
+	Shed        int64
+	RateLimited int64
+	Preempted   int64
+	// Hedges counts speculative re-issues to a second pool device when
+	// the primary straggled past its perfmodel-derived deadline;
+	// HedgeWins counts hedges whose result arrived first.
+	Hedges    int64
+	HedgeWins int64
+	// Quarantines counts devices pulled from routing on collapsed
+	// health scores; Probes counts the recovery requests routed to
+	// quarantined devices.
+	Quarantines int64
+	Probes      int64
+	// Drained counts requests completed during a graceful shutdown.
+	Drained int64
 }
 
 // InferenceRecommendation is the deployment configuration EdgeTune
@@ -374,6 +405,14 @@ func buildResilienceReport(s counters.ResilienceSnapshot) ResilienceReport {
 		BreakerCloses:    s.BreakerCloses,
 		Degraded:         s.Degraded,
 		ResumedRungs:     s.ResumedRungs,
+		Shed:             s.Shed,
+		RateLimited:      s.RateLimited,
+		Preempted:        s.Preempted,
+		Hedges:           s.Hedges,
+		HedgeWins:        s.HedgeWins,
+		Quarantines:      s.Quarantines,
+		Probes:           s.Probes,
+		Drained:          s.Drained,
 	}
 	for _, f := range s.Faults {
 		r.Faults = append(r.Faults, FaultCount{Class: f.Class, Count: f.Count})

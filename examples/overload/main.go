@@ -1,0 +1,136 @@
+// Overload drives the inference server well past its admission limit
+// while one pool device browns out, and shows the serving safeguards
+// working together: bounded-queue shedding, per-client rate limiting,
+// critical-over-background priority, hedged requests racing a degraded
+// device against its healthy twin, health-based quarantine, and a
+// graceful drain that flushes every accepted result to the store.
+// Everything is deterministic: re-running prints the same counters.
+//
+// Unlike the other examples this one drives the serving layer
+// (internal/core) directly — the knobs it demonstrates sit below the
+// top-level Job API.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"edgetune/internal/core"
+	"edgetune/internal/counters"
+	"edgetune/internal/device"
+	"edgetune/internal/fault"
+	"edgetune/internal/store"
+	"edgetune/internal/workload"
+)
+
+func main() {
+	rec := counters.NewResilience()
+	inj, err := fault.NewInjector(fault.Config{
+		DeviceBrownout: 0.4, // attempts slow down by up to 8x...
+		BrownoutFactor: 8,   // ...eroding the device's health score
+		OverloadBurst:  0.1, // plus a synthetic admission-level spike
+	}, 42, rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := workload.MustNew("IC", 1)
+	primary := device.I7()
+	twin := device.I7()
+	twin.Profile.Name = "i7-b" // identical twin: a valid hedge target
+	space, err := w.InferenceSpace(primary)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := store.New()
+	srv, err := core.NewInferenceServer(core.InferenceServerOptions{
+		Device:      primary,
+		Pool:        []device.Device{primary, twin},
+		Space:       space,
+		Metric:      core.MetricRuntime,
+		Trials:      8,
+		Workers:     2,
+		Store:       st,
+		Seed:        42,
+		Fault:       inj,
+		Recorder:    rec,
+		QueueLimit:  6,    // queued + inflight cap: the rest is shed
+		RateLimit:   0.25, // chatty clients earn a quarter token per tick
+		RateBurst:   2,
+		HedgeFactor: 1.5, // hedge once an attempt runs 1.5x over budget
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Blast the server with more work than it admits: 8 background
+	// prefetches first (so later critical arrivals preempt them at the
+	// full queue), then 24 critical requests from distinct clients, and
+	// one chatty client hammering the same architecture.
+	ctx := context.Background()
+	var outs []<-chan core.InferOutcome
+	for i := 0; i < 8; i++ {
+		outs = append(outs, srv.Submit(ctx, core.InferRequest{
+			Signature:      fmt.Sprintf("IC/layers=%d", 50+i),
+			FLOPsPerSample: 2.4e9,
+			Params:         24e6,
+			Priority:       core.PriorityBackground,
+		}))
+	}
+	for i := 0; i < 24; i++ {
+		outs = append(outs, srv.Submit(ctx, core.InferRequest{
+			Signature:      fmt.Sprintf("IC/layers=%d", 18+i),
+			FLOPsPerSample: 1.8e9,
+			Params:         11e6,
+		}))
+	}
+	for i := 0; i < 6; i++ {
+		outs = append(outs, srv.Submit(ctx, core.InferRequest{
+			Signature:      fmt.Sprintf("IC/layers=%d", 100+i),
+			FLOPsPerSample: 1.8e9,
+			Params:         11e6,
+			Client:         "chatty-dashboard",
+		}))
+	}
+
+	var ok, shed, limited, hedged int
+	for _, ch := range outs {
+		out := <-ch
+		switch {
+		case out.Err == nil:
+			ok++
+			if out.Hedged {
+				hedged++
+			}
+		case errors.Is(out.Err, core.ErrRateLimited):
+			limited++
+		default:
+			shed++
+		}
+	}
+
+	// Orderly shutdown: reject new work, finish what was admitted,
+	// flush the write-behind store buffer.
+	if err := srv.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("submitted %d requests past a queue limit of 6:\n", len(outs))
+	fmt.Printf("  served %d (%d hedged), rate-limited %d, shed/preempted %d\n",
+		ok, hedged, limited, shed)
+
+	s := rec.Snapshot()
+	fmt.Printf("\nserving counters (deterministic for seed 42):\n")
+	fmt.Printf("  shed          %d\n", s.Shed)
+	fmt.Printf("  rate limited  %d\n", s.RateLimited)
+	fmt.Printf("  preempted     %d\n", s.Preempted)
+	fmt.Printf("  hedges (won)  %d (%d)\n", s.Hedges, s.HedgeWins)
+	fmt.Printf("  quarantines   %d\n", s.Quarantines)
+	fmt.Printf("  probes        %d\n", s.Probes)
+	fmt.Printf("  drained       %d\n", s.Drained)
+	fmt.Printf("\nhistorical store holds %d tuned entries; pending writes: %d\n",
+		st.Len(), srv.PendingWrites())
+}

@@ -59,27 +59,43 @@ func newBreaker(threshold, cooldown int, rec *counters.Resilience) *breaker {
 // consumes one rejection slot per call; exhausting the slots moves the
 // breaker to half-open, which admits exactly one in-flight probe.
 func (b *breaker) allow() bool {
+	ok, _ := b.allowProbe()
+	return ok
+}
+
+// allowProbe is allow plus whether the admitted request holds the
+// half-open probe slot — which the caller must release (releaseProbe)
+// if the request is evicted or cancelled before it ever runs.
+func (b *breaker) allowProbe() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, false
 	case breakerOpen:
 		b.rejectsLeft--
 		if b.rejectsLeft > 0 {
-			return false
+			return false, false
 		}
 		b.state = breakerHalfOpen
 		b.rec.AddBreakerHalfOpen()
 		b.probing = true
-		return true
+		return true, true
 	default: // half-open
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
+}
+
+// releaseProbe frees the half-open probe slot without judging the
+// device, used when the probing request never ran.
+func (b *breaker) releaseProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
 }
 
 // success records a served request that completed without failure.

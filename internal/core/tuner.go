@@ -526,6 +526,14 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 					cp.BestAccuracy = best.acc
 					cp.BestMeets = best.meets
 				}
+				if infSrv != nil {
+					// The checkpoint must capture every completed
+					// inference result, not leave some in the server's
+					// write-behind buffer.
+					if err := infSrv.FlushWrites(); err != nil {
+						return res, err
+					}
+				}
 				if err := saveCheckpoint(opts.Store, opts.CheckpointPath, cp); err != nil {
 					return res, err
 				}
@@ -567,7 +575,7 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 		case ctx.Err() != nil:
 			return res, ctx.Err()
 		case transientInferError(out.Err):
-			entry, derr := fallbackEntry(opts, sig, flops, params)
+			entry, derr := fallbackEntry(infSrv, opts, sig, flops, params)
 			if derr != nil {
 				return res, fmt.Errorf("core: recommendation unavailable: %w (fallback: %v)", out.Err, derr)
 			}
@@ -576,6 +584,14 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			res.RecommendationDegraded = true
 		default:
 			return res, out.Err
+		}
+	}
+
+	if infSrv != nil {
+		// Zero dropped writes on the happy path: everything the server
+		// completed reaches the store before it is saved or measured.
+		if err := infSrv.FlushWrites(); err != nil {
+			return res, err
 		}
 	}
 
@@ -745,7 +761,7 @@ func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer
 				break
 			}
 			// Graceful degradation: historical entry, else estimate.
-			entry, derr := fallbackEntry(opts, sig, flops, params)
+			entry, derr := fallbackEntry(infSrv, opts, sig, flops, params)
 			if derr != nil {
 				return rec, fmt.Errorf("core: inference unavailable: %w (fallback: %v)", err, derr)
 			}
@@ -773,10 +789,15 @@ func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer
 
 // fallbackEntry produces degraded inference data for an architecture
 // when live tuning is unavailable: the historical store entry if one
-// exists, otherwise the performance model's estimate of the device's
-// untuned default configuration.
-func fallbackEntry(opts Options, sig string, flops, params float64) (store.Entry, error) {
-	if e, err := opts.Store.Get(sig, opts.Device.Profile.Name); err == nil {
+// exists (read through the server's write-behind buffer, so freshly
+// tuned but unflushed results still count), otherwise the performance
+// model's estimate of the device's untuned default configuration.
+func fallbackEntry(infSrv *InferenceServer, opts Options, sig string, flops, params float64) (store.Entry, error) {
+	if infSrv != nil {
+		if e, err := infSrv.LookupStored(sig); err == nil {
+			return e, nil
+		}
+	} else if e, err := opts.Store.Get(sig, opts.Device.Profile.Name); err == nil {
 		return e, nil
 	}
 	spec := opts.Device.DefaultSpec(flops, params)

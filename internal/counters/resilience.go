@@ -20,6 +20,15 @@ type Resilience struct {
 	breakerCloses    int64
 	degraded         int64
 	resumedRungs     int64
+
+	shed        int64
+	rateLimited int64
+	preempted   int64
+	hedges      int64
+	hedgeWins   int64
+	quarantines int64
+	probes      int64
+	drained     int64
 }
 
 // NewResilience returns an empty counter set.
@@ -42,20 +51,116 @@ func (r *Resilience) RecordFault(class string) {
 
 // AddRetry counts one retried operation (trial re-run or inference
 // request re-attempt).
-func (r *Resilience) AddRetry() { r.add(&r.retries) }
+func (r *Resilience) AddRetry() {
+	if r == nil {
+		return
+	}
+	r.add(&r.retries)
+}
 
 // AddBreakerOpen counts a closed→open (or half-open→open) transition.
-func (r *Resilience) AddBreakerOpen() { r.add(&r.breakerOpens) }
+func (r *Resilience) AddBreakerOpen() {
+	if r == nil {
+		return
+	}
+	r.add(&r.breakerOpens)
+}
 
 // AddBreakerHalfOpen counts an open→half-open transition.
-func (r *Resilience) AddBreakerHalfOpen() { r.add(&r.breakerHalfOpens) }
+func (r *Resilience) AddBreakerHalfOpen() {
+	if r == nil {
+		return
+	}
+	r.add(&r.breakerHalfOpens)
+}
 
 // AddBreakerClose counts a half-open→closed transition.
-func (r *Resilience) AddBreakerClose() { r.add(&r.breakerCloses) }
+func (r *Resilience) AddBreakerClose() {
+	if r == nil {
+		return
+	}
+	r.add(&r.breakerCloses)
+}
 
 // AddDegraded counts one outcome served from a fallback (historical
 // store entry or performance-model estimate) instead of a measurement.
-func (r *Resilience) AddDegraded() { r.add(&r.degraded) }
+func (r *Resilience) AddDegraded() {
+	if r == nil {
+		return
+	}
+	r.add(&r.degraded)
+}
+
+// AddShed counts one submission rejected at the admission gate because
+// the intake queue was full (or an injected overload burst fired).
+func (r *Resilience) AddShed() {
+	if r == nil {
+		return
+	}
+	r.add(&r.shed)
+}
+
+// AddRateLimited counts one submission rejected by the per-client
+// token-bucket rate limiter.
+func (r *Resilience) AddRateLimited() {
+	if r == nil {
+		return
+	}
+	r.add(&r.rateLimited)
+}
+
+// AddPreempted counts one queued background request evicted to make
+// room for a recommendation-critical one.
+func (r *Resilience) AddPreempted() {
+	if r == nil {
+		return
+	}
+	r.add(&r.preempted)
+}
+
+// AddHedge counts one speculative re-issue to a second device after the
+// primary exceeded its straggler deadline or failed transiently.
+func (r *Resilience) AddHedge() {
+	if r == nil {
+		return
+	}
+	r.add(&r.hedges)
+}
+
+// AddHedgeWin counts a hedge whose secondary attempt produced the
+// winning result.
+func (r *Resilience) AddHedgeWin() {
+	if r == nil {
+		return
+	}
+	r.add(&r.hedgeWins)
+}
+
+// AddQuarantine counts a device transition into the quarantined state.
+func (r *Resilience) AddQuarantine() {
+	if r == nil {
+		return
+	}
+	r.add(&r.quarantines)
+}
+
+// AddProbe counts a probe request routed to a quarantined device to
+// test for recovery.
+func (r *Resilience) AddProbe() {
+	if r == nil {
+		return
+	}
+	r.add(&r.probes)
+}
+
+// AddDrained counts one in-flight request completed during graceful
+// shutdown (after new intake was already rejected).
+func (r *Resilience) AddDrained() {
+	if r == nil {
+		return
+	}
+	r.add(&r.drained)
+}
 
 // AddResumedRungs counts rungs skipped because a checkpoint already
 // held their results.
@@ -95,6 +200,15 @@ type ResilienceSnapshot struct {
 	BreakerCloses    int64        `json:"breakerCloses"`
 	Degraded         int64        `json:"degraded"`
 	ResumedRungs     int64        `json:"resumedRungs"`
+
+	Shed        int64 `json:"shed"`
+	RateLimited int64 `json:"rateLimited"`
+	Preempted   int64 `json:"preempted"`
+	Hedges      int64 `json:"hedges"`
+	HedgeWins   int64 `json:"hedgeWins"`
+	Quarantines int64 `json:"quarantines"`
+	Probes      int64 `json:"probes"`
+	Drained     int64 `json:"drained"`
 }
 
 // FaultCount reports the count for one class (0 if never injected).
@@ -127,6 +241,14 @@ func (r *Resilience) Snapshot() ResilienceSnapshot {
 	s.BreakerCloses = r.breakerCloses
 	s.Degraded = r.degraded
 	s.ResumedRungs = r.resumedRungs
+	s.Shed = r.shed
+	s.RateLimited = r.rateLimited
+	s.Preempted = r.preempted
+	s.Hedges = r.hedges
+	s.HedgeWins = r.hedgeWins
+	s.Quarantines = r.quarantines
+	s.Probes = r.probes
+	s.Drained = r.drained
 	return s
 }
 
@@ -149,4 +271,12 @@ func (r *Resilience) Restore(s ResilienceSnapshot) {
 	r.breakerCloses = s.BreakerCloses
 	r.degraded = s.Degraded
 	r.resumedRungs = s.ResumedRungs
+	r.shed = s.Shed
+	r.rateLimited = s.RateLimited
+	r.preempted = s.Preempted
+	r.hedges = s.Hedges
+	r.hedgeWins = s.HedgeWins
+	r.quarantines = s.Quarantines
+	r.probes = s.Probes
+	r.drained = s.Drained
 }

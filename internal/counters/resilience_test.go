@@ -1,0 +1,92 @@
+package counters
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestResilienceNilSafe(t *testing.T) {
+	var r *Resilience
+	r.RecordFault("trial-crash")
+	r.AddRetry()
+	r.AddShed()
+	r.AddRateLimited()
+	r.AddPreempted()
+	r.AddHedge()
+	r.AddHedgeWin()
+	r.AddQuarantine()
+	r.AddProbe()
+	r.AddDrained()
+	r.AddResumedRungs(2)
+	if s := r.Snapshot(); !reflect.DeepEqual(s, ResilienceSnapshot{}) {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	r.Restore(ResilienceSnapshot{Shed: 1}) // must not panic
+}
+
+func TestResilienceServingCounters(t *testing.T) {
+	r := NewResilience()
+	for i := 0; i < 3; i++ {
+		r.AddShed()
+	}
+	r.AddRateLimited()
+	r.AddRateLimited()
+	r.AddPreempted()
+	r.AddHedge()
+	r.AddHedge()
+	r.AddHedgeWin()
+	r.AddQuarantine()
+	r.AddProbe()
+	r.AddDrained()
+	s := r.Snapshot()
+	want := ResilienceSnapshot{
+		Shed: 3, RateLimited: 2, Preempted: 1,
+		Hedges: 2, HedgeWins: 1, Quarantines: 1, Probes: 1, Drained: 1,
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Errorf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestResilienceRestoreRoundTrip(t *testing.T) {
+	r := NewResilience()
+	r.RecordFault("overload-burst")
+	r.AddShed()
+	r.AddHedge()
+	r.AddHedgeWin()
+	r.AddQuarantine()
+	r.AddDrained()
+	snap := r.Snapshot()
+
+	fresh := NewResilience()
+	fresh.Restore(snap)
+	if got := fresh.Snapshot(); !reflect.DeepEqual(got, snap) {
+		t.Errorf("restored snapshot = %+v, want %+v", got, snap)
+	}
+	// Counters keep accumulating on top of a restore.
+	fresh.AddShed()
+	if got := fresh.Snapshot().Shed; got != snap.Shed+1 {
+		t.Errorf("shed after restore+add = %d, want %d", got, snap.Shed+1)
+	}
+}
+
+func TestResilienceConcurrentServingCounters(t *testing.T) {
+	r := NewResilience()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.AddShed()
+				r.AddHedge()
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Shed != 800 || s.Hedges != 800 {
+		t.Errorf("shed/hedges = %d/%d, want 800/800", s.Shed, s.Hedges)
+	}
+}

@@ -40,11 +40,20 @@ const (
 	// DroppedReply loses an inference server reply after the work was
 	// done (the result is stored but the requester never hears back).
 	DroppedReply Class = "dropped-reply"
+	// DeviceBrownout slows one device's inference-tuning attempt down
+	// without failing it (thermal throttling, shared-bus contention) —
+	// the health pool and hedging layers must notice before the breaker
+	// ever would.
+	DeviceBrownout Class = "device-brownout"
+	// OverloadBurst sheds one inference submission at the admission gate
+	// (a synthetic traffic spike), exercising the typed ErrOverloaded
+	// path deterministically.
+	OverloadBurst Class = "overload-burst"
 )
 
 // Classes lists every fault class in deterministic order.
 func Classes() []Class {
-	return []Class{DeviceFlap, DroppedReply, StoreWrite, Straggler, TrialCrash, TrialNaN}
+	return []Class{DeviceBrownout, DeviceFlap, DroppedReply, OverloadBurst, StoreWrite, Straggler, TrialCrash, TrialNaN}
 }
 
 // Config holds per-class injection probabilities in [0, 1].
@@ -62,6 +71,15 @@ type Config struct {
 	DeviceFlap   float64 `json:"deviceFlap,omitempty"`
 	StoreWrite   float64 `json:"storeWrite,omitempty"`
 	DroppedReply float64 `json:"droppedReply,omitempty"`
+	// DeviceBrownout fires per inference-tuning attempt and inflates the
+	// simulated serving cost without failing the attempt.
+	DeviceBrownout float64 `json:"deviceBrownout,omitempty"`
+	// BrownoutFactor is the maximum slowdown of a browned-out attempt
+	// (default 6; the actual factor is drawn in [1, BrownoutFactor]).
+	BrownoutFactor float64 `json:"brownoutFactor,omitempty"`
+	// OverloadBurst fires per inference submission at the admission
+	// gate, shedding the request with ErrOverloaded.
+	OverloadBurst float64 `json:"overloadBurst,omitempty"`
 }
 
 // Enabled reports whether any class has a non-zero probability.
@@ -84,6 +102,9 @@ func (c Config) Validate() error {
 	if c.StragglerFactor < 0 || (c.StragglerFactor > 0 && c.StragglerFactor < 1) {
 		return fmt.Errorf("fault: straggler factor %v must be >= 1", c.StragglerFactor)
 	}
+	if c.BrownoutFactor < 0 || (c.BrownoutFactor > 0 && c.BrownoutFactor < 1) {
+		return fmt.Errorf("fault: brownout factor %v must be >= 1", c.BrownoutFactor)
+	}
 	return nil
 }
 
@@ -101,6 +122,10 @@ func (c Config) prob(class Class) float64 {
 		return c.StoreWrite
 	case DroppedReply:
 		return c.DroppedReply
+	case DeviceBrownout:
+		return c.DeviceBrownout
+	case OverloadBurst:
+		return c.OverloadBurst
 	default:
 		return 0
 	}
@@ -149,6 +174,9 @@ func NewInjector(cfg Config, seed uint64, rec *counters.Resilience) (*Injector, 
 	}
 	if cfg.StragglerFactor == 0 {
 		cfg.StragglerFactor = 4
+	}
+	if cfg.BrownoutFactor == 0 {
+		cfg.BrownoutFactor = 6
 	}
 	return &Injector{cfg: cfg, seed: seed, rec: rec}, nil
 }
@@ -210,6 +238,19 @@ func (in *Injector) StragglerFactor(site string, attempt int) float64 {
 		return 1
 	}
 	return 1 + (max-1)*in.Uniform("straggle/"+site, attempt)
+}
+
+// BrownoutFactor returns the slowdown multiplier for a browned-out
+// device attempt at site/attempt, in [1, cfg.BrownoutFactor].
+func (in *Injector) BrownoutFactor(site string, attempt int) float64 {
+	if in == nil {
+		return 1
+	}
+	max := in.cfg.BrownoutFactor
+	if max <= 1 {
+		return 1
+	}
+	return 1 + (max-1)*in.Uniform("brownout/"+site, attempt)
 }
 
 // fnvMix folds s into h with FNV-1a steps.

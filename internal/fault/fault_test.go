@@ -23,6 +23,15 @@ func TestConfigValidate(t *testing.T) {
 	if err := (Config{StragglerFactor: 0.5}).Validate(); err == nil {
 		t.Error("straggler factor < 1 accepted")
 	}
+	if err := (Config{BrownoutFactor: 0.5}).Validate(); err == nil {
+		t.Error("brownout factor < 1 accepted")
+	}
+	if err := (Config{OverloadBurst: 2}).Validate(); err == nil {
+		t.Error("overload-burst probability > 1 accepted")
+	}
+	if !(Config{DeviceBrownout: 0.1}).Enabled() {
+		t.Error("brownout-only config reports disabled")
+	}
 	if (Config{}).Enabled() {
 		t.Error("zero config reports enabled")
 	}
@@ -43,6 +52,9 @@ func TestNilInjectorNeverFires(t *testing.T) {
 	}
 	if f := in.StragglerFactor("site", 0); f != 1 {
 		t.Errorf("nil straggler factor = %v", f)
+	}
+	if f := in.BrownoutFactor("site", 0); f != 1 {
+		t.Errorf("nil brownout factor = %v", f)
 	}
 }
 
@@ -168,6 +180,54 @@ func TestStragglerFactorRange(t *testing.T) {
 	// Deterministic per tuple.
 	if in.StragglerFactor("s-1", 0) != in.StragglerFactor("s-1", 0) {
 		t.Error("straggler factor not deterministic")
+	}
+}
+
+func TestBrownoutFactorRange(t *testing.T) {
+	in, err := NewInjector(Config{DeviceBrownout: 1, BrownoutFactor: 5}, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		f := in.BrownoutFactor(fmt.Sprintf("d-%d", i), 0)
+		if f < 1 || f > 5 {
+			t.Fatalf("factor %v out of [1,5]", f)
+		}
+	}
+	if in.BrownoutFactor("d-1", 0) != in.BrownoutFactor("d-1", 0) {
+		t.Error("brownout factor not deterministic")
+	}
+	// Defaulted factor still yields > 1 slowdowns somewhere.
+	in2, err := NewInjector(Config{DeviceBrownout: 1}, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slowed bool
+	for i := 0; i < 20; i++ {
+		if in2.BrownoutFactor(fmt.Sprintf("d-%d", i), 0) > 1 {
+			slowed = true
+		}
+	}
+	if !slowed {
+		t.Error("default brownout factor never slowed an attempt")
+	}
+}
+
+func TestNewClassesFire(t *testing.T) {
+	rec := counters.NewResilience()
+	in, err := NewInjector(Config{OverloadBurst: 1, DeviceBrownout: 1}, 5, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Should(OverloadBurst, "admit/c1", 0) {
+		t.Error("p=1 overload burst did not fire")
+	}
+	if ferr := in.Fail(DeviceBrownout, "i7/sig", 0); ClassOf(ferr) != DeviceBrownout {
+		t.Errorf("brownout Fail = %v", ferr)
+	}
+	s := rec.Snapshot()
+	if s.FaultCount(string(OverloadBurst)) != 1 || s.FaultCount(string(DeviceBrownout)) != 1 {
+		t.Errorf("snapshot = %+v", s)
 	}
 }
 

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBufferClosed is returned by WriteBehind.Put after Close.
+var ErrBufferClosed = errors.New("store: write-behind buffer closed")
+
+// WriteBehind decouples the inference server's request path from the
+// historical database: Put buffers the entry and returns immediately, a
+// background flusher drains the buffer into the underlying Store, and
+// Get reads through the buffer so a pending entry is never invisible to
+// the cache fast path. Flush (and Close) force the buffer empty, which
+// is what the server's drain mode relies on for its zero-dropped-writes
+// guarantee.
+//
+// Reads promote a pending entry into the store before delegating to
+// Store.Get, so cache hit/miss statistics do not depend on flusher
+// timing — the determinism contract of the chaos suite.
+type WriteBehind struct {
+	st *Store
+
+	mu      sync.Mutex
+	pending map[string]Entry
+	order   []string // insertion order, for deterministic flushes
+	closed  bool
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewWriteBehind wraps st with a write-behind buffer and starts its
+// background flusher.
+func NewWriteBehind(st *Store) *WriteBehind {
+	w := &WriteBehind{
+		st:      st,
+		pending: make(map[string]Entry),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.flusher()
+	return w
+}
+
+// Put buffers an entry for asynchronous persistence. Validation happens
+// here, synchronously, so the flusher can never fail on bad input.
+func (w *WriteBehind) Put(e Entry) error {
+	if e.Signature == "" {
+		return fmt.Errorf("store: entry with empty signature")
+	}
+	if e.Device == "" {
+		return fmt.Errorf("store: entry with empty device")
+	}
+	e.Config = e.Config.Clone()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrBufferClosed
+	}
+	key := e.key()
+	if _, dup := w.pending[key]; !dup {
+		w.order = append(w.order, key)
+	}
+	w.pending[key] = e
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Get reads through the buffer: a pending entry is promoted into the
+// store first so hit/miss accounting matches a flushed store exactly.
+func (w *WriteBehind) Get(signature, dev string) (Entry, error) {
+	key := signature + "@" + dev
+	w.mu.Lock()
+	if e, ok := w.pending[key]; ok {
+		if err := w.st.Put(e); err != nil {
+			w.mu.Unlock()
+			return Entry{}, err
+		}
+		delete(w.pending, key)
+		for i, k := range w.order {
+			if k == key {
+				w.order = append(w.order[:i], w.order[i+1:]...)
+				break
+			}
+		}
+	}
+	w.mu.Unlock()
+	return w.st.Get(signature, dev)
+}
+
+// Pending reports how many buffered entries await persistence.
+func (w *WriteBehind) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// Flush synchronously drains every buffered entry into the store, in
+// insertion order.
+func (w *WriteBehind) Flush() error {
+	w.mu.Lock()
+	keys := w.order
+	entries := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, w.pending[k])
+	}
+	w.order = nil
+	w.pending = make(map[string]Entry)
+	w.mu.Unlock()
+	for _, e := range entries {
+		if err := w.st.Put(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops the flusher and drains whatever is still buffered. It is
+// idempotent and safe to call concurrently.
+func (w *WriteBehind) Close() error {
+	w.mu.Lock()
+	already := w.closed
+	w.closed = true
+	w.mu.Unlock()
+	if !already {
+		close(w.stop)
+	}
+	<-w.done
+	return w.Flush()
+}
+
+// flusher drains the buffer whenever a Put wakes it.
+func (w *WriteBehind) flusher() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.wake:
+			w.Flush() // Put pre-validates, so this cannot fail
+		case <-w.stop:
+			return
+		}
+	}
+}

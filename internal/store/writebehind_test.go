@@ -1,0 +1,164 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func wbEntry(sig, dev string) Entry {
+	return Entry{Signature: sig, Device: dev, Throughput: 100, Objective: 1}
+}
+
+func TestWriteBehindPutEventuallyFlushes(t *testing.T) {
+	st := New()
+	wb := NewWriteBehind(st)
+	defer wb.Close()
+	if err := wb.Put(wbEntry("sig-a", "i7")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never persisted the entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWriteBehindValidation(t *testing.T) {
+	wb := NewWriteBehind(New())
+	defer wb.Close()
+	if err := wb.Put(Entry{Device: "i7"}); err == nil {
+		t.Error("empty signature accepted")
+	}
+	if err := wb.Put(Entry{Signature: "s"}); err == nil {
+		t.Error("empty device accepted")
+	}
+}
+
+func TestWriteBehindGetPromotesPending(t *testing.T) {
+	st := New()
+	wb := NewWriteBehind(st)
+	defer wb.Close()
+	// Hold no locks and don't wait for the flusher: Get must see the
+	// pending entry immediately and record a store hit for it.
+	if err := wb.Put(wbEntry("sig-b", "i7")); err != nil {
+		t.Fatal(err)
+	}
+	e, err := wb.Get("sig-b", "i7")
+	if err != nil {
+		t.Fatalf("pending entry invisible to Get: %v", err)
+	}
+	if e.Signature != "sig-b" {
+		t.Errorf("got entry %+v", e)
+	}
+	hits, misses := st.Stats()
+	if hits != 1 || misses != 0 {
+		t.Errorf("hits/misses = %d/%d, want 1/0", hits, misses)
+	}
+	if _, err := wb.Get("absent", "i7"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing entry error = %v", err)
+	}
+}
+
+func TestWriteBehindFlushDrains(t *testing.T) {
+	st := New()
+	wb := NewWriteBehind(st)
+	defer wb.Close()
+	for i := 0; i < 10; i++ {
+		if err := wb.Put(wbEntry(fmt.Sprintf("sig-%d", i), "i7")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Pending() != 0 {
+		t.Errorf("pending after flush = %d", wb.Pending())
+	}
+	if st.Len() != 10 {
+		t.Errorf("store has %d entries, want 10", st.Len())
+	}
+}
+
+func TestWriteBehindPutReplacesPendingDuplicate(t *testing.T) {
+	st := New()
+	wb := NewWriteBehind(st)
+	defer wb.Close()
+	a := wbEntry("sig", "i7")
+	a.Objective = 5
+	b := wbEntry("sig", "i7")
+	b.Objective = 2
+	if err := wb.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := st.Get("sig", "i7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Objective != 2 {
+		t.Errorf("objective = %v, want the later write (2)", e.Objective)
+	}
+	if st.Len() != 1 {
+		t.Errorf("store has %d entries, want 1", st.Len())
+	}
+}
+
+func TestWriteBehindCloseIdempotentAndFinal(t *testing.T) {
+	st := New()
+	wb := NewWriteBehind(st)
+	if err := wb.Put(wbEntry("sig-z", "armv7")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := st.Get("sig-z", "armv7"); err != nil {
+		t.Errorf("entry lost on close: %v", err)
+	}
+	if err := wb.Put(wbEntry("late", "i7")); !errors.Is(err, ErrBufferClosed) {
+		t.Errorf("put after close = %v, want ErrBufferClosed", err)
+	}
+}
+
+func TestWriteBehindConcurrent(t *testing.T) {
+	st := New()
+	wb := NewWriteBehind(st)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sig := fmt.Sprintf("g%d-s%d", g, i)
+				if err := wb.Put(wbEntry(sig, "i7")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := wb.Get(sig, "i7"); err != nil {
+					t.Errorf("get %s: %v", sig, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 400 {
+		t.Errorf("store has %d entries, want 400", st.Len())
+	}
+}
