@@ -25,4 +25,25 @@ go test -race ./...
 echo "== go test -shuffle=on =="
 go test -shuffle=on ./...
 
+echo "== trace determinism =="
+# Two independent same-seed runs must write byte-identical trace files,
+# in both the JSONL and Chrome trace-event formats.
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./examples/tracing -seed 7 -trace "$tracedir/a.jsonl" -chrome "$tracedir/a.json" >/dev/null
+go run ./examples/tracing -seed 7 -trace "$tracedir/b.jsonl" -chrome "$tracedir/b.json" >/dev/null
+cmp "$tracedir/a.jsonl" "$tracedir/b.jsonl"
+cmp "$tracedir/a.json" "$tracedir/b.json"
+
+echo "== tracing no-op overhead =="
+# Smoke-run the disabled-tracing benchmark so a regression that breaks
+# the nil-safe fast path is caught even without a full bench sweep.
+go test -run '^$' -bench BenchmarkTracingDisabled -benchtime=1x ./internal/obs
+
+echo "== benchtab wall-time report =="
+# Record per-experiment wall time for the quick static tables; the
+# BENCH_*.json artefacts let successive CI runs be compared.
+go run ./cmd/benchtab -only "Table 2" -json "BENCH_$(date +%Y%m%d).json" >/dev/null
+echo "wrote BENCH_$(date +%Y%m%d).json"
+
 echo "ci: all checks passed"

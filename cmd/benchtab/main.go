@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	benchtab            # all experiments, paper order
-//	benchtab -only 13   # a single figure/table by number
-//	benchtab -list      # list available experiments
+//	benchtab                   # all experiments, paper order
+//	benchtab -only 13          # a single figure/table by number
+//	benchtab -list             # list available experiments
+//	benchtab -json bench.json  # also write per-experiment wall times
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,16 +28,33 @@ func main() {
 	}
 }
 
+// benchEntry is one experiment's wall-time record in the -json output.
+type benchEntry struct {
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	Rows        int     `json:"rows"`
+	WallSeconds float64 `json:"wallSeconds"`
+}
+
+// benchReport is the -json output: per-experiment regeneration times,
+// for CI trend tracking.
+type benchReport struct {
+	Experiments  []benchEntry `json:"experiments"`
+	TotalSeconds float64      `json:"totalSeconds"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	var (
-		only = fs.String("only", "", "run only the experiment whose ID contains this string (e.g. \"13\" or \"Table 1\")")
-		list = fs.Bool("list", false, "list experiment IDs and exit")
+		only     = fs.String("only", "", "run only the experiment whose ID contains this string (e.g. \"13\" or \"Table 1\")")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		jsonPath = fs.String("json", "", "write per-experiment wall times to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var bench benchReport
 	ran := 0
 	for _, exp := range experiments.All() {
 		if *only != "" && !strings.Contains(exp.ID, *only) {
@@ -51,11 +70,28 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%s(regenerated in %.1fs)\n\n", tab, time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		fmt.Fprintf(out, "%s(regenerated in %.1fs)\n\n", tab, elapsed)
+		bench.Experiments = append(bench.Experiments, benchEntry{
+			ID:          exp.ID,
+			Title:       tab.Title,
+			Rows:        len(tab.Rows),
+			WallSeconds: elapsed,
+		})
+		bench.TotalSeconds += elapsed
 		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiment matches %q", *only)
+	}
+	if *jsonPath != "" && !*list {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

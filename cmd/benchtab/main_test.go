@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -45,5 +48,38 @@ func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-frobnicate"}, &out); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-only", "Table 2", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Experiments []struct {
+			ID          string  `json:"id"`
+			Title       string  `json:"title"`
+			Rows        int     `json:"rows"`
+			WallSeconds float64 `json:"wallSeconds"`
+		} `json:"experiments"`
+		TotalSeconds float64 `json:"totalSeconds"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench JSON does not parse: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "Table 2" {
+		t.Fatalf("experiments = %+v, want exactly Table 2", rep.Experiments)
+	}
+	if rep.Experiments[0].Rows == 0 || rep.Experiments[0].Title == "" {
+		t.Errorf("entry missing rows/title: %+v", rep.Experiments[0])
+	}
+	if rep.Experiments[0].WallSeconds < 0 {
+		t.Errorf("negative wall time: %v", rep.Experiments[0].WallSeconds)
 	}
 }

@@ -6,6 +6,8 @@
 //	edgetune -workload IC [-device i7] [-budget multi] [-metric runtime]
 //	         [-hierarchical] [-no-inference] [-stop-at-target]
 //	         [-store history.json] [-seed 1] [-json]
+//	         [-trace spans.jsonl] [-trace-chrome trace.json]
+//	         [-debug-addr 127.0.0.1:6060] [-metrics]
 //	edgetune -job job.json
 //
 // With -job, the flags are read from a JSON file matching the
@@ -59,6 +61,11 @@ func run(args []string, out io.Writer) error {
 		faultDrop       = fs.Float64("fault-drop", 0, "probability an inference reply is lost in flight")
 		maxAttempts     = fs.Int("max-attempts", 0, "retry cap per training trial under faults (default 3)")
 		checkpoint      = fs.Bool("checkpoint", false, "checkpoint completed rungs for resumable tuning")
+
+		tracePath   = fs.String("trace", "", "write the deterministic span trace as JSON Lines to this file")
+		chromePath  = fs.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable)")
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while tuning")
+		showMetrics = fs.Bool("metrics", false, "print the full metrics snapshot after the report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +79,17 @@ func run(args []string, out io.Writer) error {
 		}
 		if err := json.Unmarshal(data, &job); err != nil {
 			return fmt.Errorf("parse %s: %w", *jobPath, err)
+		}
+		// Observability flags compose with a job file: they describe
+		// where this invocation writes its diagnostics, not the job.
+		if *tracePath != "" {
+			job.TracePath = *tracePath
+		}
+		if *chromePath != "" {
+			job.TraceChromePath = *chromePath
+		}
+		if *debugAddr != "" {
+			job.DebugAddr = *debugAddr
 		}
 	} else {
 		job = edgetune.Job{
@@ -99,6 +117,9 @@ func run(args []string, out io.Writer) error {
 			},
 			MaxTrialAttempts: *maxAttempts,
 			Checkpoint:       *checkpoint,
+			TracePath:        *tracePath,
+			TraceChromePath:  *chromePath,
+			DebugAddr:        *debugAddr,
 		}
 	}
 
@@ -113,7 +134,26 @@ func run(args []string, out io.Writer) error {
 		return enc.Encode(report)
 	}
 	printReport(out, report)
+	if *showMetrics {
+		printMetrics(out, report.Metrics)
+	}
 	return nil
+}
+
+// printMetrics dumps the full metrics snapshot in its (sorted) registry
+// order, so the text output is byte-stable across same-seed runs.
+func printMetrics(out io.Writer, m edgetune.MetricsReport) {
+	fmt.Fprintf(out, "  metrics:\n")
+	for _, c := range m.Counters {
+		fmt.Fprintf(out, "    counter   %-36s %d\n", c.Name, c.Value)
+	}
+	for _, g := range m.Gauges {
+		fmt.Fprintf(out, "    gauge     %-36s %g\n", g.Name, g.Value)
+	}
+	for _, h := range m.Histograms {
+		fmt.Fprintf(out, "    histogram %-36s count=%d p50=%.3g p95=%.3g p99=%.3g\n",
+			h.Name, h.Count, h.P50, h.P95, h.P99)
+	}
 }
 
 func printReport(out io.Writer, r *edgetune.Report) {

@@ -159,3 +159,34 @@ func TestRunNoInferenceOmitsRecommendation(t *testing.T) {
 		t.Error("inference-unaware run printed a recommendation")
 	}
 }
+
+// TestTraceFlagDeterministic: running the CLI twice with the same job
+// and seed must produce byte-identical trace files.
+func TestTraceFlagDeterministic(t *testing.T) {
+	path := quickJobFile(t, edgetune.Job{
+		Workload: "IC",
+		Seed:     11,
+		Faults:   edgetune.FaultConfig{TrialCrash: 0.2, Straggler: 0.2},
+	})
+	dir := t.TempDir()
+	trace := func(name string) []byte {
+		t.Helper()
+		out := filepath.Join(dir, name)
+		var buf bytes.Buffer
+		if err := run([]string{"-job", path, "-trace", out}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatal("trace file is empty")
+		}
+		return data
+	}
+	a, b := trace("a.jsonl"), trace("b.jsonl")
+	if !bytes.Equal(a, b) {
+		t.Error("same-seed trace files differ")
+	}
+}

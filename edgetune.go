@@ -32,6 +32,7 @@ import (
 	"edgetune/internal/counters"
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
+	"edgetune/internal/obs"
 	"edgetune/internal/search"
 	"edgetune/internal/store"
 	"edgetune/internal/workload"
@@ -141,6 +142,17 @@ type Job struct {
 	// historical store (and, with StorePath set, on disk) so an
 	// interrupted job resumes without re-running finished trials.
 	Checkpoint bool
+	// TracePath, when set, writes the job's deterministic span trace as
+	// JSON Lines (one span per line, sorted by start time). Same-seed
+	// jobs produce byte-identical files.
+	TracePath string
+	// TraceChromePath, when set, writes the same trace in Chrome
+	// trace-event format, loadable in Perfetto or chrome://tracing.
+	TraceChromePath string
+	// DebugAddr, when set (e.g. "127.0.0.1:6060"), serves /metrics,
+	// /metrics.json, /debug/vars, and /debug/pprof for the duration of
+	// the job.
+	DebugAddr string
 }
 
 // FaultConfig sets per-site injection probabilities for the supported
@@ -287,6 +299,54 @@ type Report struct {
 	RecommendationDegraded bool
 	// Resilience reports fault injection and recovery accounting.
 	Resilience ResilienceReport
+	// Metrics is the job's full metrics snapshot: every counter, gauge,
+	// and histogram the pipeline registered, sorted by name. The
+	// resilience counters above read the same cells; Metrics adds the
+	// tuner and serving instruments (trial duration/energy histograms,
+	// per-device breakdowns, store writes).
+	Metrics MetricsReport
+}
+
+// MetricCounter is one named counter of a metrics report.
+type MetricCounter struct {
+	Name  string
+	Value int64
+}
+
+// MetricGauge is one named gauge of a metrics report.
+type MetricGauge struct {
+	Name  string
+	Value float64
+}
+
+// MetricBucket is one histogram bucket: the count of observations at
+// or below the upper bound ("+Inf" for the overflow bucket).
+type MetricBucket struct {
+	LE    string
+	Count int64
+}
+
+// MetricHistogram is one histogram of a metrics report, with
+// pre-computed quantiles. Min, Max, and Sum cover finite observations.
+type MetricHistogram struct {
+	Name    string
+	Count   int64
+	Sum     float64
+	Min     float64
+	Max     float64
+	P50     float64
+	P95     float64
+	P99     float64
+	Buckets []MetricBucket
+}
+
+// MetricsReport is the public mirror of the job's metrics snapshot,
+// sorted by name within each kind so serialisations are byte-stable
+// across same-seed runs.
+type MetricsReport struct {
+	Counters   []MetricCounter
+	Gauges     []MetricGauge
+	Histograms []MetricHistogram
 }
 
 // Tune runs a tuning job to completion.
@@ -320,6 +380,19 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 		}
 	}
 
+	var tracer *obs.Tracer
+	if job.TracePath != "" || job.TraceChromePath != "" {
+		tracer = obs.NewTracer()
+	}
+	reg := obs.NewRegistry()
+	if job.DebugAddr != "" {
+		dbg, derr := obs.StartDebugServer(job.DebugAddr, reg)
+		if derr != nil {
+			return nil, fmt.Errorf("edgetune: debug server: %w", derr)
+		}
+		defer dbg.Close()
+	}
+
 	opts := core.Options{
 		Workload:       w,
 		Device:         dev,
@@ -339,6 +412,8 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 		Fault:          job.Faults.toInternal(),
 		MaxAttempts:    job.MaxTrialAttempts,
 		Checkpoint:     job.Checkpoint,
+		Trace:          tracer,
+		Metrics:        reg,
 	}
 	if job.Checkpoint && job.StorePath != "" {
 		// Flush checkpoints through the persisted store so a killed
@@ -361,6 +436,16 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 			return nil, fmt.Errorf("edgetune: persist store: %w", err)
 		}
 	}
+	if job.TracePath != "" {
+		if err := tracer.SaveJSONL(job.TracePath); err != nil {
+			return nil, fmt.Errorf("edgetune: write trace: %w", err)
+		}
+	}
+	if job.TraceChromePath != "" {
+		if err := tracer.SaveChrome(job.TraceChromePath); err != nil {
+			return nil, fmt.Errorf("edgetune: write chrome trace: %w", err)
+		}
+	}
 	return buildReport(res), nil
 }
 
@@ -381,6 +466,7 @@ func buildReport(res core.Result) *Report {
 
 		RecommendationDegraded: res.RecommendationDegraded,
 		Resilience:             buildResilienceReport(res.Resilience),
+		Metrics:                buildMetricsReport(res.Metrics),
 	}
 	if res.Recommendation.Signature != "" {
 		r.Recommendation = InferenceRecommendation{
@@ -416,6 +502,27 @@ func buildResilienceReport(s counters.ResilienceSnapshot) ResilienceReport {
 	}
 	for _, f := range s.Faults {
 		r.Faults = append(r.Faults, FaultCount{Class: f.Class, Count: f.Count})
+	}
+	return r
+}
+
+func buildMetricsReport(s obs.Snapshot) MetricsReport {
+	var r MetricsReport
+	for _, c := range s.Counters {
+		r.Counters = append(r.Counters, MetricCounter{Name: c.Name, Value: c.Value})
+	}
+	for _, g := range s.Gauges {
+		r.Gauges = append(r.Gauges, MetricGauge{Name: g.Name, Value: g.Value})
+	}
+	for _, h := range s.Histograms {
+		mh := MetricHistogram{
+			Name: h.Name, Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+			P50: h.P50, P95: h.P95, P99: h.P99,
+		}
+		for _, b := range h.Buckets {
+			mh.Buckets = append(mh.Buckets, MetricBucket{LE: b.LE, Count: b.Count})
+		}
+		r.Histograms = append(r.Histograms, mh)
 	}
 	return r
 }

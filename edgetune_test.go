@@ -277,3 +277,28 @@ func TestPlanMultiStream(t *testing.T) {
 		t.Error("negative rate accepted")
 	}
 }
+
+// TestReportDeterministic: two independent same-seed runs of a faulted
+// job must marshal to byte-identical JSON reports — the determinism
+// contract covers metrics, fault counts, and the trace-fed accounting,
+// not just the recommendation.
+func TestReportDeterministic(t *testing.T) {
+	job := quickJob()
+	job.Faults = FaultConfig{TrialCrash: 0.2, Straggler: 0.2, DroppedReply: 0.1}
+	marshal := func() []byte {
+		t.Helper()
+		rep, err := Tune(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := marshal(), marshal()
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed reports differ:\n%s\n---\n%s", a, b)
+	}
+}

@@ -1,0 +1,56 @@
+// Tracing: run a small faulted tuning job with the deterministic
+// tracer and metrics registry enabled, write the span trace as JSON
+// Lines and (optionally) Chrome trace-event JSON, and print a metrics
+// digest. Same-seed runs produce byte-identical trace files — which is
+// exactly what ci.sh checks by running this program twice and diffing
+// the outputs. Load the Chrome file in Perfetto (ui.perfetto.dev) to
+// see the tune → bracket → rung → trial → attempt hierarchy sheltering
+// the serving track's request → admission → serve → device-attempt
+// spans.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"edgetune"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 7, "job seed; same seed, same bytes")
+		trace  = flag.String("trace", "trace.jsonl", "JSON Lines span output")
+		chrome = flag.String("chrome", "", "Chrome trace-event output (Perfetto-loadable)")
+	)
+	flag.Parse()
+
+	report, err := edgetune.Tune(context.Background(), edgetune.Job{
+		Workload: "IC",
+		Configs:  4,
+		Rungs:    3,
+		Brackets: 1,
+		Seed:     *seed,
+		Faults: edgetune.FaultConfig{
+			TrialCrash:   0.15, // exercise retry + attempt spans
+			Straggler:    0.20, // exercise straggler cost inflation
+			DeviceFlap:   0.10, // exercise device-attempt retries
+			DroppedReply: 0.10, // exercise resubmit + cache-hit spans
+		},
+		TracePath:       *trace,
+		TraceChromePath: *chrome,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tuned %s in %d trials; trace written to %s\n",
+		report.Workload, report.TrialsRun, *trace)
+	for _, c := range report.Metrics.Counters {
+		fmt.Printf("  %-32s %d\n", c.Name, c.Value)
+	}
+	for _, h := range report.Metrics.Histograms {
+		fmt.Printf("  %-32s count=%d p50=%.3g p95=%.3g\n", h.Name, h.Count, h.P50, h.P95)
+	}
+}

@@ -20,6 +20,18 @@ const (
 	breakerHalfOpen
 )
 
+// String names the state for span attributes and reports.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 // breaker is a per-device circuit breaker. The tuning servers run on
 // simulated time, so the open-state cooldown is measured in rejected
 // requests rather than wall clock: after `threshold` consecutive
@@ -141,7 +153,8 @@ func (b *breaker) open() {
 	b.rec.AddBreakerOpen()
 }
 
-// snapshotState reports the current state (for tests).
+// snapshotState reports the current state (for tests and span
+// attributes).
 func (b *breaker) snapshotState() breakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
-	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -14,6 +13,7 @@ import (
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/store"
+	"edgetune/internal/testutil"
 )
 
 // chaosOptions is smallOptions with one fault class dialled up.
@@ -537,7 +537,9 @@ func TestInferenceServerOverloadBrownoutChaos(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos suite skipped in -short mode")
 	}
-	before := runtime.NumGoroutine()
+	// No goroutine leak: workers, flushers, and watchers must all be
+	// gone once both scenario runs have drained their servers.
+	testutil.CheckGoroutineLeak(t, 2)
 	a := runOverloadScenario(t)
 
 	if a.Phase1Shed != 24 {
@@ -559,20 +561,6 @@ func TestInferenceServerOverloadBrownoutChaos(t *testing.T) {
 	b := runOverloadScenario(t)
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same-seed overload scenarios diverged:\n%+v\n%+v", a, b)
-	}
-
-	// No goroutine leak: workers, flushers, and watchers are all gone
-	// once both servers are drained.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Errorf("goroutines: %d before, %d after scenario runs", before, runtime.NumGoroutine())
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -4,11 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"edgetune/internal/counters"
 	"edgetune/internal/device"
-	"sync"
+	"edgetune/internal/obs"
 )
 
 // ErrNoHealthyDevice is returned when every device in the pool is
@@ -36,6 +37,18 @@ const (
 	deviceQuarantined
 )
 
+// String names the health state for span attributes and reports.
+func (s deviceHealthState) String() string {
+	switch s {
+	case deviceProbation:
+		return "probation"
+	case deviceQuarantined:
+		return "quarantined"
+	default:
+		return "healthy"
+	}
+}
+
 const (
 	// healthAlpha is the EWMA weight of the newest observation.
 	healthAlpha = 0.3
@@ -59,6 +72,12 @@ type poolDevice struct {
 	score   float64
 	state   deviceHealthState
 	probing bool // a recovery probe is in flight
+
+	// Per-device registry instruments (nil when metrics are disabled).
+	mRequests *obs.Counter
+	mFailures *obs.Counter
+	mLatency  *obs.Histogram
+	mHealth   *obs.Gauge
 }
 
 // route captures one routing decision: the chosen device plus the
@@ -84,13 +103,24 @@ type devicePool struct {
 
 func newDevicePool(devs []device.Device, threshold, cooldown int, rec *counters.Resilience) *devicePool {
 	p := &devicePool{rec: rec}
+	reg := rec.Registry()
 	for _, d := range devs {
-		p.devs = append(p.devs, &poolDevice{
+		name := d.Profile.Name
+		pd := &poolDevice{
 			dev:   d,
-			name:  d.Profile.Name,
+			name:  name,
 			br:    newBreaker(threshold, cooldown, rec),
 			score: 1,
-		})
+		}
+		if reg != nil {
+			prefix := "serving.device." + name
+			pd.mRequests = reg.Counter(prefix + ".requests")
+			pd.mFailures = reg.Counter(prefix + ".failures")
+			pd.mLatency = reg.Histogram(prefix+".latency.ms", obs.LatencyBucketsMS)
+			pd.mHealth = reg.Gauge(prefix + ".health")
+			pd.mHealth.Set(pd.score)
+		}
+		p.devs = append(p.devs, pd)
 	}
 	return p
 }
@@ -192,17 +222,21 @@ func (p *devicePool) observe(r route, err error, latency, expected time.Duration
 		}
 		return
 	}
-	obs := 0.0
+	pd.mRequests.Add(1)
+	pd.mLatency.Observe(float64(latency) / float64(time.Millisecond))
+	signal := 0.0
 	if err == nil {
 		pd.br.success()
-		obs = 1
+		signal = 1
 		if expected > 0 && latency > expected {
-			obs = float64(expected) / float64(latency)
+			signal = float64(expected) / float64(latency)
 		}
 	} else {
 		pd.br.failure()
+		pd.mFailures.Add(1)
 	}
-	pd.score = (1-healthAlpha)*pd.score + healthAlpha*obs
+	pd.score = (1-healthAlpha)*pd.score + healthAlpha*signal
+	pd.mHealth.Set(pd.score)
 
 	switch pd.state {
 	case deviceQuarantined:

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"edgetune/internal/fault"
+	"edgetune/internal/obs"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/store"
 )
@@ -58,9 +59,9 @@ func hedgeable(err error) bool {
 // winner is whichever result finishes first on that clock, and the
 // loser is charged only the cost it accrued before the winner's
 // finish — the cancellation refund.
-func (s *InferenceServer) runHedged(ctx context.Context, req InferRequest, primary route) hedgeOutcome {
+func (s *InferenceServer) runHedged(ctx context.Context, req InferRequest, primary route, sp *obs.Span, base time.Duration) hedgeOutcome {
 	pd := primary.pd
-	r1 := s.serveOn(ctx, req, pd)
+	r1 := s.serveOn(ctx, req, pd, sp, base)
 	expected := r1.baseline
 	deadline := time.Duration(float64(expected) * s.opts.HedgeFactor)
 	s.pool.observe(primary, r1.err, r1.cost.Duration, expected)
@@ -77,8 +78,6 @@ func (s *InferenceServer) runHedged(ctx context.Context, req InferRequest, prima
 	}
 
 	s.opts.Recorder.AddHedge()
-	r2 := s.serveOn(ctx, req, second.pd)
-	s.pool.observe(second, r2.err, r2.cost.Duration, r2.baseline)
 
 	// The hedge launches at the straggler deadline, or at the primary's
 	// failure time when that is what triggered it.
@@ -86,6 +85,20 @@ func (s *InferenceServer) runHedged(ctx context.Context, req InferRequest, prima
 	if failed && (deadline == 0 || r1.cost.Duration < deadline) {
 		start = r1.cost.Duration
 	}
+	var hsp *obs.Span
+	if sp != nil {
+		reason := "straggler"
+		if failed {
+			reason = "primary-failed"
+		}
+		hsp = sp.Child("hedge", base+start,
+			obs.Str("device", second.pd.name),
+			obs.Str("reason", reason))
+	}
+
+	r2 := s.serveOn(ctx, req, second.pd, hsp, base+start)
+	s.pool.observe(second, r2.err, r2.cost.Duration, r2.baseline)
+
 	d1 := r1.cost.Duration
 	d2 := start + r2.cost.Duration
 
@@ -110,6 +123,10 @@ func (s *InferenceServer) runHedged(ctx context.Context, req InferRequest, prima
 		// the primary's error stands.
 		out.latency = maxDuration(d1, d2)
 		out.cost = r1.cost.Add(r2.cost)
+	}
+	if hsp != nil {
+		hsp.Set(obs.Bool("won", out.hedgeWon))
+		hsp.End(base + d2)
 	}
 	return out
 }

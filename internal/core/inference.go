@@ -10,6 +10,7 @@ import (
 	"edgetune/internal/counters"
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
+	"edgetune/internal/obs"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
 	"edgetune/internal/store"
@@ -30,6 +31,10 @@ type InferRequest struct {
 	// Priority orders the request in the intake queue; the zero value
 	// is critical (see Priority).
 	Priority Priority
+	// SubmitTime places the request on the simulated timeline for
+	// tracing; the tuner stamps it with the sheltering trial's start.
+	// It has no effect on scheduling.
+	SubmitTime time.Duration
 }
 
 // InferOutcome is the server's reply.
@@ -114,6 +119,9 @@ type InferenceServerOptions struct {
 	// DisableHedging turns speculative re-issues off even with a
 	// multi-device pool.
 	DisableHedging bool
+	// Trace receives deterministic serving spans (nil = tracing
+	// disabled; the hooks are single-pointer-check no-ops).
+	Trace *obs.Tracer
 }
 
 func (o *InferenceServerOptions) normalise() error {
@@ -182,6 +190,7 @@ func (o *InferenceServerOptions) normalise() error {
 // flushed.
 type InferenceServer struct {
 	opts InferenceServerOptions
+	m    servingMetrics
 
 	mu        sync.Mutex
 	pending   map[string]*call // in-flight coalescing per signature
@@ -200,6 +209,16 @@ type InferenceServer struct {
 	closeErr error
 }
 
+// servingMetrics caches the server's registry instruments; all fields
+// are nil (no-op) when no recorder registry is configured.
+type servingMetrics struct {
+	requests  *obs.Counter
+	cacheHits *obs.Counter
+	coalesced *obs.Counter
+	latencyMS *obs.Histogram
+	queue     *obs.Gauge
+}
+
 // call fans one tuning run's result out to the leader and any
 // coalesced waiters. Delivery is idempotent so the cancellation watcher
 // and the worker can race safely.
@@ -208,6 +227,11 @@ type call struct {
 	outs      []chan InferOutcome
 	done      chan struct{}
 	delivered bool
+
+	// sp is the leader's request span (nil when tracing is off); start
+	// is its submit time, so deliver can end it at start+latency.
+	sp    *obs.Span
+	start time.Duration
 }
 
 type inferJob struct {
@@ -233,6 +257,16 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 		pool:      newDevicePool(opts.Pool, opts.BreakerThreshold, opts.BreakerCooldown, opts.Recorder),
 		writes:    store.NewWriteBehind(opts.Store),
 		closedCh:  make(chan struct{}),
+	}
+	if reg := opts.Recorder.Registry(); reg != nil {
+		s.m = servingMetrics{
+			requests:  reg.Counter("serving.requests"),
+			cacheHits: reg.Counter("serving.cache-hits"),
+			coalesced: reg.Counter("serving.coalesced"),
+			latencyMS: reg.Histogram("serving.latency.ms", obs.LatencyBucketsMS),
+			queue:     reg.Gauge("serving.queue.depth"),
+		}
+		s.writes.Instrument(reg)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -369,6 +403,18 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	s.seq++
 	s.mu.Unlock()
 
+	// The request's root span is keyed on the submission sequence,
+	// which is deterministic for a deterministic submission order (the
+	// tuner submits one request per trial and awaits each).
+	var reqSp *obs.Span
+	if t := s.opts.Trace; t != nil {
+		reqSp = t.Root(obs.TrackServing, "request", uint64(seq), req.SubmitTime,
+			obs.Str("sig", req.Signature),
+			obs.Str("client", req.Client),
+			obs.Int("priority", int64(req.Priority)))
+	}
+	s.m.requests.Add(1)
+
 	// Fast path: historical store (§3.4 table look-up), read through
 	// the write-behind buffer and accepting any pool device's entry
 	// (a hedged win tuned on the secondary still satisfies later
@@ -378,9 +424,18 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	// fresh decision.
 	if e, err := s.LookupStored(req.Signature); err == nil {
 		if ferr := s.opts.Fault.Fail(fault.DroppedReply, fmt.Sprintf("%s#%d", req.Signature, seq), 0); ferr != nil {
+			if reqSp != nil {
+				reqSp.Set(obs.Str("outcome", "dropped-reply"))
+			}
+			reqSp.End(req.SubmitTime)
 			out <- InferOutcome{Err: ferr}
 			return out
 		}
+		s.m.cacheHits.Add(1)
+		if reqSp != nil {
+			reqSp.Set(obs.Str("outcome", "cached"), obs.Str("device", e.Device))
+		}
+		reqSp.End(req.SubmitTime)
 		out <- InferOutcome{Entry: e, Cached: true, Device: e.Device}
 		return out
 	}
@@ -391,9 +446,14 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	if c, inflight := s.pending[req.Signature]; inflight && !c.delivered {
 		c.outs = append(c.outs, out)
 		s.mu.Unlock()
+		s.m.coalesced.Add(1)
+		if reqSp != nil {
+			reqSp.Set(obs.Str("outcome", "coalesced"))
+		}
+		reqSp.End(req.SubmitTime)
 		return out
 	}
-	c := &call{sig: req.Signature, outs: []chan InferOutcome{out}, done: make(chan struct{})}
+	c := &call{sig: req.Signature, outs: []chan InferOutcome{out}, done: make(chan struct{}), sp: reqSp, start: req.SubmitTime}
 	s.pending[req.Signature] = c
 	s.mu.Unlock()
 
@@ -401,6 +461,7 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	// submission at the gate.
 	if ferr := s.opts.Fault.Fail(fault.OverloadBurst, fmt.Sprintf("admit/%s#%d", req.Client, seq), 0); ferr != nil {
 		s.opts.Recorder.AddShed()
+		s.admissionSpan(c, "shed-burst", "")
 		s.deliver(c, InferOutcome{Err: fmt.Errorf("%w: %w", ErrOverloaded, ferr)})
 		return out
 	}
@@ -410,6 +471,7 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	// falls back to degraded data instead of queueing doomed work.
 	rt, rerr := s.pool.pick()
 	if rerr != nil {
+		s.admissionSpan(c, "no-healthy-device", "")
 		s.deliver(c, InferOutcome{Err: rerr})
 		return out
 	}
@@ -424,9 +486,12 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 		case errors.Is(perr, ErrOverloaded):
 			s.opts.Recorder.AddShed()
 		}
+		s.admissionSpan(c, outcomeLabel(perr), "")
 		s.deliver(c, InferOutcome{Err: perr})
 		return out
 	}
+	s.m.queue.Set(float64(s.adm.inSystem()))
+	s.admissionSpan(c, "admitted", rt.pd.name)
 	if evicted != nil {
 		s.opts.Recorder.AddPreempted()
 		s.pool.release(evicted.rt)
@@ -465,6 +530,17 @@ func (s *InferenceServer) deliver(c *call, res InferOutcome) {
 	}
 	outs := c.outs
 	s.mu.Unlock()
+	if c.sp != nil {
+		attrs := []obs.Attr{obs.Str("outcome", outcomeLabel(res.Err))}
+		if res.Device != "" {
+			attrs = append(attrs, obs.Str("device", res.Device))
+		}
+		if res.Hedged {
+			attrs = append(attrs, obs.Bool("hedged", true))
+		}
+		c.sp.Set(attrs...)
+		c.sp.End(c.start + res.Latency)
+	}
 	close(c.done)
 	for i, ch := range outs {
 		r := res
@@ -508,6 +584,7 @@ func (s *InferenceServer) worker() {
 		}
 		s.deliver(job.call, out)
 		s.adm.done()
+		s.m.queue.Set(float64(s.adm.inSystem()))
 	}
 }
 
@@ -521,7 +598,17 @@ func (s *InferenceServer) serve(ctx context.Context, job *inferJob) InferOutcome
 	defer cancel()
 	req := job.req
 
-	h := s.runHedged(ctx, req, job.rt)
+	var sp *obs.Span
+	if job.call.sp != nil {
+		sp = job.call.sp.Child("serve", job.call.start, obs.Str("device", job.rt.pd.name))
+	}
+
+	h := s.runHedged(ctx, req, job.rt, sp, job.call.start)
+	s.m.latencyMS.Observe(float64(h.latency) / float64(time.Millisecond))
+	if sp != nil {
+		sp.Set(obs.Str("winner", h.winner.name), obs.Bool("hedged", h.hedged))
+	}
+	end := job.call.start + h.latency
 	out := InferOutcome{
 		TuningCost: h.cost,
 		Device:     h.winner.name,
@@ -530,6 +617,7 @@ func (s *InferenceServer) serve(ctx context.Context, job *inferJob) InferOutcome
 	}
 	if h.res.err != nil {
 		out.Err = h.res.err
+		sp.End(end)
 		return out
 	}
 
@@ -547,6 +635,11 @@ func (s *InferenceServer) serve(ctx context.Context, job *inferJob) InferOutcome
 			break
 		}
 	}
+	if sp != nil {
+		wsp := sp.Child("store-write", end, obs.Bool("ok", werr == nil))
+		wsp.End(end)
+	}
+	sp.End(end)
 	if werr != nil {
 		out.Err = werr
 		return out
@@ -564,8 +657,11 @@ func (s *InferenceServer) serve(ctx context.Context, job *inferJob) InferOutcome
 }
 
 // serveOn runs the tuning attempts for one request on one device,
-// charging every attempt's cost.
-func (s *InferenceServer) serveOn(ctx context.Context, req InferRequest, pd *poolDevice) serveResult {
+// charging every attempt's cost. Each attempt becomes a "device-attempt"
+// child of sp (nil = tracing off), stamped with the device's health and
+// breaker state at dispatch and placed at start plus the cost charged so
+// far on the simulated clock.
+func (s *InferenceServer) serveOn(ctx context.Context, req InferRequest, pd *poolDevice, sp *obs.Span, start time.Duration) serveResult {
 	var total perfmodel.Cost
 	var base time.Duration
 	var lastErr error
@@ -573,10 +669,24 @@ func (s *InferenceServer) serveOn(ctx context.Context, req InferRequest, pd *poo
 		if attempt > 0 {
 			s.opts.Recorder.AddRetry()
 		}
+		var asp *obs.Span
+		if sp != nil {
+			hState, score := s.pool.stateOf(pd.name)
+			asp = sp.Child("device-attempt", start+total.Duration,
+				obs.Str("device", pd.name),
+				obs.Int("attempt", int64(attempt)),
+				obs.Str("health", hState.String()),
+				obs.Float("score", score),
+				obs.Str("breaker", pd.br.snapshotState().String()))
+		}
 		entry, cost, raw, err := s.tuneOn(ctx, req, pd, attempt)
 		total = total.Add(cost)
 		if raw > 0 {
 			base = raw
+		}
+		if asp != nil {
+			asp.Set(obs.Str("outcome", outcomeLabel(err)))
+			asp.End(start + total.Duration)
 		}
 		if err == nil {
 			return serveResult{entry: entry, cost: total, baseline: base}
@@ -692,6 +802,50 @@ func hashSignature(s string) uint64 {
 		h *= 1099511628211
 	}
 	return h
+}
+
+// admissionSpan records the admission verdict for a request as a
+// zero-duration child span of its request span (admission is
+// instantaneous on the simulated clock).
+func (s *InferenceServer) admissionSpan(c *call, verdict, dev string) {
+	if c.sp == nil {
+		return
+	}
+	attrs := []obs.Attr{obs.Str("verdict", verdict)}
+	if dev != "" {
+		attrs = append(attrs, obs.Str("device", dev))
+	}
+	sp := c.sp.Child("admission", c.start, attrs...)
+	sp.End(c.start)
+}
+
+// outcomeLabel classifies a serving error for span attributes. The
+// checks are ordered because the typed errors wrap one another
+// (rate-limited and preemption wrap overloaded, no-healthy-device wraps
+// circuit-open).
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrRateLimited):
+		return "rate-limited"
+	case errors.Is(err, ErrServerClosed):
+		return "server-closed"
+	case errors.Is(err, ErrOverloaded):
+		return "shed"
+	case errors.Is(err, ErrNoHealthyDevice):
+		return "no-healthy-device"
+	case errors.Is(err, ErrCircuitOpen):
+		return "circuit-open"
+	case fault.IsFault(err):
+		return "fault:" + string(fault.ClassOf(err))
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "error"
+	}
 }
 
 // transientInferError reports whether an inference outcome error is

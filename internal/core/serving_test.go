@@ -11,6 +11,7 @@ import (
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/store"
+	"edgetune/internal/testutil"
 	"edgetune/internal/workload"
 )
 
@@ -191,6 +192,7 @@ func TestRateLimitPerClient(t *testing.T) {
 // flushes the write-behind buffer, and then rejects new submissions
 // with the typed error.
 func TestDrainCompletesInflight(t *testing.T) {
+	testutil.CheckGoroutineLeak(t, 2)
 	st := store.New()
 	srv, _ := servingServer(t, st, nil)
 	a := srv.Submit(context.Background(), sigRequest(0))
@@ -222,6 +224,7 @@ func TestDrainCompletesInflight(t *testing.T) {
 // work is cancelled and queued work evicted — every caller still gets
 // a typed outcome.
 func TestDrainDeadlineEvicts(t *testing.T) {
+	testutil.CheckGoroutineLeak(t, 2)
 	srv, _ := servingServer(t, store.New(), func(o *InferenceServerOptions) {
 		o.Trials = 2_000_000 // hold the single worker
 	})

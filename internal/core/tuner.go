@@ -12,6 +12,7 @@ import (
 	"edgetune/internal/counters"
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
+	"edgetune/internal/obs"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
 	"edgetune/internal/store"
@@ -99,6 +100,16 @@ type Options struct {
 	// CheckpointPath additionally flushes the Store to this file after
 	// each rung, making checkpoints durable across process kills.
 	CheckpointPath string
+
+	// Trace receives deterministic spans for the whole pipeline —
+	// tune → bracket → rung → trial → attempt on the tuner track, and
+	// the serving spans of the inference server it shelters. Nil
+	// disables tracing at single-pointer-check cost.
+	Trace *obs.Tracer
+	// Metrics is the registry the job's counters and histograms are
+	// registered on; nil gets a private registry. Either way the final
+	// snapshot lands in Result.Metrics.
+	Metrics *obs.Registry
 
 	// afterRung, when non-nil, runs after each completed (and
 	// checkpointed) rung; a non-nil return aborts the job. Test-only:
@@ -279,6 +290,12 @@ type Result struct {
 	// faults by class, retries, breaker transitions, degraded
 	// outcomes, and rungs skipped by checkpoint resume.
 	Resilience counters.ResilienceSnapshot
+
+	// Metrics is the job's unified metrics snapshot — the same registry
+	// cells behind Resilience plus the tuner and serving instruments
+	// (trial histograms, per-device breakdowns, store writes). Sorted,
+	// so same-seed runs serialise byte-identically.
+	Metrics obs.Snapshot
 }
 
 // Tune runs the EdgeTune onefold tuning loop (Algorithm 1): brackets of
@@ -297,8 +314,31 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 	res.Device = opts.Device.Profile.Name
 	res.Metric = opts.Metric
 
-	recd := counters.NewResilience()
-	defer func() { res.Resilience = recd.Snapshot() }()
+	recd := counters.NewResilienceOn(opts.Metrics)
+	reg := recd.Registry()
+	defer func() {
+		res.Resilience = recd.Snapshot()
+		res.Metrics = reg.Snapshot()
+	}()
+	mTrials := reg.Counter("tune.trials")
+	mTrialDur := reg.Histogram("tune.trial.duration.s", obs.SecondsBuckets)
+	mTrialEnergy := reg.Histogram("tune.trial.energy.kj", obs.EnergyBucketsKJ)
+
+	var tuneSp *obs.Span
+	if opts.Trace != nil {
+		tuneSp = opts.Trace.Root(obs.TrackTuner, "tune", opts.Seed, 0,
+			obs.Str("workload", w.ID),
+			obs.Str("device", res.Device),
+			obs.Str("metric", string(opts.Metric)),
+			obs.Str("budget", opts.BudgetKind))
+	}
+	defer func() {
+		if tuneSp != nil {
+			tuneSp.Set(obs.Int("trials", int64(res.TrialsRun)))
+			tuneSp.End(res.TuningDuration)
+		}
+	}()
+
 	inj, err := fault.NewInjector(opts.Fault, opts.Seed, recd)
 	if err != nil {
 		return res, err
@@ -342,6 +382,7 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			MaxAttempts:      opts.MaxAttempts,
 			BreakerThreshold: opts.BreakerThreshold,
 			BreakerCooldown:  opts.BreakerCooldown,
+			Trace:            opts.Trace,
 		})
 		if err != nil {
 			return res, err
@@ -426,6 +467,10 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 		if opts.StopAtTarget && res.ReachedTarget {
 			break
 		}
+		var brSp *obs.Span
+		if tuneSp != nil {
+			brSp = tuneSp.Child("bracket", res.TuningDuration, obs.Int("bracket", int64(bracket)))
+		}
 		var population []member
 		rung0 := 0
 		if bracket == startBracket && resumedPop != nil {
@@ -445,11 +490,19 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 				// with fully-trained evaluations.
 				alloc = satAlloc
 			}
+			var rgSp *obs.Span
+			if brSp != nil {
+				rgSp = brSp.Child("rung", res.TuningDuration,
+					obs.Int("rung", int64(rung)),
+					obs.Int("population", int64(len(population))),
+					obs.Int("epochs", int64(alloc.Epochs)),
+					obs.Float("fraction", alloc.DataFraction))
+			}
 			for i := range population {
 				if err := ctx.Err(); err != nil {
 					return res, err
 				}
-				rec, err := runResilientTrial(ctx, runner, infSrv, obj, opts, recd, inj, population[i].cfg, alloc, satAlloc)
+				rec, err := runResilientTrial(ctx, runner, infSrv, obj, opts, recd, inj, population[i].cfg, alloc, satAlloc, rgSp, res.TuningDuration)
 				if err != nil {
 					return res, err
 				}
@@ -464,6 +517,11 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 				// wall time (§3.3). Failed attempts and backoff waits
 				// are charged like any other cost.
 				res.TuningEnergyKJ += (rec.TrainCost.EnergyJ + rec.InferTuning.EnergyJ + rec.RetryCost.EnergyJ) / 1000
+
+				mTrials.Inc()
+				reg.Counter("tune.outcome." + rec.Outcome).Inc()
+				mTrialDur.Observe((rec.TrainCost.Duration + rec.RetryCost.Duration).Seconds())
+				mTrialEnergy.Observe((rec.TrainCost.EnergyJ + rec.InferTuning.EnergyJ + rec.RetryCost.EnergyJ) / 1000)
 
 				if rec.Outcome == OutcomeFailed {
 					// The trial is out of the bracket; nothing to learn
@@ -495,6 +553,10 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 				keep = 1
 			}
 			population = population[:keep]
+			if rgSp != nil {
+				rgSp.Set(obs.Int("survivors", int64(keep)))
+				rgSp.End(res.TuningDuration)
+			}
 
 			if opts.Checkpoint {
 				cp := tuneCheckpoint{
@@ -544,6 +606,7 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 				}
 			}
 		}
+		brSp.End(res.TuningDuration)
 		// StopAtTarget ends tuning at bracket granularity: the bracket
 		// that first reaches the target accuracy completes its halving
 		// schedule (confirming the winner at higher fidelity) and no
@@ -568,6 +631,7 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			Signature:      sig,
 			FLOPsPerSample: flops,
 			Params:         params,
+			SubmitTime:     res.TuningDuration,
 		})
 		switch {
 		case out.Err == nil:
@@ -615,27 +679,62 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 // failures are retried with exponential backoff and deterministic
 // jitter up to MaxAttempts, every failed attempt and backoff wait is
 // charged to the record's RetryCost, and an exhausted trial is marked
-// OutcomeFailed rather than killing the whole job.
-func runResilientTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer, obj Objective, opts Options, recd *counters.Resilience, inj *fault.Injector, cfg search.Config, alloc, satAlloc budget.Allocation) (TrialRecord, error) {
+// OutcomeFailed rather than killing the whole job. The trial and each
+// attempt become spans under parent, placed at start on the simulated
+// timeline; failed attempts and backoff waits push the next attempt
+// later, exactly as they are charged.
+func runResilientTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer, obj Objective, opts Options, recd *counters.Resilience, inj *fault.Injector, cfg search.Config, alloc, satAlloc budget.Allocation, parent *obs.Span, start time.Duration) (TrialRecord, error) {
 	var wasted perfmodel.Cost
 	site := fmt.Sprintf("%s|e%d|f%g", cfg.Key(), alloc.Epochs, alloc.DataFraction)
+	var trSp *obs.Span
+	if parent != nil {
+		trSp = parent.Child("trial", start,
+			obs.Str("config", cfg.Key()),
+			obs.Int("epochs", int64(alloc.Epochs)),
+			obs.Float("fraction", alloc.DataFraction))
+	}
 	for attempt := 0; ; attempt++ {
-		rec, err := runTrial(ctx, runner, infSrv, obj, opts, recd, cfg, alloc, satAlloc, attempt)
+		attStart := start + wasted.Duration
+		var attSp *obs.Span
+		if trSp != nil {
+			attSp = trSp.Child("attempt", attStart, obs.Int("attempt", int64(attempt)))
+		}
+		rec, err := runTrial(ctx, runner, infSrv, obj, opts, recd, cfg, alloc, satAlloc, attempt, attSp, attStart)
 		if err == nil {
 			rec.Attempts = attempt + 1
 			rec.RetryCost = wasted
 			if rec.Outcome == "" {
 				rec.Outcome = OutcomeOK
 			}
+			if attSp != nil {
+				attSp.Set(obs.Str("outcome", "ok"))
+				attSp.End(attStart + rec.TrainCost.Duration)
+			}
+			if trSp != nil {
+				trSp.Set(obs.Str("outcome", rec.Outcome),
+					obs.Float("accuracy", rec.Accuracy),
+					obs.Bool("cached", rec.InferCached))
+				trSp.End(start + rec.RetryCost.Duration + rec.TrainCost.Duration)
+			}
 			return rec, nil
+		}
+		if attSp != nil {
+			label := "error"
+			if fault.IsFault(err) {
+				label = "fault:" + string(fault.ClassOf(err))
+			}
+			attSp.Set(obs.Str("outcome", label))
+			attSp.End(attStart + rec.TrainCost.Duration)
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			// The job was cancelled; a checkpointed run resumes later.
+			trSp.End(attStart + rec.TrainCost.Duration)
 			return rec, cerr
 		}
 		if !fault.IsFault(err) {
 			// Organic errors (invalid configurations, broken platforms)
 			// are bugs to surface, not turbulence to ride out.
+			trSp.End(attStart + rec.TrainCost.Duration)
 			return rec, err
 		}
 		// Charge what the failed attempt consumed before dying. The
@@ -644,6 +743,10 @@ func runResilientTrial(ctx context.Context, runner *trial.Runner, infSrv *Infere
 		wasted.Duration += rec.TrainCost.Duration
 		wasted.EnergyJ += rec.TrainCost.EnergyJ + rec.InferTuning.EnergyJ
 		if attempt+1 >= opts.MaxAttempts {
+			if trSp != nil {
+				trSp.Set(obs.Str("outcome", OutcomeFailed))
+				trSp.End(start + wasted.Duration)
+			}
 			return TrialRecord{
 				Config:    cfg.Clone(),
 				Alloc:     alloc,
@@ -671,7 +774,7 @@ func runResilientTrial(ctx context.Context, runner *trial.Runner, infSrv *Infere
 // performance-model estimate instead of failing — the outcome is
 // marked OutcomeDegraded so reports distinguish measured from
 // estimated scores.
-func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer, obj Objective, opts Options, recd *counters.Resilience, cfg search.Config, alloc, satAlloc budget.Allocation, attempt int) (TrialRecord, error) {
+func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer, obj Objective, opts Options, recd *counters.Resilience, cfg search.Config, alloc, satAlloc budget.Allocation, attempt int, sp *obs.Span, start time.Duration) (TrialRecord, error) {
 	rec := TrialRecord{Config: cfg.Clone(), Alloc: alloc}
 	w := opts.Workload
 	if _, ok := rec.Config[workload.ParamGPUs]; !ok {
@@ -694,10 +797,11 @@ func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer
 			Signature:      sig,
 			FLOPsPerSample: flops,
 			Params:         params,
+			SubmitTime:     start,
 		})
 	}
 
-	trialRes, err := runner.Run(ctx, trial.Request{Config: rec.Config, Alloc: alloc, Attempt: attempt})
+	trialRes, err := runner.Run(ctx, trial.Request{Config: rec.Config, Alloc: alloc, Attempt: attempt, Span: sp, Start: start})
 	if err != nil {
 		// Surface the partial cost so the retry loop can charge it, and
 		// drain the pipelined inference request: its tuning energy is
@@ -750,6 +854,7 @@ func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer
 				Signature:      sig,
 				FLOPsPerSample: flops,
 				Params:         params,
+				SubmitTime:     start,
 			})
 			if retry.Err == nil {
 				rec.InferCached = retry.Cached

@@ -2,38 +2,99 @@ package counters
 
 import (
 	"sort"
-	"sync"
+	"strings"
+
+	"edgetune/internal/obs"
+)
+
+// Registry names for the resilience and serving counters. Keeping them
+// in one place ties the typed accessors below to the generic metrics
+// snapshot: both views read the same obs.Counter cells.
+const (
+	faultPrefix = "fault."
+
+	nameRetries          = "resilience.retries"
+	nameBreakerOpens     = "resilience.breaker.opens"
+	nameBreakerHalfOpens = "resilience.breaker.half-opens"
+	nameBreakerCloses    = "resilience.breaker.closes"
+	nameDegraded         = "resilience.degraded"
+	nameResumedRungs     = "resilience.resumed-rungs"
+
+	nameShed        = "serving.shed"
+	nameRateLimited = "serving.rate-limited"
+	namePreempted   = "serving.preempted"
+	nameHedges      = "serving.hedges"
+	nameHedgeWins   = "serving.hedge-wins"
+	nameQuarantines = "serving.quarantines"
+	nameProbes      = "serving.probes"
+	nameDrained     = "serving.drained"
 )
 
 // Resilience accumulates the fault-tolerance counters of a tuning job:
 // injected faults by class, retries, circuit-breaker transitions,
-// degraded outcomes, and checkpoint-resume savings. All methods are
-// safe for concurrent use and nil-safe, so call sites need no guards
-// when resilience accounting is disabled.
+// degraded outcomes, and checkpoint-resume savings. It is a typed
+// facade over an obs.Registry — the same cells surface in the generic
+// metrics snapshot under "resilience.*", "serving.*", and "fault.*"
+// names. All methods are safe for concurrent use and nil-safe, so call
+// sites need no guards when resilience accounting is disabled.
 type Resilience struct {
-	mu     sync.Mutex
-	faults map[string]int64
+	reg *obs.Registry
 
-	retries          int64
-	breakerOpens     int64
-	breakerHalfOpens int64
-	breakerCloses    int64
-	degraded         int64
-	resumedRungs     int64
+	retries          *obs.Counter
+	breakerOpens     *obs.Counter
+	breakerHalfOpens *obs.Counter
+	breakerCloses    *obs.Counter
+	degraded         *obs.Counter
+	resumedRungs     *obs.Counter
 
-	shed        int64
-	rateLimited int64
-	preempted   int64
-	hedges      int64
-	hedgeWins   int64
-	quarantines int64
-	probes      int64
-	drained     int64
+	shed        *obs.Counter
+	rateLimited *obs.Counter
+	preempted   *obs.Counter
+	hedges      *obs.Counter
+	hedgeWins   *obs.Counter
+	quarantines *obs.Counter
+	probes      *obs.Counter
+	drained     *obs.Counter
 }
 
-// NewResilience returns an empty counter set.
+// NewResilience returns an empty counter set on a private registry.
 func NewResilience() *Resilience {
-	return &Resilience{faults: make(map[string]int64)}
+	return NewResilienceOn(obs.NewRegistry())
+}
+
+// NewResilienceOn returns a counter set registered on reg, so the
+// resilience counters appear alongside the rest of the job's metrics.
+// A nil reg gets a private registry.
+func NewResilienceOn(reg *obs.Registry) *Resilience {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Resilience{
+		reg:              reg,
+		retries:          reg.Counter(nameRetries),
+		breakerOpens:     reg.Counter(nameBreakerOpens),
+		breakerHalfOpens: reg.Counter(nameBreakerHalfOpens),
+		breakerCloses:    reg.Counter(nameBreakerCloses),
+		degraded:         reg.Counter(nameDegraded),
+		resumedRungs:     reg.Counter(nameResumedRungs),
+		shed:             reg.Counter(nameShed),
+		rateLimited:      reg.Counter(nameRateLimited),
+		preempted:        reg.Counter(namePreempted),
+		hedges:           reg.Counter(nameHedges),
+		hedgeWins:        reg.Counter(nameHedgeWins),
+		quarantines:      reg.Counter(nameQuarantines),
+		probes:           reg.Counter(nameProbes),
+		drained:          reg.Counter(nameDrained),
+	}
+}
+
+// Registry exposes the backing registry (nil for a nil receiver), so
+// callers can register further instruments next to these counters.
+func (r *Resilience) Registry() *obs.Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
 }
 
 // RecordFault counts one injected fault of the named class.
@@ -41,12 +102,7 @@ func (r *Resilience) RecordFault(class string) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.faults == nil {
-		r.faults = make(map[string]int64)
-	}
-	r.faults[class]++
+	r.reg.Counter(faultPrefix + class).Inc()
 }
 
 // AddRetry counts one retried operation (trial re-run or inference
@@ -55,7 +111,7 @@ func (r *Resilience) AddRetry() {
 	if r == nil {
 		return
 	}
-	r.add(&r.retries)
+	r.retries.Inc()
 }
 
 // AddBreakerOpen counts a closed→open (or half-open→open) transition.
@@ -63,7 +119,7 @@ func (r *Resilience) AddBreakerOpen() {
 	if r == nil {
 		return
 	}
-	r.add(&r.breakerOpens)
+	r.breakerOpens.Inc()
 }
 
 // AddBreakerHalfOpen counts an open→half-open transition.
@@ -71,7 +127,7 @@ func (r *Resilience) AddBreakerHalfOpen() {
 	if r == nil {
 		return
 	}
-	r.add(&r.breakerHalfOpens)
+	r.breakerHalfOpens.Inc()
 }
 
 // AddBreakerClose counts a half-open→closed transition.
@@ -79,7 +135,7 @@ func (r *Resilience) AddBreakerClose() {
 	if r == nil {
 		return
 	}
-	r.add(&r.breakerCloses)
+	r.breakerCloses.Inc()
 }
 
 // AddDegraded counts one outcome served from a fallback (historical
@@ -88,7 +144,7 @@ func (r *Resilience) AddDegraded() {
 	if r == nil {
 		return
 	}
-	r.add(&r.degraded)
+	r.degraded.Inc()
 }
 
 // AddShed counts one submission rejected at the admission gate because
@@ -97,7 +153,7 @@ func (r *Resilience) AddShed() {
 	if r == nil {
 		return
 	}
-	r.add(&r.shed)
+	r.shed.Inc()
 }
 
 // AddRateLimited counts one submission rejected by the per-client
@@ -106,7 +162,7 @@ func (r *Resilience) AddRateLimited() {
 	if r == nil {
 		return
 	}
-	r.add(&r.rateLimited)
+	r.rateLimited.Inc()
 }
 
 // AddPreempted counts one queued background request evicted to make
@@ -115,7 +171,7 @@ func (r *Resilience) AddPreempted() {
 	if r == nil {
 		return
 	}
-	r.add(&r.preempted)
+	r.preempted.Inc()
 }
 
 // AddHedge counts one speculative re-issue to a second device after the
@@ -124,7 +180,7 @@ func (r *Resilience) AddHedge() {
 	if r == nil {
 		return
 	}
-	r.add(&r.hedges)
+	r.hedges.Inc()
 }
 
 // AddHedgeWin counts a hedge whose secondary attempt produced the
@@ -133,7 +189,7 @@ func (r *Resilience) AddHedgeWin() {
 	if r == nil {
 		return
 	}
-	r.add(&r.hedgeWins)
+	r.hedgeWins.Inc()
 }
 
 // AddQuarantine counts a device transition into the quarantined state.
@@ -141,7 +197,7 @@ func (r *Resilience) AddQuarantine() {
 	if r == nil {
 		return
 	}
-	r.add(&r.quarantines)
+	r.quarantines.Inc()
 }
 
 // AddProbe counts a probe request routed to a quarantined device to
@@ -150,7 +206,7 @@ func (r *Resilience) AddProbe() {
 	if r == nil {
 		return
 	}
-	r.add(&r.probes)
+	r.probes.Inc()
 }
 
 // AddDrained counts one in-flight request completed during graceful
@@ -159,7 +215,7 @@ func (r *Resilience) AddDrained() {
 	if r == nil {
 		return
 	}
-	r.add(&r.drained)
+	r.drained.Inc()
 }
 
 // AddResumedRungs counts rungs skipped because a checkpoint already
@@ -168,18 +224,7 @@ func (r *Resilience) AddResumedRungs(n int64) {
 	if r == nil || n == 0 {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.resumedRungs += n
-}
-
-func (r *Resilience) add(field *int64) {
-	if r == nil {
-		return
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	*field++
+	r.resumedRungs.Add(n)
 }
 
 // FaultCount is one (class, count) pair of a snapshot, sorted by class.
@@ -228,27 +273,32 @@ func (r *Resilience) Snapshot() ResilienceSnapshot {
 	if r == nil {
 		return s
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for class, n := range r.faults {
-		s.Faults = append(s.Faults, FaultCount{Class: class, Count: n})
+	for _, name := range r.reg.CounterNames() {
+		if !strings.HasPrefix(name, faultPrefix) {
+			continue
+		}
+		n := r.reg.Counter(name).Value()
+		if n == 0 {
+			continue
+		}
+		s.Faults = append(s.Faults, FaultCount{Class: strings.TrimPrefix(name, faultPrefix), Count: n})
 		s.TotalFaults += n
 	}
 	sort.Slice(s.Faults, func(i, j int) bool { return s.Faults[i].Class < s.Faults[j].Class })
-	s.Retries = r.retries
-	s.BreakerOpens = r.breakerOpens
-	s.BreakerHalfOpens = r.breakerHalfOpens
-	s.BreakerCloses = r.breakerCloses
-	s.Degraded = r.degraded
-	s.ResumedRungs = r.resumedRungs
-	s.Shed = r.shed
-	s.RateLimited = r.rateLimited
-	s.Preempted = r.preempted
-	s.Hedges = r.hedges
-	s.HedgeWins = r.hedgeWins
-	s.Quarantines = r.quarantines
-	s.Probes = r.probes
-	s.Drained = r.drained
+	s.Retries = r.retries.Value()
+	s.BreakerOpens = r.breakerOpens.Value()
+	s.BreakerHalfOpens = r.breakerHalfOpens.Value()
+	s.BreakerCloses = r.breakerCloses.Value()
+	s.Degraded = r.degraded.Value()
+	s.ResumedRungs = r.resumedRungs.Value()
+	s.Shed = r.shed.Value()
+	s.RateLimited = r.rateLimited.Value()
+	s.Preempted = r.preempted.Value()
+	s.Hedges = r.hedges.Value()
+	s.HedgeWins = r.hedgeWins.Value()
+	s.Quarantines = r.quarantines.Value()
+	s.Probes = r.probes.Value()
+	s.Drained = r.drained.Value()
 	return s
 }
 
@@ -259,24 +309,28 @@ func (r *Resilience) Restore(s ResilienceSnapshot) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.faults = make(map[string]int64, len(s.Faults))
-	for _, f := range s.Faults {
-		r.faults[f.Class] = f.Count
+	// Zero fault classes the snapshot no longer carries before loading
+	// the saved counts, so Restore fully replaces the fault state.
+	for _, name := range r.reg.CounterNames() {
+		if strings.HasPrefix(name, faultPrefix) {
+			r.reg.Counter(name).Set(0)
+		}
 	}
-	r.retries = s.Retries
-	r.breakerOpens = s.BreakerOpens
-	r.breakerHalfOpens = s.BreakerHalfOpens
-	r.breakerCloses = s.BreakerCloses
-	r.degraded = s.Degraded
-	r.resumedRungs = s.ResumedRungs
-	r.shed = s.Shed
-	r.rateLimited = s.RateLimited
-	r.preempted = s.Preempted
-	r.hedges = s.Hedges
-	r.hedgeWins = s.HedgeWins
-	r.quarantines = s.Quarantines
-	r.probes = s.Probes
-	r.drained = s.Drained
+	for _, f := range s.Faults {
+		r.reg.Counter(faultPrefix + f.Class).Set(f.Count)
+	}
+	r.retries.Set(s.Retries)
+	r.breakerOpens.Set(s.BreakerOpens)
+	r.breakerHalfOpens.Set(s.BreakerHalfOpens)
+	r.breakerCloses.Set(s.BreakerCloses)
+	r.degraded.Set(s.Degraded)
+	r.resumedRungs.Set(s.ResumedRungs)
+	r.shed.Set(s.Shed)
+	r.rateLimited.Set(s.RateLimited)
+	r.preempted.Set(s.Preempted)
+	r.hedges.Set(s.Hedges)
+	r.hedgeWins.Set(s.HedgeWins)
+	r.quarantines.Set(s.Quarantines)
+	r.probes.Set(s.Probes)
+	r.drained.Set(s.Drained)
 }

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"edgetune/internal/obs"
 )
 
 func TestResilienceNilSafe(t *testing.T) {
@@ -88,5 +90,45 @@ func TestResilienceConcurrentServingCounters(t *testing.T) {
 	s := r.Snapshot()
 	if s.Shed != 800 || s.Hedges != 800 {
 		t.Errorf("shed/hedges = %d/%d, want 800/800", s.Shed, s.Hedges)
+	}
+}
+
+func TestResilienceBackedByRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewResilienceOn(reg)
+	if r.Registry() != reg {
+		t.Fatal("Registry() must expose the backing registry")
+	}
+	r.AddShed()
+	r.AddRetry()
+	r.AddRetry()
+	r.RecordFault("trial-crash")
+	snap := reg.Snapshot()
+	if got := snap.Counter("serving.shed"); got != 1 {
+		t.Errorf("registry serving.shed = %d, want 1", got)
+	}
+	if got := snap.Counter("resilience.retries"); got != 2 {
+		t.Errorf("registry resilience.retries = %d, want 2", got)
+	}
+	if got := snap.Counter("fault.trial-crash"); got != 1 {
+		t.Errorf("registry fault.trial-crash = %d, want 1", got)
+	}
+	// The typed snapshot reads the same cells.
+	s := r.Snapshot()
+	if s.Shed != 1 || s.Retries != 2 || s.FaultCount("trial-crash") != 1 {
+		t.Errorf("typed snapshot disagrees with registry: %+v", s)
+	}
+	// Restore replaces fault classes rather than merging them.
+	r.Restore(ResilienceSnapshot{Faults: []FaultCount{{Class: "straggler", Count: 3}}})
+	s = r.Snapshot()
+	if s.FaultCount("trial-crash") != 0 || s.FaultCount("straggler") != 3 || s.TotalFaults != 3 {
+		t.Errorf("restore did not replace fault state: %+v", s)
+	}
+	if r.Registry() == nil {
+		t.Fatal("backing registry lost after restore")
+	}
+	var nilRec *Resilience
+	if nilRec.Registry() != nil {
+		t.Fatal("nil recorder must have nil registry")
 	}
 }

@@ -31,13 +31,20 @@ func Mean(xs []float64) float64 {
 }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) by linear
-// interpolation over the sorted sample.
+// interpolation over the sorted sample. A NaN observation is rejected:
+// NaN has no place in a total order, so its sorted position — and hence
+// every quantile — would be unspecified.
 func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, fmt.Errorf("metrics: quantile of empty sample")
 	}
-	if q < 0 || q > 1 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
 		return 0, fmt.Errorf("metrics: quantile %v out of [0,1]", q)
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return 0, fmt.Errorf("metrics: quantile of sample containing NaN")
+		}
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
@@ -51,7 +58,17 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	if lo+1 >= len(sorted) {
 		return sorted[len(sorted)-1], nil
 	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+	// Exact hit: return the sample directly. Interpolating here would
+	// evaluate ±Inf×0 = NaN when the unused neighbour is infinite.
+	if frac == 0 {
+		return sorted[lo], nil
+	}
+	v := sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	if math.IsNaN(v) {
+		// Only reachable by interpolating between -Inf and +Inf.
+		return 0, fmt.Errorf("metrics: quantile %v interpolates between -Inf and +Inf", q)
+	}
+	return v, nil
 }
 
 // BoxStats is a box-and-whiskers summary (Figure 15's representation).

@@ -145,3 +145,71 @@ func TestRelDiff(t *testing.T) {
 		t.Error("zero baseline accepted")
 	}
 }
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if _, err := Quantile([]float64{1, math.NaN(), 3}, 0.5); err == nil {
+		t.Error("NaN observation accepted")
+	}
+	if _, err := Quantile([]float64{1, 2}, math.NaN()); err == nil {
+		t.Error("NaN quantile accepted")
+	}
+	// An exact sorted position must return the sample itself even when
+	// the unused interpolation neighbour is infinite (Inf×0 is NaN).
+	got, err := Quantile([]float64{1, 2, math.Inf(1)}, 0.5)
+	if err != nil || got != 2 {
+		t.Errorf("median with +Inf neighbour = %v, %v; want 2", got, err)
+	}
+	got, err = Quantile([]float64{math.Inf(-1), 2, 3}, 0.5)
+	if err != nil || got != 2 {
+		t.Errorf("median with -Inf neighbour = %v, %v; want 2", got, err)
+	}
+	// Interpolating strictly between the two infinities is undefined.
+	if _, err := Quantile([]float64{math.Inf(-1), math.Inf(1)}, 0.5); err == nil {
+		t.Error("interpolation between -Inf and +Inf accepted")
+	}
+	// Same-sign infinities are a legitimate (if degenerate) sample.
+	got, err = Quantile([]float64{math.Inf(1), math.Inf(1)}, 0.5)
+	if err != nil || !math.IsInf(got, 1) {
+		t.Errorf("quantile of {+Inf,+Inf} = %v, %v; want +Inf", got, err)
+	}
+}
+
+func TestQuantileNeverNaN(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		q = math.Abs(math.Mod(q, 1))
+		if math.IsNaN(q) {
+			q = 0.5
+		}
+		v, err := Quantile(raw, q)
+		if err != nil {
+			return true // rejected inputs are fine; silent NaN is not
+		}
+		return !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentErrorScaleInvariant(t *testing.T) {
+	f := func(empirical, estimated, scale float64) bool {
+		if empirical == 0 || scale == 0 ||
+			math.IsNaN(empirical) || math.IsNaN(estimated) || math.IsNaN(scale) ||
+			math.IsInf(empirical, 0) || math.IsInf(estimated, 0) || math.IsInf(scale, 0) {
+			return true
+		}
+		se, st := scale*empirical, scale*estimated
+		if math.IsInf(se, 0) || math.IsInf(st, 0) || se == 0 || (st == 0 && estimated != 0) {
+			return true // scaling overflowed or underflowed: outside the property's domain
+		}
+		a, err1 := PercentError(empirical, estimated)
+		b, err2 := PercentError(se, st)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Max(math.Abs(b), 1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

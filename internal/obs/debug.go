@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer exposes runtime introspection over HTTP:
+//
+//	/metrics      — plaintext registry snapshot
+//	/metrics.json — JSON registry snapshot
+//	/debug/vars   — expvar (memstats, cmdline)
+//	/debug/pprof/ — net/http/pprof profiles
+type DebugServer struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060"; ":0" picks a
+// free port) and serves introspection endpoints rendered from reg until
+// Close. It never blocks the pipeline: failures to serve are dropped.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	d := &DebugServer{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, lis: lis}
+	go d.srv.Serve(lis)
+	return d, nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.lis.Addr().String()
+}
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serving.requests").Add(7)
+	reg.Histogram("serving.latency.ms", LatencyBucketsMS).Observe(12)
+
+	srv, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "counter serving.requests 7") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "histogram serving.latency.ms count=1") {
+		t.Fatalf("/metrics missing histogram:\n%s", body)
+	}
+
+	code, body = get("/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
+	}
+	if snap.Counter("serving.requests") != 7 {
+		t.Fatalf("/metrics.json counter = %d, want 7", snap.Counter("serving.requests"))
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars status %d body %.60s", code, body)
+	}
+
+	code, _ = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestDebugServerNilSafety(t *testing.T) {
+	var srv *DebugServer
+	if srv.Addr() != "" {
+		t.Fatal("nil server must report empty address")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildTrace emits a small two-track trace; called twice it must
+// produce identical exports.
+func buildTrace() *Tracer {
+	tr := NewTracer()
+	root := tr.Root(TrackTuner, "tune", 7, 0, Str("workload", "IC"))
+	br := root.Child("bracket", 0, Int("bracket", 0))
+	trial := br.Child("trial", 10*time.Millisecond, Str("config", "b32"))
+	trial.Set(Float("accuracy", 0.91), Bool("degraded", false))
+	trial.End(40 * time.Millisecond)
+	br.End(50 * time.Millisecond)
+	req := tr.Root(TrackServing, "request", 3, 20*time.Millisecond, Str("sig", "IC|b32"))
+	req.Child("device-attempt", 20*time.Millisecond, Str("device", "i7")).End(30 * time.Millisecond)
+	req.End(30 * time.Millisecond)
+	root.End(60 * time.Millisecond)
+	return tr
+}
+
+func TestTraceExportDeterministic(t *testing.T) {
+	var a, b, ca, cb bytes.Buffer
+	if err := buildTrace().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTrace().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("JSONL exports differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if err := buildTrace().WriteChrome(&ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTrace().WriteChrome(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca.Bytes(), cb.Bytes()) {
+		t.Fatalf("Chrome exports differ:\n%s\nvs\n%s", ca.String(), cb.String())
+	}
+}
+
+func TestTraceParentChildIDs(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[uint64]bool{}
+	var recs []spanRecord
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec spanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if rec.ID == 0 {
+			t.Fatalf("span %q has zero ID", rec.Name)
+		}
+		if ids[rec.ID] {
+			t.Fatalf("duplicate span ID %d", rec.ID)
+		}
+		ids[rec.ID] = true
+		recs = append(recs, rec)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("expected 5 spans, got %d", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Parent != 0 && !ids[rec.Parent] {
+			t.Errorf("span %q parent %d not exported", rec.Name, rec.Parent)
+		}
+	}
+	// Exported order is (start, ID): starts must be non-decreasing.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Start < recs[i-1].Start {
+			t.Fatalf("spans out of order at %d: %d after %d", i, recs[i].Start, recs[i-1].Start)
+		}
+	}
+}
+
+func TestTraceChromeLoadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export not valid JSON: %v", err)
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || complete != 5 {
+		t.Fatalf("expected 2 metadata + 5 complete events, got %d + %d", meta, complete)
+	}
+}
+
+func TestNilTracerAndSpanNoOp(t *testing.T) {
+	var tr *Tracer
+	root := tr.Root(TrackTuner, "tune", 1, 0)
+	if root != nil {
+		t.Fatal("nil tracer must return nil root")
+	}
+	child := root.Child("trial", 0, Str("k", "v"))
+	child.Set(Int("n", 1))
+	child.End(time.Second)
+	if got := child.ID(); got != 0 {
+		t.Fatalf("nil span ID = %d, want 0", got)
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report empty")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil tracer JSONL: err=%v len=%d", err, buf.Len())
+	}
+	if err := tr.WriteChrome(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil tracer Chrome: err=%v len=%d", err, buf.Len())
+	}
+	if err := tr.SaveJSONL("/nonexistent/never-created"); err != nil {
+		t.Fatalf("nil tracer SaveJSONL: %v", err)
+	}
+}
+
+func TestSpanEndIdempotentAndSetAfterEnd(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Root(TrackTuner, "x", 1, 0)
+	sp.End(time.Second)
+	sp.Set(Str("late", "ignored"))
+	sp.End(2 * time.Second)
+	if tr.Len() != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", tr.Len())
+	}
+	var buf bytes.Buffer
+	tr.WriteJSONL(&buf)
+	if strings.Contains(buf.String(), "late") {
+		t.Fatal("Set after End must be dropped")
+	}
+	if !strings.Contains(buf.String(), `"durNs":1000000000`) {
+		t.Fatalf("first End must win: %s", buf.String())
+	}
+}
+
+func TestSpanNegativeDurationClamped(t *testing.T) {
+	tr := NewTracer()
+	tr.Root(TrackTuner, "x", 1, time.Second).End(0)
+	var buf bytes.Buffer
+	tr.WriteJSONL(&buf)
+	if !strings.Contains(buf.String(), `"durNs":0`) {
+		t.Fatalf("negative duration not clamped: %s", buf.String())
+	}
+}
+
+func TestTracerConcurrentRoots(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := tr.Root(TrackServing, "request", uint64(i), time.Duration(i)*time.Millisecond)
+			sp.Child("attempt", sp.start).End(sp.start)
+			sp.End(time.Duration(i+1) * time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	if tr.Len() != 64 {
+		t.Fatalf("got %d spans, want 64", tr.Len())
+	}
+	var a, b bytes.Buffer
+	tr.WriteJSONL(&a)
+	tr.WriteJSONL(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("repeated exports of one tracer differ")
+	}
+}
+
+func TestSaveFiles(t *testing.T) {
+	dir := t.TempDir()
+	tr := buildTrace()
+	jp, cp := dir+"/t.jsonl", dir+"/t.chrome.json"
+	if err := tr.SaveJSONL(jp); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SaveChrome(cp); err != nil {
+		t.Fatal(err)
+	}
+	var mem bytes.Buffer
+	tr.WriteJSONL(&mem)
+	data := mustRead(t, jp)
+	if !bytes.Equal(data, mem.Bytes()) {
+		t.Fatal("SaveJSONL differs from WriteJSONL")
+	}
+}

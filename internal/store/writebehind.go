@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"edgetune/internal/obs"
 )
 
 // ErrBufferClosed is returned by WriteBehind.Put after Close.
@@ -31,6 +33,12 @@ type WriteBehind struct {
 	wake chan struct{}
 	stop chan struct{}
 	done chan struct{}
+
+	// Registry instruments (nil = metrics off). Only Put-driven values
+	// are exported: flush-cycle counts depend on flusher scheduling and
+	// would break the byte-stable snapshot contract.
+	mWrites  *obs.Counter
+	mPending *obs.Gauge
 }
 
 // NewWriteBehind wraps st with a write-behind buffer and starts its
@@ -45,6 +53,21 @@ func NewWriteBehind(st *Store) *WriteBehind {
 	}
 	go w.flusher()
 	return w
+}
+
+// Instrument registers the buffer's metrics on reg: "store.writes"
+// counts accepted Puts and "store.writebehind.pending" gauges the
+// buffer depth. Both are driven from the synchronous Put/Get/Flush
+// paths — never from flusher wake-ups — so a drained buffer reports the
+// same values on every same-seed run.
+func (w *WriteBehind) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	w.mu.Lock()
+	w.mWrites = reg.Counter("store.writes")
+	w.mPending = reg.Gauge("store.writebehind.pending")
+	w.mu.Unlock()
 }
 
 // Put buffers an entry for asynchronous persistence. Validation happens
@@ -67,6 +90,8 @@ func (w *WriteBehind) Put(e Entry) error {
 		w.order = append(w.order, key)
 	}
 	w.pending[key] = e
+	w.mWrites.Add(1)
+	w.mPending.Set(float64(len(w.pending)))
 	w.mu.Unlock()
 	select {
 	case w.wake <- struct{}{}:
@@ -92,6 +117,7 @@ func (w *WriteBehind) Get(signature, dev string) (Entry, error) {
 				break
 			}
 		}
+		w.mPending.Set(float64(len(w.pending)))
 	}
 	w.mu.Unlock()
 	return w.st.Get(signature, dev)
@@ -115,6 +141,7 @@ func (w *WriteBehind) Flush() error {
 	}
 	w.order = nil
 	w.pending = make(map[string]Entry)
+	w.mPending.Set(0)
 	w.mu.Unlock()
 	for _, e := range entries {
 		if err := w.st.Put(e); err != nil {

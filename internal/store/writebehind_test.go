@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"edgetune/internal/testutil"
 )
 
 func wbEntry(sig, dev string) Entry {
@@ -134,6 +136,7 @@ func TestWriteBehindCloseIdempotentAndFinal(t *testing.T) {
 }
 
 func TestWriteBehindConcurrent(t *testing.T) {
+	testutil.CheckGoroutineLeak(t, 2)
 	st := New()
 	wb := NewWriteBehind(st)
 	var wg sync.WaitGroup

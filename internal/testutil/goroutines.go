@@ -1,0 +1,37 @@
+// Package testutil holds helpers shared across the test suites. It is
+// imported only from _test files.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeak snapshots the goroutine count and registers a
+// cleanup that fails the test if, 5 seconds of retrying later, more
+// than slack extra goroutines remain. Register it BEFORE creating the
+// servers or buffers under test: cleanups run LIFO, so the check then
+// executes after the deferred Close/Drain calls have finished.
+//
+// The retry loop absorbs the benign lag between a Close returning and
+// its worker goroutines actually exiting; slack absorbs runtime-owned
+// goroutines (timers, test runners) that come and go independently.
+func CheckGoroutineLeak(t *testing.T, slack int) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutine leak: %d before, %d after (slack %d)", before, n, slack)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"edgetune/internal/budget"
 	"edgetune/internal/fault"
 	"edgetune/internal/nn"
+	"edgetune/internal/obs"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
 	"edgetune/internal/sim"
@@ -61,6 +62,12 @@ type Request struct {
 	// a genuine re-run rather than a deterministic repeat of the
 	// failure.
 	Attempt int
+	// Span, when non-nil, receives epoch and mini-batch child spans on
+	// the simulated timeline, placed relative to Start (the attempt's
+	// start on the tuner's clock).
+	Span *obs.Span
+	// Start is the attempt's simulated start time; see Span.
+	Start time.Duration
 }
 
 // site identifies the request for fault decisions: the same config
@@ -222,7 +229,51 @@ func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 	res.Cost = cost
 	res.Steps = stats.Steps
 	res.Alloc = req.Alloc
+	stepsPerEpoch := (sub.Len() + simBatch - 1) / simBatch
+	emitTrainingSpans(req.Span, req.Start, cost.Duration, req.Alloc.Epochs, stepsPerEpoch)
 	return res, nil
+}
+
+// emitTrainingSpans synthesises the training timeline under an attempt
+// span: one "epoch" child per budgeted epoch, each holding its
+// "mini-batch" children, with the attempt's (post-straggler) simulated
+// duration divided evenly. Only successful attempts emit them — crashed
+// and diverged runs end at the attempt span itself. The per-epoch step
+// count is capped so pathological allocations cannot flood the tracer.
+func emitTrainingSpans(sp *obs.Span, start, dur time.Duration, epochs, stepsPerEpoch int) {
+	if sp == nil || epochs < 1 || stepsPerEpoch < 1 {
+		return
+	}
+	const maxSteps = 64 // mini-batch spans per epoch beyond this coalesce
+	coalesce := 1
+	if stepsPerEpoch > maxSteps {
+		coalesce = (stepsPerEpoch + maxSteps - 1) / maxSteps
+	}
+	epochDur := dur / time.Duration(epochs)
+	for e := 0; e < epochs; e++ {
+		eStart := start + time.Duration(e)*epochDur
+		eEnd := start + time.Duration(e+1)*epochDur
+		if e == epochs-1 {
+			eEnd = start + dur // absorb integer-division remainder
+		}
+		esp := sp.Child("epoch", eStart, obs.Int("epoch", int64(e)))
+		groups := (stepsPerEpoch + coalesce - 1) / coalesce
+		span := eEnd - eStart
+		for g := 0; g < groups; g++ {
+			gStart := eStart + time.Duration(g)*span/time.Duration(groups)
+			gEnd := eStart + time.Duration(g+1)*span/time.Duration(groups)
+			first := g * coalesce
+			last := first + coalesce
+			if last > stepsPerEpoch {
+				last = stepsPerEpoch
+			}
+			msp := esp.Child("mini-batch", gStart,
+				obs.Int("step", int64(first)),
+				obs.Int("steps", int64(last-first)))
+			msp.End(gEnd)
+		}
+		esp.End(eEnd)
+	}
 }
 
 // projectedCost is the full simulated cost this request would have
