@@ -35,15 +35,36 @@ go run ./examples/tracing -seed 7 -trace "$tracedir/b.jsonl" -chrome "$tracedir/
 cmp "$tracedir/a.jsonl" "$tracedir/b.jsonl"
 cmp "$tracedir/a.json" "$tracedir/b.json"
 
+echo "== trace analytics =="
+# The analyzer must be as deterministic as the traces it reads: same
+# trace, byte-identical analysis; and a span-class diff of the two
+# same-seed traces must pass the regression gate cleanly.
+go run ./cmd/tracetool analyze "$tracedir/a.jsonl" > "$tracedir/a.analysis"
+go run ./cmd/tracetool analyze "$tracedir/b.jsonl" > "$tracedir/b.analysis"
+cmp "$tracedir/a.analysis" "$tracedir/b.analysis"
+grep -q "critical paths" "$tracedir/a.analysis"
+go run ./cmd/tracetool diff "$tracedir/a.jsonl" "$tracedir/b.jsonl" >/dev/null
+
 echo "== tracing no-op overhead =="
 # Smoke-run the disabled-tracing benchmark so a regression that breaks
 # the nil-safe fast path is caught even without a full bench sweep.
 go test -run '^$' -bench BenchmarkTracingDisabled -benchtime=1x ./internal/obs
 
-echo "== benchtab wall-time report =="
-# Record per-experiment wall time for the quick static tables; the
-# BENCH_*.json artefacts let successive CI runs be compared.
-go run ./cmd/benchtab -only "Table 2" -json "BENCH_$(date +%Y%m%d).json" >/dev/null
-echo "wrote BENCH_$(date +%Y%m%d).json"
+echo "== benchtab wall-time regression gate =="
+# Run the quick static tables fresh (into a scratch file, so today's
+# run never clobbers a committed baseline) and gate on wall-time
+# regressions against the newest committed BENCH_*.json. -tolerance is
+# the allowed relative growth; the absolute floor inside check-bench
+# keeps microsecond-scale baselines from flagging scheduler noise.
+BENCH_TOLERANCE="${BENCH_TOLERANCE:-0.5}"
+baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+go run ./cmd/benchtab -only "Table 2" -json "$tracedir/bench-current.json" >/dev/null
+if [ -n "$baseline" ]; then
+    go run ./cmd/tracetool check-bench -baseline "$baseline" \
+        -tolerance "$BENCH_TOLERANCE" "$tracedir/bench-current.json"
+else
+    cp "$tracedir/bench-current.json" "BENCH_$(date +%Y%m%d).json"
+    echo "no committed baseline; wrote BENCH_$(date +%Y%m%d).json"
+fi
 
 echo "ci: all checks passed"

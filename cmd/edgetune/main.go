@@ -64,8 +64,8 @@ func run(args []string, out io.Writer) error {
 
 		tracePath   = fs.String("trace", "", "write the deterministic span trace as JSON Lines to this file")
 		chromePath  = fs.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable)")
-		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while tuning")
-		showMetrics = fs.Bool("metrics", false, "print the full metrics snapshot after the report")
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /metrics/prom, /healthz, /slo, /analyze, /debug/vars, and /debug/pprof on this address while tuning")
+		showMetrics = fs.Bool("metrics", false, "print the full metrics snapshot and SLO evaluation after the report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,8 +136,30 @@ func run(args []string, out io.Writer) error {
 	printReport(out, report)
 	if *showMetrics {
 		printMetrics(out, report.Metrics)
+		printSLO(out, report.SLO)
 	}
 	return nil
+}
+
+// printSLO renders the objective evaluations after the metrics dump:
+// overall compliance plus the per-window burn rates behind each alert.
+func printSLO(out io.Writer, s edgetune.SLOReport) {
+	if len(s.Objectives) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "  slo (horizon %.1f simulated minutes):\n", s.HorizonMinutes)
+	for _, o := range s.Objectives {
+		state := "ok"
+		if o.Alerting {
+			state = "ALERT"
+		}
+		fmt.Fprintf(out, "    %-5s %-24s target=%.2f good=%.3f budget-used=%.2f events=%d errors=%d\n",
+			state, o.Name, o.Target, o.GoodFraction, o.ErrorBudgetUsed, o.Events, o.Errors)
+		for _, w := range o.Windows {
+			fmt.Fprintf(out, "          window %5.1fm burn=%.2f (%d/%d errors, threshold %.1f)\n",
+				w.WindowMinutes, w.BurnRate, w.Errors, w.Events, o.BurnThreshold)
+		}
+	}
 }
 
 // printMetrics dumps the full metrics snapshot in its (sorted) registry

@@ -137,6 +137,27 @@ func TestRunOverloadTextReport(t *testing.T) {
 	}
 }
 
+func TestRunMetricsSLOSection(t *testing.T) {
+	path := quickJobFile(t, edgetune.Job{
+		Workload: "IC",
+		Seed:     1,
+		Faults:   edgetune.FaultConfig{OverloadBurst: 0.5},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-job", path, "-metrics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"metrics:", "slo (horizon", "serving/rejections", "serving/latency",
+		"tuning/trial-overrun", "window",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunFaultFlagValidation(t *testing.T) {
 	// An out-of-range probability must fail fast, before any trial runs
 	// — this exercises the flag plumbing without a full tuning job.

@@ -1,0 +1,191 @@
+// Command tracetool consumes the pipeline's observability artefacts:
+// it analyses JSONL span traces ("where did the time go?"), diffs two
+// same-workload traces span-class by span-class, and gates CI on
+// benchtab wall-time regressions.
+//
+// Usage:
+//
+//	tracetool analyze [-json] trace.jsonl
+//	tracetool diff [-threshold 0.10] a.jsonl b.jsonl
+//	tracetool check-bench [-tolerance 0.5] [-min-seconds 1] -baseline BENCH_old.json current.json
+//
+// Exit codes: 0 clean, 1 usage or I/O error, 2 gate failure (flagged
+// diff deltas or a wall-time regression).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edgetune/internal/obs/analyze"
+)
+
+// errGate marks a gate failure (exit 2): the tool worked, the input
+// failed the check.
+var errGate = errors.New("gate failed")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errGate):
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: tracetool <analyze|diff|check-bench> [flags] args")
+	}
+	switch args[0] {
+	case "analyze":
+		return runAnalyze(args[1:], out)
+	case "diff":
+		return runDiff(args[1:], out)
+	case "check-bench":
+		return runCheckBench(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want analyze, diff, or check-bench)", args[0])
+	}
+}
+
+func runAnalyze(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool analyze", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: tracetool analyze [-json] trace.jsonl")
+	}
+	tr, err := analyze.ParseFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := analyze.Analyze(tr)
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	return rep.WriteText(out)
+}
+
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.10, "relative span-class duration change that flags a delta")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return errors.New("usage: tracetool diff [-threshold 0.10] a.jsonl b.jsonl")
+	}
+	ta, err := analyze.ParseFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tb, err := analyze.ParseFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := analyze.DiffReports(analyze.Analyze(ta), analyze.Analyze(tb), *threshold)
+	if err := d.WriteText(out); err != nil {
+		return err
+	}
+	if d.Flagged > 0 {
+		return fmt.Errorf("%w: %d span classes moved beyond %.0f%%", errGate, d.Flagged, *threshold*100)
+	}
+	return nil
+}
+
+// benchEntry and benchReport mirror benchtab's -json artefact.
+type benchEntry struct {
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	Rows        int     `json:"rows"`
+	WallSeconds float64 `json:"wallSeconds"`
+}
+
+type benchReport struct {
+	Experiments  []benchEntry `json:"experiments"`
+	TotalSeconds float64      `json:"totalSeconds"`
+}
+
+func readBench(path string) (benchReport, error) {
+	var rep benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func runCheckBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool check-bench", flag.ContinueOnError)
+	var (
+		baseline   = fs.String("baseline", "", "committed BENCH_*.json to compare against (required)")
+		tolerance  = fs.Float64("tolerance", 0.5, "allowed relative wall-time growth per experiment")
+		minSeconds = fs.Float64("min-seconds", 1.0, "ignore regressions where the current time is below this floor (microsecond-scale baselines are all noise)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" || fs.NArg() != 1 {
+		return errors.New("usage: tracetool check-bench -baseline BENCH_old.json [flags] current.json")
+	}
+	base, err := readBench(*baseline)
+	if err != nil {
+		return err
+	}
+	cur, err := readBench(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	curByID := make(map[string]benchEntry, len(cur.Experiments))
+	for _, e := range cur.Experiments {
+		curByID[e.ID] = e
+	}
+
+	regressions := 0
+	for _, b := range base.Experiments {
+		c, ok := curByID[b.ID]
+		if !ok {
+			fmt.Fprintf(out, "SKIP %-28s not in current run\n", b.ID)
+			continue
+		}
+		limit := b.WallSeconds * (1 + *tolerance)
+		switch {
+		case c.WallSeconds <= limit || c.WallSeconds < *minSeconds:
+			fmt.Fprintf(out, "ok   %-28s %.6fs -> %.6fs (limit %.6fs)\n",
+				b.ID, b.WallSeconds, c.WallSeconds, limit)
+		default:
+			regressions++
+			fmt.Fprintf(out, "FAIL %-28s %.6fs -> %.6fs exceeds limit %.6fs\n",
+				b.ID, b.WallSeconds, c.WallSeconds, limit)
+		}
+	}
+	totalLimit := base.TotalSeconds * (1 + *tolerance)
+	if cur.TotalSeconds > totalLimit && cur.TotalSeconds >= *minSeconds {
+		regressions++
+		fmt.Fprintf(out, "FAIL total %.6fs -> %.6fs exceeds limit %.6fs\n",
+			base.TotalSeconds, cur.TotalSeconds, totalLimit)
+	} else {
+		fmt.Fprintf(out, "ok   total %.6fs -> %.6fs (limit %.6fs)\n",
+			base.TotalSeconds, cur.TotalSeconds, totalLimit)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%w: %d wall-time regressions beyond %.0f%% tolerance", errGate, regressions, *tolerance*100)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgetune/internal/core"
+	"edgetune/internal/fault"
+	"edgetune/internal/obs"
+	"edgetune/internal/workload"
+)
+
+// traceJob runs one small same-seed tuning job and saves its JSONL
+// trace to path.
+func traceJob(t *testing.T, path string, seed uint64) {
+	t.Helper()
+	tr := obs.NewTracer()
+	_, err := core.Tune(context.Background(), core.Options{
+		Workload:       workload.MustNew("IC", 1),
+		InitialConfigs: 2,
+		Rungs:          2,
+		MaxBrackets:    1,
+		InferenceAware: true,
+		SystemParams:   true,
+		Seed:           seed,
+		Fault:          fault.Config{TrialCrash: 0.2, DroppedReply: 0.1},
+		Trace:          tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SaveJSONL(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyzeAndDiffDeterministic: two same-seed runs analyse to
+// byte-identical reports and diff clean; the analysis names the
+// sections the issue demands.
+func TestAnalyzeAndDiffDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.jsonl"), filepath.Join(dir, "b.jsonl")
+	traceJob(t, a, 11)
+	traceJob(t, b, 11)
+
+	var outA, outB bytes.Buffer
+	if err := run([]string{"analyze", a}, &outA); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze", b}, &outB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outA.Bytes(), outB.Bytes()) {
+		t.Errorf("same-seed analyses differ:\n%s\n---\n%s", outA.String(), outB.String())
+	}
+	for _, section := range []string{
+		"critical paths", "queue wait vs service", "per-device breakdown", "hedging",
+	} {
+		if !strings.Contains(outA.String(), section) {
+			t.Errorf("analysis missing %q section:\n%s", section, outA.String())
+		}
+	}
+
+	var diff1, diff2 bytes.Buffer
+	if err := run([]string{"diff", a, b}, &diff1); err != nil {
+		t.Errorf("same-seed diff must pass the gate: %v\n%s", err, diff1.String())
+	}
+	if err := run([]string{"diff", a, b}, &diff2); err != nil {
+		t.Errorf("repeat diff: %v", err)
+	}
+	if !bytes.Equal(diff1.Bytes(), diff2.Bytes()) {
+		t.Errorf("diff output not deterministic:\n%s\n---\n%s", diff1.String(), diff2.String())
+	}
+
+	// A different seed moves span totals; the gate must notice.
+	c := filepath.Join(dir, "c.jsonl")
+	traceJob(t, c, 12)
+	var diffC bytes.Buffer
+	if err := run([]string{"diff", "-threshold", "0.01", a, c}, &diffC); !errors.Is(err, errGate) {
+		t.Errorf("cross-seed diff err = %v, want gate failure\n%s", err, diffC.String())
+	}
+}
+
+// TestAnalyzeMalformedTrace: a truncated trace is reported, not fatal.
+func TestAnalyzeMalformedTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	content := `{"id":1,"parent":0,"name":"request","track":2,"startNs":0,"durNs":10}` + "\n" +
+		"{garbage\n" +
+		`{"id":2,"parent":1,"name":"serve","track":2,"startNs":3,"durNs":7` // truncated
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"analyze", path}, &out); err != nil {
+		t.Fatalf("malformed trace must not fail the analysis: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 malformed lines skipped") {
+		t.Errorf("analysis must surface malformed lines:\n%s", out.String())
+	}
+}
+
+func writeBench(t *testing.T, path, body string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckBench(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeBench(t, base, `{"experiments":[{"id":"Table 2","title":"t","rows":3,"wallSeconds":2.0}],"totalSeconds":2.0}`)
+
+	// Identical run: clean exit.
+	same := filepath.Join(dir, "same.json")
+	writeBench(t, same, `{"experiments":[{"id":"Table 2","title":"t","rows":3,"wallSeconds":2.0}],"totalSeconds":2.0}`)
+	var out bytes.Buffer
+	if err := run([]string{"check-bench", "-baseline", base, same}, &out); err != nil {
+		t.Fatalf("identical bench must pass: %v\n%s", err, out.String())
+	}
+
+	// Injected 5× regression above the floor: gate failure.
+	slow := filepath.Join(dir, "slow.json")
+	writeBench(t, slow, `{"experiments":[{"id":"Table 2","title":"t","rows":3,"wallSeconds":10.0}],"totalSeconds":10.0}`)
+	out.Reset()
+	if err := run([]string{"check-bench", "-baseline", base, slow}, &out); !errors.Is(err, errGate) {
+		t.Fatalf("regression err = %v, want gate failure\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL Table 2") {
+		t.Errorf("regression output must name the experiment:\n%s", out.String())
+	}
+
+	// The same 5× growth below the absolute floor is noise, not a
+	// regression (microsecond-scale baselines).
+	tinyBase := filepath.Join(dir, "tiny-base.json")
+	writeBench(t, tinyBase, `{"experiments":[{"id":"Table 2","title":"t","rows":3,"wallSeconds":0.000002}],"totalSeconds":0.000002}`)
+	tinySlow := filepath.Join(dir, "tiny-slow.json")
+	writeBench(t, tinySlow, `{"experiments":[{"id":"Table 2","title":"t","rows":3,"wallSeconds":0.00001}],"totalSeconds":0.00001}`)
+	out.Reset()
+	if err := run([]string{"check-bench", "-baseline", tinyBase, tinySlow}, &out); err != nil {
+		t.Fatalf("sub-floor growth must pass: %v\n%s", err, out.String())
+	}
+}

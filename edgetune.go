@@ -23,9 +23,12 @@
 package edgetune
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 
 	"edgetune/internal/core"
@@ -33,6 +36,8 @@ import (
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/analyze"
+	"edgetune/internal/obs/slo"
 	"edgetune/internal/search"
 	"edgetune/internal/store"
 	"edgetune/internal/workload"
@@ -150,8 +155,10 @@ type Job struct {
 	// trace-event format, loadable in Perfetto or chrome://tracing.
 	TraceChromePath string
 	// DebugAddr, when set (e.g. "127.0.0.1:6060"), serves /metrics,
-	// /metrics.json, /debug/vars, and /debug/pprof for the duration of
-	// the job.
+	// /metrics.json, /metrics/prom, /healthz, /slo, /analyze,
+	// /debug/goroutines, /debug/vars, and /debug/pprof for the duration
+	// of the job. /analyze renders a live trace analysis, so setting
+	// DebugAddr enables tracing even without TracePath.
 	DebugAddr string
 }
 
@@ -305,6 +312,55 @@ type Report struct {
 	// tuner and serving instruments (trial duration/energy histograms,
 	// per-device breakdowns, store writes).
 	Metrics MetricsReport
+	// SLO evaluates the job's service-level objectives (serving latency,
+	// overload rejections, trial budget overruns) with multi-window
+	// burn-rate alerts over the simulated clock.
+	SLO SLOReport
+}
+
+// SLOWindowBurn is one alert window's burn evaluation.
+type SLOWindowBurn struct {
+	// WindowMinutes is the window length in simulated minutes (clamped
+	// to the run horizon for short runs).
+	WindowMinutes float64
+	// Events and Errors count the window's observations.
+	Events int64
+	Errors int64
+	// ErrorRate is Errors/Events; BurnRate is ErrorRate over the error
+	// budget (1 − target).
+	ErrorRate float64
+	BurnRate  float64
+}
+
+// SLOObjective is one objective's evaluation.
+type SLOObjective struct {
+	Name        string
+	Description string
+	// Target is the required good-event fraction.
+	Target float64
+	// Events and Errors cover the whole run; GoodFraction is the overall
+	// compliance and ErrorBudgetUsed the overall burn (above 1 the
+	// objective is out of budget).
+	Events          int64
+	Errors          int64
+	GoodFraction    float64
+	ErrorBudgetUsed float64
+	// BurnThreshold and Windows document the alert rule: Alerting is set
+	// when the burn rate meets the threshold in every window at once.
+	BurnThreshold float64
+	Windows       []SLOWindowBurn
+	Alerting      bool
+}
+
+// SLOReport is the job's service-level-objective evaluation at the end
+// of the run, on the simulated clock.
+type SLOReport struct {
+	// HorizonMinutes is the simulated instant the alert windows end at:
+	// the latest event time any objective saw.
+	HorizonMinutes float64
+	Objectives     []SLOObjective
+	// Alerting reports whether any objective's burn-rate alert fires.
+	Alerting bool
 }
 
 // MetricCounter is one named counter of a metrics report.
@@ -381,12 +437,19 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 	}
 
 	var tracer *obs.Tracer
-	if job.TracePath != "" || job.TraceChromePath != "" {
+	if job.TracePath != "" || job.TraceChromePath != "" || job.DebugAddr != "" {
 		tracer = obs.NewTracer()
 	}
 	reg := obs.NewRegistry()
+	ev := slo.NewEvaluator()
 	if job.DebugAddr != "" {
-		dbg, derr := obs.StartDebugServer(job.DebugAddr, reg)
+		dbg, derr := obs.StartDebugServerOpts(job.DebugAddr, obs.DebugOptions{
+			Registry: reg,
+			Handlers: map[string]http.Handler{
+				"/slo":     slo.Handler(ev),
+				"/analyze": analyzeHandler(tracer),
+			},
+		})
 		if derr != nil {
 			return nil, fmt.Errorf("edgetune: debug server: %w", derr)
 		}
@@ -414,6 +477,7 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 		Checkpoint:     job.Checkpoint,
 		Trace:          tracer,
 		Metrics:        reg,
+		SLO:            ev,
 	}
 	if job.Checkpoint && job.StorePath != "" {
 		// Flush checkpoints through the persisted store so a killed
@@ -467,6 +531,7 @@ func buildReport(res core.Result) *Report {
 		RecommendationDegraded: res.RecommendationDegraded,
 		Resilience:             buildResilienceReport(res.Resilience),
 		Metrics:                buildMetricsReport(res.Metrics),
+		SLO:                    buildSLOReport(res.SLO),
 	}
 	if res.Recommendation.Signature != "" {
 		r.Recommendation = InferenceRecommendation{
@@ -525,6 +590,62 @@ func buildMetricsReport(s obs.Snapshot) MetricsReport {
 		r.Histograms = append(r.Histograms, mh)
 	}
 	return r
+}
+
+func buildSLOReport(s slo.Snapshot) SLOReport {
+	r := SLOReport{HorizonMinutes: s.Horizon.Minutes(), Alerting: s.Alerting()}
+	for _, o := range s.Objectives {
+		obj := SLOObjective{
+			Name:            o.Name,
+			Description:     o.Description,
+			Target:          o.Target,
+			Events:          o.Events,
+			Errors:          o.Errors,
+			GoodFraction:    o.GoodFraction,
+			ErrorBudgetUsed: o.ErrorBudgetUsed,
+			BurnThreshold:   o.BurnThreshold,
+			Alerting:        o.Alerting,
+		}
+		for _, w := range o.Windows {
+			obj.Windows = append(obj.Windows, SLOWindowBurn{
+				WindowMinutes: w.Window.Minutes(),
+				Events:        w.Events,
+				Errors:        w.Errors,
+				ErrorRate:     w.ErrorRate,
+				BurnRate:      w.BurnRate,
+			})
+		}
+		r.Objectives = append(r.Objectives, obj)
+	}
+	return r
+}
+
+// analyzeHandler serves a live trace analysis: the tracer's current
+// spans parsed and analysed on each request (?format=json for the raw
+// report).
+func analyzeHandler(tr *obs.Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		trace, err := analyze.ParseJSONL(&buf)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		rep := analyze.Analyze(trace)
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(rep)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+	})
 }
 
 // loadOrNewStore loads an existing JSON store or creates an empty one

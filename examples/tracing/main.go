@@ -53,4 +53,13 @@ func main() {
 	for _, h := range report.Metrics.Histograms {
 		fmt.Printf("  %-32s count=%d p50=%.3g p95=%.3g\n", h.Name, h.Count, h.P50, h.P95)
 	}
+	fmt.Printf("slo (horizon %.1f simulated minutes):\n", report.SLO.HorizonMinutes)
+	for _, o := range report.SLO.Objectives {
+		state := "ok"
+		if o.Alerting {
+			state = "ALERT"
+		}
+		fmt.Printf("  %-5s %-24s good=%.3f budget-used=%.2f (%d/%d errors)\n",
+			state, o.Name, o.GoodFraction, o.ErrorBudgetUsed, o.Errors, o.Events)
+	}
 }

@@ -123,13 +123,27 @@ func (a *admission) push(j *inferJob) (evicted *inferJob, err error) {
 			return nil, ErrOverloaded
 		}
 	}
+	// Queue-position accounting for the wait/depth instruments, taken
+	// under the lock so it is exact. Positions count queued jobs only —
+	// in-flight work is excluded, because how fast workers retire it is
+	// a scheduling artefact the same-seed contract must not observe.
 	if j.req.Priority == PriorityCritical {
+		j.queuedAhead = len(a.high)
 		a.high = append(a.high, j)
 	} else {
+		j.queuedAhead = len(a.high) + len(a.low)
 		a.low = append(a.low, j)
 	}
+	j.depthAtEnqueue = len(a.high) + len(a.low)
 	a.cond.Signal()
 	return evicted, nil
+}
+
+// queuedLen reports the queued (not in-flight) job count.
+func (a *admission) queuedLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.high) + len(a.low)
 }
 
 // take blocks for the next job (critical first), returning false when

@@ -11,6 +11,7 @@ import (
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/slo"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
 	"edgetune/internal/store"
@@ -122,6 +123,14 @@ type InferenceServerOptions struct {
 	// Trace receives deterministic serving spans (nil = tracing
 	// disabled; the hooks are single-pointer-check no-ops).
 	Trace *obs.Tracer
+	// SLO receives per-request service-level events (nil = no SLO
+	// accounting). The server registers a serve-latency objective and an
+	// admission-rejection objective on it.
+	SLO *slo.Evaluator
+	// SLOServeLatency is the latency objective's threshold on the
+	// simulated clock: a served request is "good" when its effective
+	// serving time is at or below it (default 60s).
+	SLOServeLatency time.Duration
 }
 
 func (o *InferenceServerOptions) normalise() error {
@@ -173,6 +182,9 @@ func (o *InferenceServerOptions) normalise() error {
 	if o.HedgeFactor <= 0 {
 		o.HedgeFactor = 2
 	}
+	if o.SLOServeLatency <= 0 {
+		o.SLOServeLatency = 60 * time.Second
+	}
 	return nil
 }
 
@@ -201,6 +213,10 @@ type InferenceServer struct {
 	pool   *devicePool
 	writes *store.WriteBehind
 
+	// SLO objectives (nil = no accounting; Record no-ops).
+	sloLatency *slo.Objective
+	sloRejects *slo.Objective
+
 	wg sync.WaitGroup
 
 	shutMu   sync.Mutex
@@ -217,6 +233,12 @@ type servingMetrics struct {
 	coalesced *obs.Counter
 	latencyMS *obs.Histogram
 	queue     *obs.Gauge
+	// queueEnqueue samples the queued depth (excluding in-flight work)
+	// right after each admit; admitWait samples how many requests sat
+	// ahead of each admitted one. Both are queue positions taken under
+	// the admission lock, so same-seed runs record identical values.
+	queueEnqueue *obs.Histogram
+	admitWait    *obs.Histogram
 }
 
 // call fans one tuning run's result out to the leader and any
@@ -241,6 +263,11 @@ type inferJob struct {
 	req  InferRequest
 	call *call
 	rt   route
+
+	// queuedAhead and depthAtEnqueue are queue positions stamped by
+	// admission.push under its lock (see the servingMetrics comment).
+	queuedAhead    int
+	depthAtEnqueue int
 }
 
 // NewInferenceServer starts the server's worker pool. Callers must
@@ -260,13 +287,27 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 	}
 	if reg := opts.Recorder.Registry(); reg != nil {
 		s.m = servingMetrics{
-			requests:  reg.Counter("serving.requests"),
-			cacheHits: reg.Counter("serving.cache-hits"),
-			coalesced: reg.Counter("serving.coalesced"),
-			latencyMS: reg.Histogram("serving.latency.ms", obs.LatencyBucketsMS),
-			queue:     reg.Gauge("serving.queue.depth"),
+			requests:     reg.Counter("serving.requests"),
+			cacheHits:    reg.Counter("serving.cache-hits"),
+			coalesced:    reg.Counter("serving.coalesced"),
+			latencyMS:    reg.Histogram("serving.latency.ms", obs.LatencyBucketsMS),
+			queue:        reg.Gauge("serving.queue.depth"),
+			queueEnqueue: reg.Histogram("serving.queue.depth.enqueue", obs.QueueDepthBuckets),
+			admitWait:    reg.Histogram("serving.admission.wait.requests", obs.QueueDepthBuckets),
 		}
 		s.writes.Instrument(reg)
+	}
+	if opts.SLO != nil {
+		s.sloLatency = opts.SLO.Register(slo.Spec{
+			Name:        "serving/latency",
+			Description: fmt.Sprintf("99%% of served requests finish within %v on the simulated clock", opts.SLOServeLatency),
+			Target:      0.99,
+		})
+		s.sloRejects = opts.SLO.Register(slo.Spec{
+			Name:        "serving/rejections",
+			Description: "95% of submissions admitted (not shed, rate-limited, or preempted)",
+			Target:      0.95,
+		})
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -428,6 +469,7 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 				reqSp.Set(obs.Str("outcome", "dropped-reply"))
 			}
 			reqSp.End(req.SubmitTime)
+			s.recordSLO(req.SubmitTime, InferOutcome{Err: ferr})
 			out <- InferOutcome{Err: ferr}
 			return out
 		}
@@ -436,6 +478,7 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 			reqSp.Set(obs.Str("outcome", "cached"), obs.Str("device", e.Device))
 		}
 		reqSp.End(req.SubmitTime)
+		s.recordSLO(req.SubmitTime, InferOutcome{})
 		out <- InferOutcome{Entry: e, Cached: true, Device: e.Device}
 		return out
 	}
@@ -461,7 +504,7 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	// submission at the gate.
 	if ferr := s.opts.Fault.Fail(fault.OverloadBurst, fmt.Sprintf("admit/%s#%d", req.Client, seq), 0); ferr != nil {
 		s.opts.Recorder.AddShed()
-		s.admissionSpan(c, "shed-burst", "")
+		s.admissionSpan(c, "shed-burst", "", -1)
 		s.deliver(c, InferOutcome{Err: fmt.Errorf("%w: %w", ErrOverloaded, ferr)})
 		return out
 	}
@@ -471,7 +514,7 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	// falls back to degraded data instead of queueing doomed work.
 	rt, rerr := s.pool.pick()
 	if rerr != nil {
-		s.admissionSpan(c, "no-healthy-device", "")
+		s.admissionSpan(c, "no-healthy-device", "", -1)
 		s.deliver(c, InferOutcome{Err: rerr})
 		return out
 	}
@@ -486,12 +529,14 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 		case errors.Is(perr, ErrOverloaded):
 			s.opts.Recorder.AddShed()
 		}
-		s.admissionSpan(c, outcomeLabel(perr), "")
+		s.admissionSpan(c, outcomeLabel(perr), "", -1)
 		s.deliver(c, InferOutcome{Err: perr})
 		return out
 	}
 	s.m.queue.Set(float64(s.adm.inSystem()))
-	s.admissionSpan(c, "admitted", rt.pd.name)
+	s.m.queueEnqueue.Observe(float64(job.depthAtEnqueue))
+	s.m.admitWait.Observe(float64(job.queuedAhead))
+	s.admissionSpan(c, "admitted", rt.pd.name, job.queuedAhead)
 	if evicted != nil {
 		s.opts.Recorder.AddPreempted()
 		s.pool.release(evicted.rt)
@@ -541,6 +586,7 @@ func (s *InferenceServer) deliver(c *call, res InferOutcome) {
 		c.sp.Set(attrs...)
 		c.sp.End(c.start + res.Latency)
 	}
+	s.recordSLO(c.start+res.Latency, res)
 	close(c.done)
 	for i, ch := range outs {
 		r := res
@@ -552,6 +598,16 @@ func (s *InferenceServer) deliver(c *call, res InferOutcome) {
 	}
 }
 
+// recordSLO counts one request outcome against the server's objectives
+// at simulated time at: the rejection objective sees every outcome, the
+// latency objective only requests that actually produced a result.
+func (s *InferenceServer) recordSLO(at time.Duration, res InferOutcome) {
+	s.sloRejects.Record(at, !errors.Is(res.Err, ErrOverloaded))
+	if res.Err == nil {
+		s.sloLatency.Record(at, res.Latency <= s.opts.SLOServeLatency)
+	}
+}
+
 // worker drains the admission queue, serving one request at a time.
 func (s *InferenceServer) worker() {
 	defer s.wg.Done()
@@ -560,6 +616,7 @@ func (s *InferenceServer) worker() {
 		if !ok {
 			return
 		}
+		s.m.queue.Set(float64(s.adm.inSystem()))
 		if job.ctx.Err() != nil {
 			// Cancelled between queue and worker; the watcher may have
 			// lost the race to remove it.
@@ -685,7 +742,7 @@ func (s *InferenceServer) serveOn(ctx context.Context, req InferRequest, pd *poo
 			base = raw
 		}
 		if asp != nil {
-			asp.Set(obs.Str("outcome", outcomeLabel(err)))
+			asp.Set(obs.Str("outcome", outcomeLabel(err)), obs.Float("energyJ", cost.EnergyJ))
 			asp.End(start + total.Duration)
 		}
 		if err == nil {
@@ -806,14 +863,18 @@ func hashSignature(s string) uint64 {
 
 // admissionSpan records the admission verdict for a request as a
 // zero-duration child span of its request span (admission is
-// instantaneous on the simulated clock).
-func (s *InferenceServer) admissionSpan(c *call, verdict, dev string) {
+// instantaneous on the simulated clock). queuedAhead is the request's
+// queue position at enqueue; negative means it never reached the queue.
+func (s *InferenceServer) admissionSpan(c *call, verdict, dev string, queuedAhead int) {
 	if c.sp == nil {
 		return
 	}
 	attrs := []obs.Attr{obs.Str("verdict", verdict)}
 	if dev != "" {
 		attrs = append(attrs, obs.Str("device", dev))
+	}
+	if queuedAhead >= 0 {
+		attrs = append(attrs, obs.Int("queuedAhead", int64(queuedAhead)))
 	}
 	sp := c.sp.Child("admission", c.start, attrs...)
 	sp.End(c.start)

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"edgetune/internal/obs/slo"
+	"edgetune/internal/store"
+)
+
+// TestQueueInstrumentCounts: with the intake held, each admitted
+// request records its exact queue position — the admission-wait
+// histogram sees positions 0..n−1 and the enqueue-depth histogram the
+// depths 1..n.
+func TestQueueInstrumentCounts(t *testing.T) {
+	srv, rec := servingServer(t, store.New(), func(o *InferenceServerOptions) {
+		o.QueueLimit = 8
+	})
+	srv.adm.setHold(true)
+	chs := make([]<-chan InferOutcome, 0, 4)
+	for i := 0; i < 4; i++ {
+		chs = append(chs, srv.Submit(context.Background(), sigRequest(i)))
+	}
+	if got := srv.adm.queuedLen(); got != 4 {
+		t.Fatalf("queued = %d, want 4", got)
+	}
+	srv.adm.setHold(false)
+	for i, ch := range chs {
+		if out := mustOutcome(t, ch); out.Err != nil {
+			t.Fatalf("request %d failed: %v", i, out.Err)
+		}
+	}
+
+	snap := rec.Registry().Snapshot()
+	wait, ok := snap.Histogram("serving.admission.wait.requests")
+	if !ok || wait.Count != 4 {
+		t.Fatalf("admission-wait histogram = %+v (ok=%v), want 4 samples", wait, ok)
+	}
+	// Positions 0,1,2,3 ahead of the four held submissions.
+	if wait.Min != 0 || wait.Max != 3 || wait.Sum != 6 {
+		t.Errorf("admission-wait min/max/sum = %g/%g/%g, want 0/3/6", wait.Min, wait.Max, wait.Sum)
+	}
+	depth, ok := snap.Histogram("serving.queue.depth.enqueue")
+	if !ok || depth.Count != 4 {
+		t.Fatalf("enqueue-depth histogram = %+v (ok=%v), want 4 samples", depth, ok)
+	}
+	// Depths 1,2,3,4 right after each insert.
+	if depth.Min != 1 || depth.Max != 4 || depth.Sum != 10 {
+		t.Errorf("enqueue-depth min/max/sum = %g/%g/%g, want 1/4/10", depth.Min, depth.Max, depth.Sum)
+	}
+}
+
+// TestServingSLOObjectives: the server registers latency and rejection
+// objectives and records every outcome; shedding three of four
+// submissions burns the rejection budget past the alert threshold.
+func TestServingSLOObjectives(t *testing.T) {
+	ev := slo.NewEvaluator()
+	srv, _ := servingServer(t, store.New(), func(o *InferenceServerOptions) {
+		o.QueueLimit = 1
+		o.SLO = ev
+	})
+	srv.adm.setHold(true)
+	chs := make([]<-chan InferOutcome, 0, 4)
+	for i := 0; i < 4; i++ {
+		chs = append(chs, srv.Submit(context.Background(), sigRequest(i)))
+	}
+	shed := 0
+	for i := 1; i < 4; i++ {
+		if out := mustOutcome(t, chs[i]); errors.Is(out.Err, ErrOverloaded) {
+			shed++
+		}
+	}
+	if shed != 3 {
+		t.Fatalf("shed = %d, want 3", shed)
+	}
+	srv.adm.setHold(false)
+	if out := mustOutcome(t, chs[0]); out.Err != nil {
+		t.Fatalf("admitted request failed: %v", out.Err)
+	}
+
+	snap := ev.Snapshot()
+	rej, ok := snap.Objective("serving/rejections")
+	if !ok || rej.Events != 4 || rej.Errors != 3 {
+		t.Fatalf("rejections objective = %+v (ok=%v), want 4 events / 3 errors", rej, ok)
+	}
+	// Error rate 0.75 over a 0.05 budget: burn 15 in every (clamped)
+	// window — past the 14.4 page threshold.
+	if !rej.Alerting {
+		t.Errorf("rejection burn must alert: %+v", rej)
+	}
+	lat, ok := snap.Objective("serving/latency")
+	if !ok || lat.Events != 1 || lat.Errors != 0 {
+		t.Errorf("latency objective = %+v (ok=%v), want 1 good event", lat, ok)
+	}
+	if !snap.Alerting() {
+		t.Error("snapshot must report the rejection alert")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/slo"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
 	"edgetune/internal/store"
@@ -110,6 +111,11 @@ type Options struct {
 	// registered on; nil gets a private registry. Either way the final
 	// snapshot lands in Result.Metrics.
 	Metrics *obs.Registry
+	// SLO receives the job's service-level events: the inference
+	// server's serve-latency and rejection objectives plus the tuner's
+	// trial-overrun objective. Nil disables SLO accounting; otherwise
+	// the final evaluation lands in Result.SLO.
+	SLO *slo.Evaluator
 
 	// afterRung, when non-nil, runs after each completed (and
 	// checkpointed) rung; a non-nil return aborts the job. Test-only:
@@ -296,6 +302,10 @@ type Result struct {
 	// (trial histograms, per-device breakdowns, store writes). Sorted,
 	// so same-seed runs serialise byte-identically.
 	Metrics obs.Snapshot
+
+	// SLO is the job's service-level evaluation at its simulated end
+	// (zero value when Options.SLO is nil).
+	SLO slo.Snapshot
 }
 
 // Tune runs the EdgeTune onefold tuning loop (Algorithm 1): brackets of
@@ -319,7 +329,15 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 	defer func() {
 		res.Resilience = recd.Snapshot()
 		res.Metrics = reg.Snapshot()
+		// Defer LIFO: the server's Close ran first, so every serving SLO
+		// event is already recorded.
+		res.SLO = opts.SLO.Snapshot()
 	}()
+	sloOverrun := opts.SLO.Register(slo.Spec{
+		Name:        "tuning/trial-overrun",
+		Description: "90% of trials complete without retry cost or failure",
+		Target:      0.90,
+	})
 	mTrials := reg.Counter("tune.trials")
 	mTrialDur := reg.Histogram("tune.trial.duration.s", obs.SecondsBuckets)
 	mTrialEnergy := reg.Histogram("tune.trial.energy.kj", obs.EnergyBucketsKJ)
@@ -383,6 +401,7 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			BreakerThreshold: opts.BreakerThreshold,
 			BreakerCooldown:  opts.BreakerCooldown,
 			Trace:            opts.Trace,
+			SLO:              opts.SLO,
 		})
 		if err != nil {
 			return res, err
@@ -513,6 +532,7 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 				res.Trials = append(res.Trials, rec)
 				res.TrialsRun++
 				res.TuningDuration += rec.TrainCost.Duration + rec.RetryCost.Duration
+				sloOverrun.Record(res.TuningDuration, rec.RetryCost.Duration == 0 && rec.Outcome != OutcomeFailed)
 				// Inference tuning is pipelined: it adds energy but no
 				// wall time (§3.3). Failed attempts and backoff waits
 				// are charged like any other cost.
@@ -707,13 +727,14 @@ func runResilientTrial(ctx context.Context, runner *trial.Runner, infSrv *Infere
 				rec.Outcome = OutcomeOK
 			}
 			if attSp != nil {
-				attSp.Set(obs.Str("outcome", "ok"))
+				attSp.Set(obs.Str("outcome", "ok"), obs.Float("energyJ", rec.TrainCost.EnergyJ))
 				attSp.End(attStart + rec.TrainCost.Duration)
 			}
 			if trSp != nil {
 				trSp.Set(obs.Str("outcome", rec.Outcome),
 					obs.Float("accuracy", rec.Accuracy),
-					obs.Bool("cached", rec.InferCached))
+					obs.Bool("cached", rec.InferCached),
+					obs.Float("energyJ", rec.TrainCost.EnergyJ+rec.InferTuning.EnergyJ+rec.RetryCost.EnergyJ))
 				trSp.End(start + rec.RetryCost.Duration + rec.TrainCost.Duration)
 			}
 			return rec, nil
@@ -723,7 +744,7 @@ func runResilientTrial(ctx context.Context, runner *trial.Runner, infSrv *Infere
 			if fault.IsFault(err) {
 				label = "fault:" + string(fault.ClassOf(err))
 			}
-			attSp.Set(obs.Str("outcome", label))
+			attSp.Set(obs.Str("outcome", label), obs.Float("energyJ", rec.TrainCost.EnergyJ))
 			attSp.End(attStart + rec.TrainCost.Duration)
 		}
 		if cerr := ctx.Err(); cerr != nil {
@@ -744,7 +765,7 @@ func runResilientTrial(ctx context.Context, runner *trial.Runner, infSrv *Infere
 		wasted.EnergyJ += rec.TrainCost.EnergyJ + rec.InferTuning.EnergyJ
 		if attempt+1 >= opts.MaxAttempts {
 			if trSp != nil {
-				trSp.Set(obs.Str("outcome", OutcomeFailed))
+				trSp.Set(obs.Str("outcome", OutcomeFailed), obs.Float("energyJ", wasted.EnergyJ))
 				trSp.End(start + wasted.Duration)
 			}
 			return TrialRecord{

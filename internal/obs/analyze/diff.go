@@ -1,0 +1,100 @@
+package analyze
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// ClassDelta compares one span class between two traces.
+type ClassDelta struct {
+	Name string `json:"name"`
+	// CountA/CountB and TotalA/TotalB are the class's span count and
+	// summed duration in each trace.
+	CountA int           `json:"countA"`
+	CountB int           `json:"countB"`
+	TotalA time.Duration `json:"totalANs"`
+	TotalB time.Duration `json:"totalBNs"`
+	// Rel is the relative total-duration change (B−A)/A; ±Inf is encoded
+	// as ±1e9 to stay JSON-marshalable.
+	Rel float64 `json:"rel"`
+	// Flagged marks a class whose |Rel| meets the diff threshold, or
+	// that exists in only one trace.
+	Flagged bool `json:"flagged"`
+}
+
+// Diff is a span-class comparison of two traces.
+type Diff struct {
+	Threshold float64      `json:"threshold"`
+	Classes   []ClassDelta `json:"classes,omitempty"`
+	Flagged   int          `json:"flagged"`
+}
+
+// relInfEncoding stands in for an infinite relative change (class
+// absent from one side) so the report stays JSON-marshalable.
+const relInfEncoding = 1e9
+
+// DiffReports compares two analyses span-class by span-class, flagging
+// any class whose total duration moved by at least threshold
+// (relative, e.g. 0.10 for 10%) or that appears in only one trace.
+func DiffReports(a, b *Report, threshold float64) *Diff {
+	if threshold <= 0 {
+		threshold = 0.10
+	}
+	d := &Diff{Threshold: threshold}
+	byName := map[string]*ClassDelta{}
+	for _, c := range a.Classes {
+		byName[c.Name] = &ClassDelta{Name: c.Name, CountA: c.Count, TotalA: c.Total}
+	}
+	for _, c := range b.Classes {
+		cd, ok := byName[c.Name]
+		if !ok {
+			cd = &ClassDelta{Name: c.Name}
+			byName[c.Name] = cd
+		}
+		cd.CountB = c.Count
+		cd.TotalB = c.Total
+	}
+	for _, cd := range byName {
+		switch {
+		case cd.TotalA == 0 && cd.TotalB == 0:
+			cd.Rel = 0
+		case cd.TotalA == 0:
+			cd.Rel = relInfEncoding
+		default:
+			cd.Rel = float64(cd.TotalB-cd.TotalA) / float64(cd.TotalA)
+		}
+		if math.Abs(cd.Rel) >= threshold || cd.CountA == 0 || cd.CountB == 0 {
+			cd.Flagged = true
+			d.Flagged++
+		}
+		d.Classes = append(d.Classes, *cd)
+	}
+	sort.Slice(d.Classes, func(i, j int) bool { return d.Classes[i].Name < d.Classes[j].Name })
+	return d
+}
+
+// WriteText renders the diff as stable plaintext.
+func (d *Diff) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trace diff: %d classes, %d flagged (threshold %.1f%%)\n",
+		len(d.Classes), d.Flagged, d.Threshold*100)
+	for _, c := range d.Classes {
+		mark := "  "
+		if c.Flagged {
+			mark = "! "
+		}
+		rel := fmt.Sprintf("%+.1f%%", c.Rel*100)
+		if c.Rel >= relInfEncoding {
+			rel = "+inf"
+		} else if c.Rel <= -relInfEncoding {
+			rel = "-inf"
+		}
+		fmt.Fprintf(bw, "%s%-16s count %d -> %-5d total %s -> %-14s %s\n",
+			mark, c.Name, c.CountA, c.CountB, c.TotalA, c.TotalB, rel)
+	}
+	return bw.Flush()
+}

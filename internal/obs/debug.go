@@ -6,28 +6,51 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	rpprof "runtime/pprof"
 	"time"
 )
 
 // DebugServer exposes runtime introspection over HTTP:
 //
-//	/metrics      — plaintext registry snapshot
-//	/metrics.json — JSON registry snapshot
-//	/debug/vars   — expvar (memstats, cmdline)
-//	/debug/pprof/ — net/http/pprof profiles
+//	/metrics          — plaintext registry snapshot
+//	/metrics.json     — JSON registry snapshot
+//	/metrics/prom     — Prometheus text exposition format
+//	/healthz          — liveness probe (JSON)
+//	/debug/goroutines — full goroutine dump
+//	/debug/vars       — expvar (memstats, cmdline)
+//	/debug/pprof/     — net/http/pprof profiles
+//
+// plus any extra handlers the caller mounts via DebugOptions.
 type DebugServer struct {
 	srv *http.Server
 	lis net.Listener
+}
+
+// DebugOptions configures StartDebugServerOpts.
+type DebugOptions struct {
+	// Registry backs the /metrics endpoints (nil serves empty
+	// snapshots).
+	Registry *Registry
+	// Handlers mounts extra endpoints by path (e.g. "/slo"); they must
+	// not collide with the built-in paths.
+	Handlers map[string]http.Handler
 }
 
 // StartDebugServer listens on addr (e.g. "localhost:6060"; ":0" picks a
 // free port) and serves introspection endpoints rendered from reg until
 // Close. It never blocks the pipeline: failures to serve are dropped.
 func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	return StartDebugServerOpts(addr, DebugOptions{Registry: reg})
+}
+
+// StartDebugServerOpts is StartDebugServer with extra endpoints.
+func StartDebugServerOpts(addr string, opts DebugOptions) (*DebugServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.Registry
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -39,12 +62,30 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(reg.Snapshot())
 	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":     "ok",
+			"goroutines": runtime.NumGoroutine(),
+		})
+	})
+	mux.HandleFunc("/debug/goroutines", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rpprof.Lookup("goroutine").WriteTo(w, 1)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for path, h := range opts.Handlers {
+		mux.Handle(path, h)
+	}
 
 	d := &DebugServer{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, lis: lis}
 	go d.srv.Serve(lis)

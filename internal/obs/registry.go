@@ -20,6 +20,9 @@ var (
 	}
 	SecondsBuckets  = []float64{0.1, 0.5, 1, 5, 10, 30, 60, 120, 300, 600, 1200, 1800, 3600, 7200}
 	EnergyBucketsKJ = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000}
+	// QueueDepthBuckets covers small integer queue positions and depths
+	// (the admission queue is bounded at tens of requests).
+	QueueDepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64}
 )
 
 // Counter is a monotonically named int64. Nil counters no-op, so a
@@ -410,23 +413,37 @@ func (s Snapshot) Histogram(name string) (HistogramStat, bool) {
 	return HistogramStat{}, false
 }
 
+// textName renders an instrument name for the plaintext format,
+// quoting it only when it would corrupt the line-oriented output
+// (whitespace, quotes, control characters). Ordinary names pass
+// through verbatim, so the format is unchanged for every instrument
+// the pipeline registers today.
+func textName(name string) string {
+	for _, r := range name {
+		if r == ' ' || r == '"' || r < 0x20 || r == 0x7f {
+			return strconv.Quote(name)
+		}
+	}
+	return name
+}
+
 // WriteText renders the snapshot as stable plaintext, one instrument
 // per line (histograms add quantile summaries). This is the /metrics
 // endpoint format.
 func (s Snapshot) WriteText(w io.Writer) error {
 	for _, c := range s.Counters {
-		if _, err := fmt.Fprintf(w, "counter %s %d\n", c.Name, c.Value); err != nil {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", textName(c.Name), c.Value); err != nil {
 			return err
 		}
 	}
 	for _, g := range s.Gauges {
-		if _, err := fmt.Fprintf(w, "gauge %s %g\n", g.Name, g.Value); err != nil {
+		if _, err := fmt.Fprintf(w, "gauge %s %g\n", textName(g.Name), g.Value); err != nil {
 			return err
 		}
 	}
 	for _, h := range s.Histograms {
 		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%g min=%g max=%g p50=%g p95=%g p99=%g\n",
-			h.Name, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95, h.P99); err != nil {
+			textName(h.Name), h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95, h.P99); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,51 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Handler serves the evaluator's current snapshot: JSON by default,
+// plaintext with ?format=text. A nil evaluator serves empty snapshots.
+func Handler(e *Evaluator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := e.Snapshot()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}
+
+// WriteText renders the snapshot as stable plaintext, one objective per
+// line plus one line per alert window.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "slo horizon=%s objectives=%d alerting=%v\n",
+		s.Horizon, len(s.Objectives), s.Alerting()); err != nil {
+		return err
+	}
+	for _, o := range s.Objectives {
+		status := "ok"
+		if o.Alerting {
+			status = "ALERT"
+		}
+		if _, err := fmt.Fprintf(w, "objective %s target=%g events=%d errors=%d good=%.4f budget-used=%.3f %s\n",
+			o.Name, o.Target, o.Events, o.Errors, o.GoodFraction, o.ErrorBudgetUsed, status); err != nil {
+			return err
+		}
+		for _, wb := range o.Windows {
+			if _, err := fmt.Fprintf(w, "  window %-8s events=%d errors=%d burn=%.2f (threshold %g)\n",
+				wb.Window, wb.Events, wb.Errors, wb.BurnRate, o.BurnThreshold); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

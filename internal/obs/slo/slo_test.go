@@ -1,0 +1,221 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var e *Evaluator
+	o := e.Register(Spec{Name: "x", Target: 0.99})
+	if o != nil {
+		t.Fatal("nil evaluator must return a nil objective")
+	}
+	o.Record(time.Second, true) // must not panic
+	snap := e.Snapshot()
+	if len(snap.Objectives) != 0 || snap.Horizon != 0 {
+		t.Fatalf("nil evaluator snapshot = %+v, want zero", snap)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	e := NewEvaluator()
+	a := e.Register(Spec{Name: "avail", Target: 0.99})
+	b := e.Register(Spec{Name: "avail", Target: 0.5})
+	if a != b {
+		t.Fatal("re-registering a name must return the existing objective")
+	}
+	a.Record(time.Minute, true)
+	snap := e.Snapshot()
+	rep, ok := snap.Objective("avail")
+	if !ok || rep.Target != 0.99 || rep.Events != 1 {
+		t.Fatalf("objective report = %+v (ok=%v)", rep, ok)
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	e := NewEvaluator()
+	e.Register(Spec{Name: "d", Target: 2.0}) // out of range → default
+	rep, _ := e.Snapshot().Objective("d")
+	if rep.Target != 0.99 {
+		t.Errorf("target = %g, want default 0.99", rep.Target)
+	}
+	if rep.BurnThreshold != DefaultBurnThreshold {
+		t.Errorf("burn threshold = %g, want default", rep.BurnThreshold)
+	}
+	if len(rep.Windows) != len(DefaultWindows) {
+		t.Errorf("windows = %d, want %d defaults", len(rep.Windows), len(DefaultWindows))
+	}
+}
+
+// TestBurnRateAlert: an objective burning its budget far beyond the
+// threshold in both windows alerts; a compliant one does not.
+func TestBurnRateAlert(t *testing.T) {
+	e := NewEvaluator()
+	hot := e.Register(Spec{Name: "hot", Target: 0.99,
+		Windows: []time.Duration{5 * time.Minute, 30 * time.Minute}, BurnThreshold: 14.4})
+	cool := e.Register(Spec{Name: "cool", Target: 0.99,
+		Windows: []time.Duration{5 * time.Minute, 30 * time.Minute}, BurnThreshold: 14.4})
+
+	// One event per simulated minute over an hour; "hot" fails half of
+	// them (error rate 0.5 → burn 50), "cool" fails none.
+	for i := 0; i < 60; i++ {
+		at := time.Duration(i) * time.Minute
+		hot.Record(at, i%2 == 0)
+		cool.Record(at, true)
+	}
+	snap := e.Snapshot()
+	if snap.Horizon != 59*time.Minute {
+		t.Errorf("horizon = %v, want 59m", snap.Horizon)
+	}
+	h, _ := snap.Objective("hot")
+	if !h.Alerting {
+		t.Errorf("hot objective not alerting: %+v", h)
+	}
+	if h.ErrorBudgetUsed < 10 {
+		t.Errorf("hot budget used = %g, want ~50", h.ErrorBudgetUsed)
+	}
+	c, _ := snap.Objective("cool")
+	if c.Alerting || c.Errors != 0 || c.GoodFraction != 1 {
+		t.Errorf("cool objective misreported: %+v", c)
+	}
+	if !snap.Alerting() {
+		t.Error("snapshot must report an alert")
+	}
+}
+
+// TestMultiWindowRequiresBothWindows: errors confined to the distant
+// past burn the long window but not the short one — no alert (the
+// condition is over, the page would be noise).
+func TestMultiWindowRequiresBothWindows(t *testing.T) {
+	e := NewEvaluator()
+	o := e.Register(Spec{Name: "past", Target: 0.9,
+		Windows: []time.Duration{5 * time.Minute, time.Hour}, BurnThreshold: 2})
+	// Errors in the first 10 minutes, then 50 minutes of good events.
+	for i := 0; i < 60; i++ {
+		o.Record(time.Duration(i)*time.Minute, i >= 10)
+	}
+	rep, _ := e.Snapshot().Objective("past")
+	if rep.Alerting {
+		t.Fatalf("stale burn must not alert: %+v", rep)
+	}
+	if len(rep.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(rep.Windows))
+	}
+	if rep.Windows[0].Errors != 0 {
+		t.Errorf("short window errors = %d, want 0", rep.Windows[0].Errors)
+	}
+	if rep.Windows[1].Errors != 10 {
+		t.Errorf("long window errors = %d, want 10", rep.Windows[1].Errors)
+	}
+}
+
+// TestWindowClampedToHorizon: a run shorter than the window evaluates
+// over the whole run instead of an empty (never-alerting) window.
+func TestWindowClampedToHorizon(t *testing.T) {
+	e := NewEvaluator()
+	o := e.Register(Spec{Name: "short", Target: 0.99,
+		Windows: []time.Duration{time.Hour}, BurnThreshold: 2})
+	o.Record(time.Minute, false)
+	o.Record(2*time.Minute, false)
+	rep, _ := e.Snapshot().Objective("short")
+	if rep.Windows[0].Window != 2*time.Minute {
+		t.Errorf("window = %v, want clamped to 2m", rep.Windows[0].Window)
+	}
+	if !rep.Alerting {
+		t.Errorf("fully-burning short run must alert: %+v", rep)
+	}
+}
+
+func TestNoEventsObjective(t *testing.T) {
+	e := NewEvaluator()
+	e.Register(Spec{Name: "idle", Target: 0.99})
+	rep, ok := e.Snapshot().Objective("idle")
+	if !ok {
+		t.Fatal("idle objective missing from snapshot")
+	}
+	if rep.Alerting || rep.GoodFraction != 1 || rep.ErrorBudgetUsed != 0 {
+		t.Errorf("idle objective = %+v, want compliant", rep)
+	}
+}
+
+// TestSnapshotDeterministic: the snapshot depends only on the event
+// multiset, not the recording order, and marshals byte-identically.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(reverse bool) []byte {
+		e := NewEvaluator()
+		o := e.Register(Spec{Name: "det", Target: 0.95})
+		n := 100
+		for i := 0; i < n; i++ {
+			j := i
+			if reverse {
+				j = n - 1 - i
+			}
+			o.Record(time.Duration(j)*time.Second, j%7 != 0)
+		}
+		data, err := json.Marshal(e.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := build(false), build(true)
+	if !bytes.Equal(a, b) {
+		t.Errorf("order-dependent snapshots:\n%s\n%s", a, b)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	e := NewEvaluator()
+	e.Register(Spec{Name: "h", Target: 0.99}).Record(time.Minute, false)
+
+	srv := httptest.NewServer(Handler(e))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Objective("h"); !ok {
+		t.Fatalf("handler snapshot missing objective: %+v", snap)
+	}
+
+	resp, err = http.Get(srv.URL + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(body, []byte("objective h ")) {
+		t.Fatalf("text format missing objective line:\n%s", body)
+	}
+}
+
+func TestWriteTextStable(t *testing.T) {
+	e := NewEvaluator()
+	e.Register(Spec{Name: "b", Target: 0.9}).Record(time.Minute, true)
+	e.Register(Spec{Name: "a", Target: 0.9}).Record(time.Minute, false)
+	var x, y bytes.Buffer
+	if err := e.Snapshot().WriteText(&x); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Snapshot().WriteText(&y); err != nil {
+		t.Fatal(err)
+	}
+	if x.String() != y.String() {
+		t.Errorf("unstable text output:\n%s\n---\n%s", x.String(), y.String())
+	}
+	if x.Len() == 0 || bytes.Index(x.Bytes(), []byte("objective a")) > bytes.Index(x.Bytes(), []byte("objective b")) {
+		t.Errorf("objectives not sorted by name:\n%s", x.String())
+	}
+}

@@ -1,0 +1,95 @@
+package edgetune
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"edgetune/internal/obs"
+)
+
+// TestTuneOverloadSLOAlerts: a job under a sustained synthetic overload
+// burst must surface the burn in Report.SLO — at least the three
+// standing objectives, with the rejection objective's multi-window
+// burn-rate alert firing.
+func TestTuneOverloadSLOAlerts(t *testing.T) {
+	job := quickJob()
+	job.Faults = FaultConfig{OverloadBurst: 0.95}
+	rep, err := Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SLO.Objectives) < 3 {
+		t.Fatalf("Report.SLO has %d objectives, want >= 3: %+v",
+			len(rep.SLO.Objectives), rep.SLO.Objectives)
+	}
+	if rep.SLO.HorizonMinutes <= 0 {
+		t.Errorf("SLO horizon = %v, want > 0", rep.SLO.HorizonMinutes)
+	}
+	names := map[string]SLOObjective{}
+	for _, o := range rep.SLO.Objectives {
+		names[o.Name] = o
+		if len(o.Windows) < 2 {
+			t.Errorf("objective %s has %d alert windows, want >= 2", o.Name, len(o.Windows))
+		}
+	}
+	for _, want := range []string{"serving/latency", "serving/rejections", "tuning/trial-overrun"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("Report.SLO missing objective %q", want)
+		}
+	}
+	rej := names["serving/rejections"]
+	if rej.Events == 0 || rej.Errors == 0 {
+		t.Fatalf("rejection objective saw no overload: %+v", rej)
+	}
+	if !rej.Alerting {
+		t.Errorf("95%% overload must fire the rejection burn-rate alert: %+v", rej)
+	}
+	if !rep.SLO.Alerting {
+		t.Error("Report.SLO.Alerting must reflect the firing objective")
+	}
+
+	// A clean same-seed job must not alert on rejections.
+	clean, err := Tune(context.Background(), quickJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range clean.SLO.Objectives {
+		if o.Name == "serving/rejections" && o.Alerting {
+			t.Errorf("clean run alerting on rejections: %+v", o)
+		}
+	}
+}
+
+// TestAnalyzeHandler: the /analyze debug endpoint renders the live
+// trace analysis in text and JSON.
+func TestAnalyzeHandler(t *testing.T) {
+	tr := obs.NewTracer()
+	root := tr.Root(2, "request", 1, 0)
+	root.Child("serve", 10).End(90)
+	root.End(100)
+
+	h := analyzeHandler(tr)
+	get := func(url string) string {
+		t.Helper()
+		req := httptest.NewRequest("GET", url, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("GET %s status %d", url, rec.Code)
+		}
+		body, _ := io.ReadAll(rec.Result().Body)
+		return string(body)
+	}
+
+	text := get("/analyze")
+	if !strings.Contains(text, "span classes:") || !strings.Contains(text, "request") {
+		t.Errorf("/analyze text missing analysis:\n%s", text)
+	}
+	asJSON := get("/analyze?format=json")
+	if !strings.Contains(asJSON, `"classes"`) {
+		t.Errorf("/analyze?format=json missing report:\n%s", asJSON)
+	}
+}
