@@ -50,6 +50,45 @@ echo "== tracing no-op overhead =="
 # the nil-safe fast path is caught even without a full bench sweep.
 go test -run '^$' -bench BenchmarkTracingDisabled -benchtime=1x ./internal/obs
 
+echo "== store durability under faulty disks =="
+# The durability layer's own tests plus the disk-fault injection tests,
+# twice under the race detector so any run-order or leftover-state bug
+# in WAL replay and quarantine handling surfaces.
+go test -race -count=2 ./internal/store ./internal/fault
+
+echo "== crash-recovery gate =="
+# Kill the tuner (exit 3) right after an acknowledged WAL append,
+# restart it from the on-disk store, and repeat until a run survives.
+# The surviving run's outcome digest must match an uninterrupted
+# same-seed run, and the recovered store must scrub clean.
+go build -o "$tracedir/chaos" ./examples/chaos
+"$tracedir/chaos" -seed 42 > "$tracedir/chaos-clean.out"
+clean_digest=$(tail -n 1 "$tracedir/chaos-clean.out")
+restarts=0
+while :; do
+    rc=0
+    "$tracedir/chaos" -seed 42 -store "$tracedir/crash.json" -wal -kill-after 3 \
+        > "$tracedir/chaos-crash.out" 2>&1 || rc=$?
+    [ "$rc" -eq 0 ] && break
+    if [ "$rc" -ne 3 ]; then
+        echo "crash harness died with unexpected status $rc:" >&2
+        cat "$tracedir/chaos-crash.out" >&2
+        exit 1
+    fi
+    restarts=$((restarts + 1))
+    if [ "$restarts" -gt 100 ]; then
+        echo "crash harness never converged after $restarts restarts" >&2
+        exit 1
+    fi
+done
+crash_digest=$(tail -n 1 "$tracedir/chaos-crash.out")
+if [ "$clean_digest" != "$crash_digest" ]; then
+    echo "crash/restart diverged: '$crash_digest' != uninterrupted '$clean_digest'" >&2
+    exit 1
+fi
+echo "converged after $restarts kill/restart cycles: $crash_digest"
+go run ./cmd/tracetool store verify "$tracedir/crash.json"
+
 echo "== benchtab wall-time regression gate =="
 # Run the quick static tables fresh (into a scratch file, so today's
 # run never clobbers a committed baseline) and gate on wall-time

@@ -5,7 +5,8 @@
 //
 //	edgetune -workload IC [-device i7] [-budget multi] [-metric runtime]
 //	         [-hierarchical] [-no-inference] [-stop-at-target]
-//	         [-store history.json] [-seed 1] [-json]
+//	         [-store history.json] [-store-wal] [-store-snapshot-every 256]
+//	         [-seed 1] [-json]
 //	         [-trace spans.jsonl] [-trace-chrome trace.json]
 //	         [-debug-addr 127.0.0.1:6060] [-metrics]
 //	edgetune -job job.json
@@ -47,6 +48,9 @@ func run(args []string, out io.Writer) error {
 		noInference  = fs.Bool("no-inference", false, "disable the inference tuning server")
 		stopAtTarget = fs.Bool("stop-at-target", false, "stop once the target accuracy is reached")
 		storePath    = fs.String("store", "", "persist the historical inference database to this JSON file")
+		storeWAL     = fs.Bool("store-wal", false, "make the store crash-consistent: journal every mutation to a checksummed write-ahead log (requires -store)")
+		storeSnapEv  = fs.Int("store-snapshot-every", 0, "compact the WAL into a fresh snapshot every N records (default 256)")
+		storeKill    = fs.Int("store-kill-after", 0, "chaos: kill the process (exit 3) right after the Nth acknowledged WAL append")
 		seed         = fs.Uint64("seed", 1, "random seed (jobs are deterministic per seed)")
 		asJSON       = fs.Bool("json", false, "print the report as JSON")
 
@@ -59,6 +63,11 @@ func run(args []string, out io.Writer) error {
 		faultOverload   = fs.Float64("fault-overload", 0, "probability an inference submission is shed by a synthetic overload burst")
 		faultStoreWrite = fs.Float64("fault-store-write", 0, "probability a historical-store write fails")
 		faultDrop       = fs.Float64("fault-drop", 0, "probability an inference reply is lost in flight")
+		faultDiskTorn   = fs.Float64("fault-disk-torn", 0, "probability a durable-store disk write is torn short")
+		faultDiskCrash  = fs.Float64("fault-disk-crash", 0, "probability a durable-store disk write half-lands and kills the disk")
+		faultDiskFlip   = fs.Float64("fault-disk-flip", 0, "probability a durable-store disk write is silently bit-flipped")
+		faultDiskFull   = fs.Float64("fault-disk-full", 0, "probability a durable-store disk write fails with ENOSPC")
+		faultDiskFsync  = fs.Float64("fault-disk-slow-fsync", 0, "probability a durable-store fsync stalls (succeeds slowly)")
 		maxAttempts     = fs.Int("max-attempts", 0, "retry cap per training trial under faults (default 3)")
 		checkpoint      = fs.Bool("checkpoint", false, "checkpoint completed rungs for resumable tuning")
 
@@ -93,17 +102,20 @@ func run(args []string, out io.Writer) error {
 		}
 	} else {
 		job = edgetune.Job{
-			Workload:           *workloadID,
-			Device:             *deviceName,
-			Budget:             edgetune.BudgetKind(*budgetKind),
-			Metric:             edgetune.Metric(*metric),
-			ModelAlgorithm:     edgetune.Algorithm(*modelAlgo),
-			InferenceAlgorithm: edgetune.Algorithm(*inferAlgo),
-			Hierarchical:       *hierarchical,
-			WithoutInference:   *noInference,
-			StopAtTarget:       *stopAtTarget,
-			StorePath:          *storePath,
-			Seed:               *seed,
+			Workload:              *workloadID,
+			Device:                *deviceName,
+			Budget:                edgetune.BudgetKind(*budgetKind),
+			Metric:                edgetune.Metric(*metric),
+			ModelAlgorithm:        edgetune.Algorithm(*modelAlgo),
+			InferenceAlgorithm:    edgetune.Algorithm(*inferAlgo),
+			Hierarchical:          *hierarchical,
+			WithoutInference:      *noInference,
+			StopAtTarget:          *stopAtTarget,
+			StorePath:             *storePath,
+			StoreWAL:              *storeWAL,
+			StoreSnapshotEvery:    *storeSnapEv,
+			StoreKillAfterAppends: *storeKill,
+			Seed:                  *seed,
 			Faults: edgetune.FaultConfig{
 				TrialCrash:     *faultCrash,
 				TrialNaN:       *faultNaN,
@@ -114,6 +126,11 @@ func run(args []string, out io.Writer) error {
 				OverloadBurst:  *faultOverload,
 				StoreWrite:     *faultStoreWrite,
 				DroppedReply:   *faultDrop,
+				DiskTornWrite:  *faultDiskTorn,
+				DiskCrash:      *faultDiskCrash,
+				DiskBitFlip:    *faultDiskFlip,
+				DiskFull:       *faultDiskFull,
+				DiskSlowFsync:  *faultDiskFsync,
 			},
 			MaxTrialAttempts: *maxAttempts,
 			Checkpoint:       *checkpoint,
@@ -183,6 +200,10 @@ func printReport(out io.Writer, r *edgetune.Report) {
 		r.Workload, r.Device, r.Metric)
 	fmt.Fprintf(out, "  trials run:        %d (cache hits/misses: %d/%d)\n",
 		r.TrialsRun, r.CacheHits, r.CacheMisses)
+	if sr := r.StoreRecovery; sr != nil {
+		fmt.Fprintf(out, "  store recovery:    %s snapshot, %d replayed, %d quarantined, %d bytes truncated → %d entries, %d checkpoints\n",
+			sr.SnapshotSource, sr.RecordsReplayed, sr.RecordsQuarantined, sr.TruncatedBytes, sr.Entries, sr.Checkpoints)
+	}
 	fmt.Fprintf(out, "  tuning cost:       %.1f simulated minutes, %.1f kJ\n",
 		r.TuningMinutes, r.TuningEnergyKJ)
 	fmt.Fprintf(out, "  best accuracy:     %.3f (max observed %.3f, target reached: %v)\n",

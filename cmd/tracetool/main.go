@@ -1,16 +1,18 @@
 // Command tracetool consumes the pipeline's observability artefacts:
 // it analyses JSONL span traces ("where did the time go?"), diffs two
-// same-workload traces span-class by span-class, and gates CI on
-// benchtab wall-time regressions.
+// same-workload traces span-class by span-class, gates CI on benchtab
+// wall-time regressions, and scrubs durable-store files for
+// corruption.
 //
 // Usage:
 //
 //	tracetool analyze [-json] trace.jsonl
 //	tracetool diff [-threshold 0.10] a.jsonl b.jsonl
 //	tracetool check-bench [-tolerance 0.5] [-min-seconds 1] -baseline BENCH_old.json current.json
+//	tracetool store verify [-json] [-wal store.json.wal] store.json
 //
 // Exit codes: 0 clean, 1 usage or I/O error, 2 gate failure (flagged
-// diff deltas or a wall-time regression).
+// diff deltas, a wall-time regression, or store corruption).
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 
 	"edgetune/internal/obs/analyze"
+	"edgetune/internal/store"
 )
 
 // errGate marks a gate failure (exit 2): the tool worked, the input
@@ -52,9 +55,76 @@ func run(args []string, out io.Writer) error {
 		return runDiff(args[1:], out)
 	case "check-bench":
 		return runCheckBench(args[1:], out)
+	case "store":
+		return runStore(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want analyze, diff, or check-bench)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want analyze, diff, check-bench, or store)", args[0])
 	}
+}
+
+// runStore dispatches the store maintenance subcommands.
+func runStore(args []string, out io.Writer) error {
+	if len(args) == 0 || args[0] != "verify" {
+		return errors.New("usage: tracetool store verify [-json] [-wal path] store.json")
+	}
+	return runStoreVerify(args[1:], out)
+}
+
+// runStoreVerify scrubs a durable store's on-disk files read-only:
+// snapshot generations, WAL framing and checksums, torn tails. Exit 2
+// when anything is corrupt — the same gate semantics as diff.
+func runStoreVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool store verify", flag.ContinueOnError)
+	var (
+		asJSON  = fs.Bool("json", false, "emit the scrub report as JSON instead of text")
+		walPath = fs.String("wal", "", "write-ahead log path (default <store>.wal)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: tracetool store verify [-json] [-wal path] store.json")
+	}
+	rep, err := store.Scrub(nil, fs.Arg(0), *walPath)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		snap := "missing"
+		switch {
+		case rep.SnapshotPresent && rep.SnapshotValid:
+			snap = "valid"
+		case rep.SnapshotPresent:
+			snap = "CORRUPT: " + rep.SnapshotError
+		}
+		fmt.Fprintf(out, "snapshot %-40s %s\n", rep.SnapshotPath, snap)
+		if rep.PrevPresent {
+			prev := "valid"
+			if !rep.PrevValid {
+				prev = "CORRUPT"
+			}
+			fmt.Fprintf(out, "previous %-40s %s\n", rep.SnapshotPath+".prev", prev)
+		}
+		if rep.WALPresent {
+			fmt.Fprintf(out, "wal      %-40s %d records, %d quarantined, %d torn bytes\n",
+				rep.WALPath, rep.WALRecords, rep.WALQuarantined, rep.WALTornBytes)
+		} else {
+			fmt.Fprintf(out, "wal      %-40s missing\n", rep.WALPath)
+		}
+		fmt.Fprintf(out, "state    %d entries, %d checkpoints\n", rep.Entries, rep.Checkpoints)
+	}
+	if !rep.Clean {
+		return fmt.Errorf("%w: store has corruption (snapshot valid=%v, %d quarantined records, %d torn bytes)",
+			errGate, !rep.SnapshotPresent || rep.SnapshotValid, rep.WALQuarantined, rep.WALTornBytes)
+	}
+	fmt.Fprintln(out, "clean")
+	return nil
 }
 
 func runAnalyze(args []string, out io.Writer) error {

@@ -132,6 +132,25 @@ type Job struct {
 	// StorePath optionally persists the historical inference-tuning
 	// database across jobs (§3.4).
 	StorePath string
+	// StoreWAL layers the crash-consistent durability subsystem over
+	// StorePath: every store mutation is appended to a per-record
+	// checksummed write-ahead log (StorePath + ".wal") and fsynced
+	// before it is acknowledged, the log is periodically compacted into
+	// the snapshot, and opening the job recovers whatever a previous
+	// crash left behind — torn tails truncated, corrupt records
+	// quarantined, the salvage reported in Report.StoreRecovery.
+	// Requires StorePath.
+	StoreWAL bool
+	// StoreSnapshotEvery compacts the WAL into a fresh snapshot once
+	// this many records accumulate (default 256; negative disables
+	// periodic compaction). Only meaningful with StoreWAL.
+	StoreSnapshotEvery int
+	// StoreKillAfterAppends, when positive, terminates the whole
+	// process (exit code store.KillExitCode) immediately after the Nth
+	// durably acknowledged WAL append — the chaos hook the
+	// crash/restart harness uses to prove recovery. Only meaningful
+	// with StoreWAL.
+	StoreKillAfterAppends int
 	// Seed drives all randomised components; jobs are fully
 	// deterministic given a seed.
 	Seed uint64
@@ -189,6 +208,22 @@ type FaultConfig struct {
 	StoreWrite float64
 	// DroppedReply loses an inference server reply in flight.
 	DroppedReply float64
+	// The disk classes fire per filesystem operation of the durable
+	// store (StoreWAL), emulating flaky edge flash: DiskTornWrite cuts
+	// a write short, DiskCrash writes half a record and kills the disk,
+	// DiskBitFlip silently corrupts one written byte, DiskFull fails a
+	// write with ENOSPC, DiskSlowFsync stalls (but completes) an fsync.
+	DiskTornWrite float64
+	DiskCrash     float64
+	DiskBitFlip   float64
+	DiskFull      float64
+	DiskSlowFsync float64
+}
+
+// anyDisk reports whether any disk-fault class is enabled.
+func (f FaultConfig) anyDisk() bool {
+	return f.DiskTornWrite > 0 || f.DiskCrash > 0 || f.DiskBitFlip > 0 ||
+		f.DiskFull > 0 || f.DiskSlowFsync > 0
 }
 
 func (f FaultConfig) toInternal() fault.Config {
@@ -203,6 +238,11 @@ func (f FaultConfig) toInternal() fault.Config {
 		OverloadBurst:   f.OverloadBurst,
 		StoreWrite:      f.StoreWrite,
 		DroppedReply:    f.DroppedReply,
+		DiskTornWrite:   f.DiskTornWrite,
+		DiskCrash:       f.DiskCrash,
+		DiskBitFlip:     f.DiskBitFlip,
+		DiskFull:        f.DiskFull,
+		DiskSlowFsync:   f.DiskSlowFsync,
 	}
 }
 
@@ -316,6 +356,29 @@ type Report struct {
 	// overload rejections, trial budget overruns) with multi-window
 	// burn-rate alerts over the simulated clock.
 	SLO SLOReport
+	// StoreRecovery describes what opening the durable store salvaged
+	// from a previous crash (nil without StoreWAL).
+	StoreRecovery *StoreRecovery
+}
+
+// StoreRecovery reports a durable store's crash-recovery salvage: how
+// the state was reconstructed and what could not be kept.
+type StoreRecovery struct {
+	// SnapshotSource is which snapshot generation seeded the state:
+	// "snapshot", "previous" (the compaction fallback), or "none".
+	SnapshotSource string
+	// SnapshotQuarantined marks a corrupt snapshot moved aside to
+	// .quarantine rather than deleted.
+	SnapshotQuarantined bool
+	// RecordsReplayed counts WAL records applied over the snapshot;
+	// RecordsQuarantined counts corrupt records preserved in the
+	// .quarantine sidecar; TruncatedBytes is the torn tail cut off.
+	RecordsReplayed    int
+	RecordsQuarantined int
+	TruncatedBytes     int64
+	// Entries and Checkpoints are the recovered logical state.
+	Entries     int
+	Checkpoints int
 }
 
 // SLOWindowBurn is one alert window's burn evaluation.
@@ -428,20 +491,49 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 		}
 	}
 
-	var st *store.Store
-	if job.StorePath != "" {
-		st, err = loadOrNewStore(job.StorePath)
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	var tracer *obs.Tracer
 	if job.TracePath != "" || job.TraceChromePath != "" || job.DebugAddr != "" {
 		tracer = obs.NewTracer()
 	}
 	reg := obs.NewRegistry()
 	ev := slo.NewEvaluator()
+
+	if job.StoreWAL && job.StorePath == "" {
+		return nil, fmt.Errorf("edgetune: StoreWAL requires StorePath")
+	}
+	var st *store.Store
+	var dur *store.Durable
+	if job.StorePath != "" {
+		if job.StoreWAL {
+			var sfs store.FS = store.OSFS{}
+			if job.Faults.anyDisk() {
+				inj, ierr := fault.NewInjector(job.Faults.toInternal(), job.Seed, counters.NewResilienceOn(reg))
+				if ierr != nil {
+					return nil, ierr
+				}
+				sfs = fault.NewFS(sfs, inj)
+			}
+			dur, err = store.OpenDurable(store.DurableOptions{
+				SnapshotPath:     job.StorePath,
+				SnapshotEvery:    job.StoreSnapshotEvery,
+				FS:               sfs,
+				Metrics:          reg,
+				SLO:              ev,
+				Trace:            tracer,
+				KillAfterAppends: job.StoreKillAfterAppends,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("edgetune: open durable store: %w", err)
+			}
+			defer dur.Close()
+			st = dur.Store()
+		} else {
+			st, err = loadOrNewStore(job.StorePath)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 	if job.DebugAddr != "" {
 		dbg, derr := obs.StartDebugServerOpts(job.DebugAddr, obs.DebugOptions{
 			Registry: reg,
@@ -496,7 +588,13 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 	}
 
 	if job.StorePath != "" && st != nil {
-		if err := st.Save(job.StorePath); err != nil {
+		if dur != nil {
+			// Close compacts the WAL into a final snapshot; the deferred
+			// second Close is an idempotent no-op.
+			if err := dur.Close(); err != nil {
+				return nil, fmt.Errorf("edgetune: persist store: %w", err)
+			}
+		} else if err := st.Save(job.StorePath); err != nil {
 			return nil, fmt.Errorf("edgetune: persist store: %w", err)
 		}
 	}
@@ -510,7 +608,20 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 			return nil, fmt.Errorf("edgetune: write chrome trace: %w", err)
 		}
 	}
-	return buildReport(res), nil
+	rep := buildReport(res)
+	if dur != nil {
+		rr := dur.Recovery()
+		rep.StoreRecovery = &StoreRecovery{
+			SnapshotSource:      rr.SnapshotSource,
+			SnapshotQuarantined: rr.SnapshotQuarantined,
+			RecordsReplayed:     rr.RecordsReplayed,
+			RecordsQuarantined:  rr.RecordsQuarantined,
+			TruncatedBytes:      rr.TruncatedBytes,
+			Entries:             rr.Entries,
+			Checkpoints:         rr.Checkpoints,
+		}
+	}
+	return rep, nil
 }
 
 func buildReport(res core.Result) *Report {

@@ -198,7 +198,9 @@ func TestTuneFaultValidation(t *testing.T) {
 }
 
 // TestTuneCheckpointJobCompletes: a checkpointing job with a persisted
-// store finishes cleanly and retires its checkpoint from the file.
+// store finishes cleanly and leaves a durable completion marker — the
+// final checkpoint — so a rerun of the identical job restores the
+// outcome instead of re-tuning.
 func TestTuneCheckpointJobCompletes(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "history.json")
 	job := quickJob()
@@ -215,17 +217,23 @@ func TestTuneCheckpointJobCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if keys := st.CheckpointKeys(); len(keys) != 0 {
-		t.Errorf("completed job left checkpoints behind: %v", keys)
+	if keys := st.CheckpointKeys(); len(keys) != 1 {
+		t.Errorf("completion checkpoint not persisted: %v", keys)
 	}
-	// Re-running the identical job must not be confused by the
-	// persisted store.
+	// Re-running the identical job restores the completed checkpoint:
+	// same outcome, zero store misses, zero re-executed work.
 	again, err := Tune(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if again.CacheMisses != 0 {
 		t.Errorf("second run missed the persisted store %d times", again.CacheMisses)
+	}
+	if again.Resilience.ResumedRungs == 0 {
+		t.Error("second run did not restore the completed checkpoint")
+	}
+	if again.BestAccuracy != rep.BestAccuracy {
+		t.Errorf("restored outcome diverged: %v != %v", again.BestAccuracy, rep.BestAccuracy)
 	}
 }
 

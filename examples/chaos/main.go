@@ -4,23 +4,43 @@
 // rides it out with retries, a circuit breaker, and degraded fallbacks
 // while still producing a recommendation. Re-running with the same seed
 // replays the exact same faults and the exact same report.
+//
+// With -store and -wal the job runs on the crash-consistent durable
+// store, and -kill-after N turns the binary into a crash harness: the
+// process dies (exit 3) right after the Nth acknowledged WAL append.
+// Restart it with the same flags until it exits 0 — every restart
+// recovers from disk, resumes from the last completed rung, and the
+// final "digest:" line matches an uninterrupted same-seed run. That
+// loop is the CI crash-recovery gate.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
+	"sort"
 
 	"edgetune"
 )
 
 func main() {
+	var (
+		seed          = flag.Uint64("seed", 42, "job seed (faults and results replay exactly per seed)")
+		storePath     = flag.String("store", "", "persist the historical store to this JSON file")
+		wal           = flag.Bool("wal", false, "use the crash-consistent WAL-backed store (requires -store)")
+		snapshotEvery = flag.Int("snapshot-every", 0, "WAL records between snapshot compactions (default 256)")
+		killAfter     = flag.Int("kill-after", 0, "chaos: kill the process (exit 3) after the Nth acknowledged WAL append")
+	)
+	flag.Parse()
+
 	report, err := edgetune.Tune(context.Background(), edgetune.Job{
 		Workload: "IC",
 		Configs:  4,
 		Rungs:    4,
 		Brackets: 2,
-		Seed:     42,
+		Seed:     *seed,
 		Faults: edgetune.FaultConfig{
 			TrialCrash:   0.15, // trials die partway through training
 			TrialNaN:     0.05, // trials diverge after a full budget
@@ -29,7 +49,11 @@ func main() {
 			StoreWrite:   0.10, // the historical store loses writes
 			DroppedReply: 0.15, // inference replies vanish in flight
 		},
-		Checkpoint: true, // completed rungs survive a kill
+		Checkpoint:            true, // completed rungs survive a kill
+		StorePath:             *storePath,
+		StoreWAL:              *wal,
+		StoreSnapshotEvery:    *snapshotEvery,
+		StoreKillAfterAppends: *killAfter,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -37,6 +61,11 @@ func main() {
 
 	fmt.Printf("tuned %s through the chaos: %d trials, %.1f simulated minutes\n",
 		report.Workload, report.TrialsRun, report.TuningMinutes)
+
+	if sr := report.StoreRecovery; sr != nil {
+		fmt.Printf("store recovery: %s snapshot, %d replayed, %d quarantined, %d bytes truncated\n",
+			sr.SnapshotSource, sr.RecordsReplayed, sr.RecordsQuarantined, sr.TruncatedBytes)
+	}
 
 	res := report.Resilience
 	fmt.Printf("\nfaults injected: %d\n", res.TotalFaults)
@@ -46,6 +75,9 @@ func main() {
 	fmt.Printf("retries: %d, degraded outcomes: %d\n", res.Retries, res.Degraded)
 	fmt.Printf("breaker transitions (open/half-open/close): %d/%d/%d\n",
 		res.BreakerOpens, res.BreakerHalfOpens, res.BreakerCloses)
+	if res.ResumedRungs > 0 {
+		fmt.Printf("resumed rungs: %d\n", res.ResumedRungs)
+	}
 
 	rec := report.Recommendation
 	suffix := ""
@@ -54,4 +86,26 @@ func main() {
 	}
 	fmt.Printf("\nstill recommends%s: batch %d, %d cores at %.2f GHz on %s\n",
 		suffix, rec.BatchSize, rec.Cores, rec.FrequencyGHz, rec.Device)
+	fmt.Printf("digest: %s\n", digest(report))
+}
+
+// digest condenses the job outcome — winning configuration and the
+// inference recommendation — into a hash, so the crash/restart harness
+// can assert that a killed-and-resumed run converges to exactly the
+// same answer as an uninterrupted one.
+func digest(r *edgetune.Report) string {
+	h := fnv.New64a()
+	keys := make([]string, 0, len(r.BestConfig))
+	for k := range r.BestConfig {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%.9g;", k, r.BestConfig[k])
+	}
+	fmt.Fprintf(h, "acc=%.9g;", r.BestAccuracy)
+	rec := r.Recommendation
+	fmt.Fprintf(h, "rec=%s/%d/%d/%.9g/%.9g/%.9g/%.9g", rec.Device, rec.BatchSize,
+		rec.Cores, rec.FrequencyGHz, rec.Throughput, rec.EnergyPerSampleJ, rec.LatencySeconds)
+	return fmt.Sprintf("%016x", h.Sum64())
 }

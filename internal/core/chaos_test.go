@@ -274,9 +274,27 @@ func TestTuneCheckpointResume(t *testing.T) {
 	if resumed.Recommendation.Signature == "" {
 		t.Error("resumed run produced no recommendation")
 	}
-	// A successful run retires its checkpoint.
-	if keys := st.CheckpointKeys(); len(keys) != 0 {
-		t.Errorf("checkpoint not cleared after success: %v", keys)
+	// A successful run keeps its final checkpoint as a durable
+	// completion marker (so a crash-looping restart converges instead
+	// of re-running the schedule); rerunning the identical job must
+	// restore it and re-execute nothing.
+	if keys := st.CheckpointKeys(); len(keys) != 1 {
+		t.Errorf("completion checkpoint not retained: %v", keys)
+	}
+	rerun, err := Tune(context.Background(), makeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored resilience snapshot is cumulative, so the rerun
+	// reports at least the full schedule (plus the earlier resume's 2).
+	if rerun.Resilience.ResumedRungs < int64(2*smallOptions("IC").Rungs) {
+		t.Errorf("rerun resumed %d rungs, want at least the full schedule", rerun.Resilience.ResumedRungs)
+	}
+	if rerun.TrialsRun != full.TrialsRun {
+		t.Errorf("rerun reports %d trials, want the restored %d", rerun.TrialsRun, full.TrialsRun)
+	}
+	if !reflect.DeepEqual(rerun.BestConfig, resumed.BestConfig) {
+		t.Errorf("rerun best config %v != %v", rerun.BestConfig, resumed.BestConfig)
 	}
 }
 
@@ -360,8 +378,8 @@ func TestTuneCheckpointSurvivesKill(t *testing.T) {
 	if resumed.TrialsRun <= partial.TrialsRun {
 		t.Error("resume from disk did not continue the schedule")
 	}
-	if keys := loaded.CheckpointKeys(); len(keys) != 0 {
-		t.Errorf("checkpoint not cleared: %v", keys)
+	if keys := loaded.CheckpointKeys(); len(keys) != 1 {
+		t.Errorf("completion checkpoint not retained: %v", keys)
 	}
 }
 

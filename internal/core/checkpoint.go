@@ -11,7 +11,9 @@ import (
 
 // checkpointVersion guards the serialized layout; a mismatch discards
 // the checkpoint rather than resuming from incompatible state.
-const checkpointVersion = 1
+// Version 2 added the sampler stream position, which convergence
+// depends on — version-1 checkpoints are not resumed.
+const checkpointVersion = 2
 
 // cpMember is one surviving population member at a checkpoint.
 type cpMember struct {
@@ -48,6 +50,12 @@ type tuneCheckpoint struct {
 	BestMeets    bool          `json:"bestMeets"`
 
 	Resilience counters.ResilienceSnapshot `json:"resilience"`
+
+	// Sampler is the proposal stream's position (RNG state or sequence
+	// cursor). Without it a resumed run re-seeds the sampler from
+	// scratch and the next bracket's population diverges from the
+	// uninterrupted run's — breaking crash/restart convergence.
+	Sampler *search.SamplerState `json:"sampler,omitempty"`
 }
 
 // checkpointKey identifies a job's checkpoint slot: resuming is only

@@ -324,6 +324,10 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 	res.Device = opts.Device.Profile.Name
 	res.Metric = opts.Metric
 
+	// Hit/miss counters persist across restarts with a durable store,
+	// so the result reports this run's delta, not lifetime totals.
+	startHits, startMisses := opts.Store.Stats()
+
 	recd := counters.NewResilienceOn(opts.Metrics)
 	reg := recd.Registry()
 	defer func() {
@@ -479,6 +483,14 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			}
 			recd.Restore(cp.Resilience)
 			recd.AddResumedRungs(int64(cp.Bracket*opts.Rungs + cp.NextRung))
+			// Restore the proposal stream AFTER replaying observations:
+			// the resumed sampler must draw exactly what the
+			// uninterrupted run would have drawn next.
+			if cp.Sampler != nil {
+				if rs, ok := sampler.(search.Resumable); ok {
+					rs.RestoreSamplerState(*cp.Sampler)
+				}
+			}
 		}
 	}
 
@@ -608,6 +620,10 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 					cp.BestAccuracy = best.acc
 					cp.BestMeets = best.meets
 				}
+				if rs, ok := sampler.(search.Resumable); ok {
+					state := rs.SamplerState()
+					cp.Sampler = &state
+				}
 				if infSrv != nil {
 					// The checkpoint must capture every completed
 					// inference result, not leave some in the server's
@@ -679,18 +695,23 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 		}
 	}
 
-	if opts.Checkpoint {
-		opts.Store.ClearCheckpoint(cpKey)
-		if opts.CheckpointPath != "" {
-			if err := opts.Store.Save(opts.CheckpointPath); err != nil {
-				return res, err
-			}
+	// The final checkpoint (Bracket == MaxBrackets) is kept as a durable
+	// completion marker, not cleared: a rerun of the same job restores
+	// it, skips the whole schedule, and re-executes nothing — the
+	// job-level analogue of the store's never-re-tune-twice contract.
+	// Clearing it here would open a crash window in which a process
+	// killed between the clear and its exit leaves no resume state and
+	// repeats the entire run; a deterministic crash loop (same kill
+	// point every restart) then never terminates.
+	if opts.Checkpoint && opts.CheckpointPath != "" {
+		if err := opts.Store.Save(opts.CheckpointPath); err != nil {
+			return res, err
 		}
 	}
 
 	hits, misses := opts.Store.Stats()
-	res.CacheHits = hits
-	res.CacheMisses = misses
+	res.CacheHits = hits - startHits
+	res.CacheMisses = misses - startMisses
 	res.InferTuningDuration, res.ContainmentViolations = containment(res.Trials)
 	return res, nil
 }

@@ -49,11 +49,28 @@ const (
 	// (a synthetic traffic spike), exercising the typed ErrOverloaded
 	// path deterministically.
 	OverloadBurst Class = "overload-burst"
+	// DiskTornWrite cuts one filesystem write short (power loss mid
+	// append): a prefix of the data lands on disk and the write reports
+	// failure.
+	DiskTornWrite Class = "disk-torn-write"
+	// DiskCrash writes a partial record and then kills the emulated disk
+	// for good — every later operation on that filesystem fails, the
+	// file-level equivalent of yanking the power cord.
+	DiskCrash Class = "disk-crash"
+	// DiskBitFlip silently corrupts one byte of a write that then
+	// reports success (flash bit rot); only checksum verification at
+	// recovery can catch it.
+	DiskBitFlip Class = "disk-bit-flip"
+	// DiskFull fails a write with ENOSPC, leaving nothing on disk.
+	DiskFull Class = "disk-full"
+	// DiskSlowFsync makes one fsync slow (counted, not failed) — flash
+	// garbage collection stalling the write path.
+	DiskSlowFsync Class = "disk-slow-fsync"
 )
 
 // Classes lists every fault class in deterministic order.
 func Classes() []Class {
-	return []Class{DeviceBrownout, DeviceFlap, DroppedReply, OverloadBurst, StoreWrite, Straggler, TrialCrash, TrialNaN}
+	return []Class{DeviceBrownout, DeviceFlap, DiskBitFlip, DiskCrash, DiskFull, DiskSlowFsync, DiskTornWrite, DroppedReply, OverloadBurst, StoreWrite, Straggler, TrialCrash, TrialNaN}
 }
 
 // Config holds per-class injection probabilities in [0, 1].
@@ -80,6 +97,16 @@ type Config struct {
 	// OverloadBurst fires per inference submission at the admission
 	// gate, shedding the request with ErrOverloaded.
 	OverloadBurst float64 `json:"overloadBurst,omitempty"`
+	// The disk classes fire per filesystem operation of a fault.FS:
+	// DiskTornWrite and DiskFull fail individual writes (partial data
+	// and ENOSPC respectively), DiskCrash kills the filesystem for the
+	// rest of the run, DiskBitFlip silently corrupts one written byte,
+	// DiskSlowFsync records a stalled fsync without failing it.
+	DiskTornWrite float64 `json:"diskTornWrite,omitempty"`
+	DiskCrash     float64 `json:"diskCrash,omitempty"`
+	DiskBitFlip   float64 `json:"diskBitFlip,omitempty"`
+	DiskFull      float64 `json:"diskFull,omitempty"`
+	DiskSlowFsync float64 `json:"diskSlowFsync,omitempty"`
 }
 
 // Enabled reports whether any class has a non-zero probability.
@@ -126,6 +153,16 @@ func (c Config) prob(class Class) float64 {
 		return c.DeviceBrownout
 	case OverloadBurst:
 		return c.OverloadBurst
+	case DiskTornWrite:
+		return c.DiskTornWrite
+	case DiskCrash:
+		return c.DiskCrash
+	case DiskBitFlip:
+		return c.DiskBitFlip
+	case DiskFull:
+		return c.DiskFull
+	case DiskSlowFsync:
+		return c.DiskSlowFsync
 	default:
 		return 0
 	}

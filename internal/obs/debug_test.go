@@ -196,3 +196,34 @@ func TestDebugServerNilSafety(t *testing.T) {
 		t.Fatalf("nil Close: %v", err)
 	}
 }
+
+// TestPrometheusStoreRecoveryNames: the durability layer's counter
+// names (dots and dashes) sanitise to legal Prometheus metric names
+// and keep the original spelling in HELP.
+func TestPrometheusStoreRecoveryNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("store.recovery.replayed").Add(7)
+	reg.Counter("store.recovery.quarantined").Add(2)
+	reg.Counter("store.recovery.truncated-bytes").Add(13)
+	reg.Counter("store.wal.append-errors").Add(1)
+	reg.Counter("store.writebehind.flush-errors").Add(3)
+
+	var prom strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	for _, want := range []string{
+		"store_recovery_replayed 7",
+		"store_recovery_quarantined 2",
+		"store_recovery_truncated_bytes 13",
+		"store_wal_append_errors 1",
+		"store_writebehind_flush_errors 3",
+		"# HELP store_recovery_truncated_bytes store.recovery.truncated-bytes",
+		"# TYPE store_wal_append_errors counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics/prom missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -37,12 +37,14 @@ import (
 const (
 	TrackTuner   = 1
 	TrackServing = 2
+	TrackStore   = 3
 )
 
 // trackNames label the tracks in the Chrome trace metadata.
 var trackNames = map[int]string{
 	TrackTuner:   "model-tuning",
 	TrackServing: "inference-serving",
+	TrackStore:   "historical-store",
 }
 
 // SpanID identifies a span; 0 means "no parent".

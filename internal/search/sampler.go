@@ -29,6 +29,23 @@ type Sampler interface {
 	Observe(obs Observation)
 }
 
+// SamplerState is the serializable position of a sampler's proposal
+// stream. Checkpointing it lets a killed-and-restarted search draw the
+// same future configurations an uninterrupted run would — observations
+// are replayed from the trial log, but the stream position (RNG state
+// or sequence cursor) exists nowhere else.
+type SamplerState struct {
+	RNG    sim.RNGState `json:"rng"`
+	Cursor int          `json:"cursor,omitempty"`
+}
+
+// Resumable is implemented by samplers whose proposal stream can be
+// checkpointed and restored.
+type Resumable interface {
+	SamplerState() SamplerState
+	RestoreSamplerState(SamplerState)
+}
+
 // --- Random search -------------------------------------------------------
 
 // RandomSampler draws configurations uniformly (Bergstra & Bengio 2012),
@@ -56,6 +73,20 @@ func (r *RandomSampler) Sample() Config {
 
 // Observe is a no-op: random search does not learn.
 func (r *RandomSampler) Observe(Observation) {}
+
+// SamplerState implements Resumable.
+func (r *RandomSampler) SamplerState() SamplerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return SamplerState{RNG: r.rng.State()}
+}
+
+// RestoreSamplerState implements Resumable.
+func (r *RandomSampler) RestoreSamplerState(s SamplerState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rng.SetState(s.RNG)
+}
 
 // --- Grid search ---------------------------------------------------------
 
@@ -120,6 +151,20 @@ func (g *GridSampler) Sample() Config {
 
 // Observe is a no-op: grid search does not learn.
 func (g *GridSampler) Observe(Observation) {}
+
+// SamplerState implements Resumable: the state is the lattice cursor.
+func (g *GridSampler) SamplerState() SamplerState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return SamplerState{Cursor: g.next}
+}
+
+// RestoreSamplerState implements Resumable.
+func (g *GridSampler) RestoreSamplerState(s SamplerState) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.next = s.Cursor
+}
 
 // Size returns the number of lattice points.
 func (g *GridSampler) Size() int { return len(g.grid) }
@@ -191,6 +236,22 @@ func (t *TPESampler) Observe(obs Observation) {
 		Budget: obs.Budget,
 	})
 	t.mu.Unlock()
+}
+
+// SamplerState implements Resumable. Observations are not part of the
+// state — the caller replays them from its trial log; only the RNG
+// position is otherwise unrecoverable.
+func (t *TPESampler) SamplerState() SamplerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return SamplerState{RNG: t.rng.State()}
+}
+
+// RestoreSamplerState implements Resumable.
+func (t *TPESampler) RestoreSamplerState(s SamplerState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rng.SetState(s.RNG)
 }
 
 // ObservationCount reports how many results the model has absorbed.

@@ -64,6 +64,20 @@ func (h *HaltonSampler) Sample() Config {
 // Observe is a no-op: quasi-random search does not learn.
 func (h *HaltonSampler) Observe(Observation) {}
 
+// SamplerState implements Resumable: the state is the sequence index.
+func (h *HaltonSampler) SamplerState() SamplerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return SamplerState{Cursor: h.index}
+}
+
+// RestoreSamplerState implements Resumable.
+func (h *HaltonSampler) RestoreSamplerState(s SamplerState) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.index = s.Cursor
+}
+
 // radicalInverse computes the base-b van der Corput radical inverse of n.
 func radicalInverse(n, base int) float64 {
 	var (

@@ -98,3 +98,25 @@ func (r *RNG) Perm(n int) []int {
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0x5851f42d4c957f2d)
 }
+
+// RNGState is the complete serializable state of an RNG, so a stream
+// can be checkpointed and resumed at exactly the same position — a
+// killed-and-restarted run must consume the same draws an uninterrupted
+// run would.
+type RNGState struct {
+	State    uint64  `json:"state"`
+	Spare    float64 `json:"spare,omitempty"`
+	HasSpare bool    `json:"has_spare,omitempty"`
+}
+
+// State snapshots the generator.
+func (r *RNG) State() RNGState {
+	return RNGState{State: r.state, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// SetState restores a snapshot taken with State.
+func (r *RNG) SetState(s RNGState) {
+	r.state = s.State
+	r.spare = s.Spare
+	r.hasSpare = s.HasSpare
+}

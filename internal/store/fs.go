@@ -1,0 +1,141 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// FS abstracts the handful of filesystem operations the durability
+// layer performs, so tests can inject disk faults — torn writes, bit
+// flips, ENOSPC, crashed devices — without touching real-filesystem
+// semantics. The production implementation is OSFS; the faulty one
+// lives in internal/fault.
+type FS interface {
+	// ReadFile reads the whole file (os.ReadFile semantics: a missing
+	// file returns an error wrapping fs.ErrNotExist).
+	ReadFile(path string) ([]byte, error)
+	// Create opens path for writing, truncating any existing content.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if missing.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes path (missing files are not an error).
+	Remove(path string) error
+	// Truncate cuts path down to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs the directory containing path, making a preceding
+	// rename or create durable against power loss.
+	SyncDir(path string) error
+	// Size reports the current length of path in bytes.
+	Size(path string) (int64, error)
+}
+
+// File is an open writable file: the durability layer only ever
+// appends or rewrites whole files, never seeks.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error {
+	err := os.Remove(path)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir implements FS. Directory fsync failures on filesystems that
+// do not support them (some network mounts) are ignored: the rename
+// itself already happened, only its power-loss durability is weaker.
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errIsUnsupportedSync(err) {
+		return err
+	}
+	return nil
+}
+
+// Size implements FS.
+func (OSFS) Size(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// errIsUnsupportedSync reports fsync errors that mean "this directory
+// cannot be synced here" (EINVAL from filesystems without directory
+// fsync), not "the data is lost".
+func errIsUnsupportedSync(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}
+
+// atomicWriteFile writes data to path so that a crash at any point
+// leaves either the old content or the new, never a torn mix: write to
+// a temp sibling, fsync it, rename over the target, fsync the parent
+// directory so the rename itself survives power loss.
+func atomicWriteFile(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: close %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: rename %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(path); err != nil {
+		return fmt.Errorf("store: fsync dir of %s: %w", path, err)
+	}
+	return nil
+}

@@ -10,7 +10,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 
@@ -56,6 +55,9 @@ type Store struct {
 	// crashed tuning run can resume from its last completed rung using
 	// the same persistence as the historical database.
 	checkpoints map[string]json.RawMessage
+	// dur, when set by OpenDurable, journals every mutation write-ahead
+	// (under mu, before the in-memory apply) and takes over Save.
+	dur *Durable
 }
 
 // New returns an empty store.
@@ -71,10 +73,15 @@ func (s *Store) Put(e Entry) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	e.Config = e.Config.Clone()
+	if s.dur != nil {
+		if err := s.dur.appendLocked(walRecord{Op: walOpPut, Entry: &e}); err != nil {
+			return err
+		}
+	}
 	if s.entries == nil {
 		s.entries = make(map[string]Entry)
 	}
-	e.Config = e.Config.Clone()
 	s.entries[e.key()] = e
 	return nil
 }
@@ -147,6 +154,12 @@ func (s *Store) SaveCheckpoint(key string, data []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dur != nil {
+		rec := walRecord{Op: walOpCheckpoint, Key: key, Data: append(json.RawMessage(nil), data...)}
+		if err := s.dur.appendLocked(rec); err != nil {
+			return err
+		}
+	}
 	if s.checkpoints == nil {
 		s.checkpoints = make(map[string]json.RawMessage)
 	}
@@ -170,6 +183,12 @@ func (s *Store) LoadCheckpoint(key string) ([]byte, bool) {
 func (s *Store) ClearCheckpoint(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dur != nil {
+		// Best effort: a failed log append here only means the clear may
+		// be replayed as a no-op delete after a crash; the in-memory
+		// clear (and the next compaction) still happens.
+		s.dur.appendLocked(walRecord{Op: walOpClear, Key: key})
+	}
 	delete(s.checkpoints, key)
 }
 
@@ -186,50 +205,85 @@ func (s *Store) CheckpointKeys() []string {
 }
 
 // storeFile is the on-disk representation: entries plus in-flight job
-// checkpoints. Load also accepts the legacy format, a bare entry array.
+// checkpoints and cache statistics. Load also accepts the legacy
+// format, a bare entry array.
 type storeFile struct {
 	Entries     []Entry                    `json:"entries"`
 	Checkpoints map[string]json.RawMessage `json:"checkpoints,omitempty"`
+	Stats       *storeStats                `json:"stats,omitempty"`
 }
 
-// Save writes the store as JSON to path (atomic rename).
-func (s *Store) Save(path string) error {
-	file := storeFile{Entries: s.Entries()}
-	s.mu.Lock()
+// storeStats persists the cache hit/miss counters across restarts.
+type storeStats struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// snapshotFileLocked builds the on-disk document from the current
+// state. Callers must hold s.mu.
+func (s *Store) snapshotFileLocked() storeFile {
+	file := storeFile{Entries: make([]Entry, 0, len(s.entries))}
+	for _, e := range s.entries {
+		e.Config = e.Config.Clone()
+		file.Entries = append(file.Entries, e)
+	}
+	sort.Slice(file.Entries, func(i, j int) bool { return file.Entries[i].key() < file.Entries[j].key() })
 	if len(s.checkpoints) > 0 {
 		file.Checkpoints = make(map[string]json.RawMessage, len(s.checkpoints))
 		for k, v := range s.checkpoints {
 			file.Checkpoints[k] = append(json.RawMessage(nil), v...)
 		}
 	}
+	if s.hits != 0 || s.misses != 0 {
+		file.Stats = &storeStats{Hits: s.hits, Misses: s.misses}
+	}
+	return file
+}
+
+// Save writes the store as JSON to path: write a temp sibling, fsync
+// it, rename over the target, fsync the parent directory — power-loss
+// safe even without the WAL. On a durable store (OpenDurable) the WAL
+// already holds every acknowledged mutation, so Save becomes "sync and
+// compact if due" and path is ignored in favour of the snapshot path.
+func (s *Store) Save(path string) error {
+	s.mu.Lock()
+	if s.dur != nil {
+		defer s.mu.Unlock()
+		return s.dur.persistLocked()
+	}
+	file := s.snapshotFileLocked()
 	s.mu.Unlock()
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: marshal: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("store: write %s: %w", tmp, err)
+	return atomicWriteFile(OSFS{}, path, data)
+}
+
+// parseStoreFile decodes an on-disk store document, accepting both the
+// current {entries, checkpoints, stats} format and the legacy
+// bare-array format.
+func parseStoreFile(data []byte) (storeFile, error) {
+	var file storeFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		// Legacy format: a bare entry array.
+		if legacyErr := json.Unmarshal(data, &file.Entries); legacyErr != nil {
+			return storeFile{}, err
+		}
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("store: rename: %w", err)
-	}
-	return nil
+	return file, nil
 }
 
 // Load reads a JSON store from path, accepting both the current
 // {entries, checkpoints} document and the legacy bare-array format.
 func Load(path string) (*Store, error) {
-	data, err := os.ReadFile(path)
+	data, err := OSFS{}.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: read %s: %w", path, err)
 	}
-	var file storeFile
-	if err := json.Unmarshal(data, &file); err != nil {
-		// Legacy format: a bare entry array.
-		if legacyErr := json.Unmarshal(data, &file.Entries); legacyErr != nil {
-			return nil, fmt.Errorf("store: parse %s: %w", path, err)
-		}
+	file, err := parseStoreFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: parse %s: %w", path, err)
 	}
 	s := New()
 	for _, e := range file.Entries {
@@ -241,6 +295,11 @@ func Load(path string) (*Store, error) {
 		if err := s.SaveCheckpoint(k, v); err != nil {
 			return nil, fmt.Errorf("store: invalid checkpoint in %s: %w", path, err)
 		}
+	}
+	if file.Stats != nil {
+		s.mu.Lock()
+		s.hits, s.misses = file.Stats.Hits, file.Stats.Misses
+		s.mu.Unlock()
 	}
 	return s, nil
 }

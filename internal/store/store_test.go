@@ -379,3 +379,86 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Len = %d, want 4", s.Len())
 	}
 }
+
+// TestLegacyFileMigration round-trips a pre-WAL store file — the
+// {entries, checkpoints} document without a stats block — through
+// Load → Save → Load, asserting entries, checkpoints, and the hit/miss
+// counters accumulated in between all survive the migration to the
+// current format.
+func TestLegacyFileMigration(t *testing.T) {
+	dir := t.TempDir()
+	legacyPath := filepath.Join(dir, "legacy.json")
+	legacy := `{
+  "entries": [
+    {"signature": "IC/layers=18", "device": "i7",
+     "config": {"infer_batch": 8, "cores": 2},
+     "throughput": 42, "energyPerSampleJoules": 0.5,
+     "latencySeconds": 0.19, "objective": 0.0119, "trialsRun": 12},
+    {"signature": "OD/dropout=0.3", "device": "rpi3b+",
+     "config": {"infer_batch": 4, "cores": 4},
+     "throughput": 7, "energyPerSampleJoules": 1.1,
+     "latencySeconds": 0.6, "objective": 0.08, "trialsRun": 9}
+  ],
+  "checkpoints": {"job-a": {"rung": 2}}
+}`
+	if err := os.WriteFile(legacyPath, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(legacyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("legacy load: %d entries, want 2", s.Len())
+	}
+	if hits, misses := s.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("legacy load stats = %d/%d, want 0/0", hits, misses)
+	}
+	// Accumulate statistics, then migrate by saving in the new format.
+	s.Get("IC/layers=18", "i7")
+	s.Get("IC/layers=18", "i7")
+	s.Get("nope", "i7")
+	migrated := filepath.Join(dir, "migrated.json")
+	if err := s.Save(migrated); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(migrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Errorf("migrated load: %d entries, want 2", s2.Len())
+	}
+	got, err := s2.Get("OD/dropout=0.3", "rpi3b+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config["cores"] != 4 || got.Objective != 0.08 {
+		t.Errorf("migration mangled entry: %+v", got)
+	}
+	cp, ok := s2.LoadCheckpoint("job-a")
+	if !ok {
+		t.Fatal("checkpoint lost in migration")
+	}
+	var blob struct {
+		Rung int `json:"rung"`
+	}
+	if err := json.Unmarshal(cp, &blob); err != nil || blob.Rung != 2 {
+		t.Errorf("checkpoint after migration = %q (err %v), want rung 2", cp, err)
+	}
+	// The migrated-file stats must include the pre-save counters (plus
+	// the one Get above).
+	hits, misses := s2.Stats()
+	if hits != 3 || misses != 1 {
+		t.Errorf("stats after migration = %d/%d, want 3/1", hits, misses)
+	}
+	// And the migrated file opens as a durable store too.
+	d, err := OpenDurable(DurableOptions{SnapshotPath: migrated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Store().Len() != 2 {
+		t.Errorf("durable open of migrated file: %d entries, want 2", d.Store().Len())
+	}
+}

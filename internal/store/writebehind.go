@@ -29,6 +29,7 @@ type WriteBehind struct {
 	pending map[string]Entry
 	order   []string // insertion order, for deterministic flushes
 	closed  bool
+	lastErr error // most recent flush failure; cleared by a clean Flush
 
 	wake chan struct{}
 	stop chan struct{}
@@ -37,8 +38,9 @@ type WriteBehind struct {
 	// Registry instruments (nil = metrics off). Only Put-driven values
 	// are exported: flush-cycle counts depend on flusher scheduling and
 	// would break the byte-stable snapshot contract.
-	mWrites  *obs.Counter
-	mPending *obs.Gauge
+	mWrites    *obs.Counter
+	mPending   *obs.Gauge
+	mFlushErrs *obs.Counter
 }
 
 // NewWriteBehind wraps st with a write-behind buffer and starts its
@@ -67,6 +69,7 @@ func (w *WriteBehind) Instrument(reg *obs.Registry) {
 	w.mu.Lock()
 	w.mWrites = reg.Counter("store.writes")
 	w.mPending = reg.Gauge("store.writebehind.pending")
+	w.mFlushErrs = reg.Counter("store.writebehind.flush-errors")
 	w.mu.Unlock()
 }
 
@@ -131,7 +134,10 @@ func (w *WriteBehind) Pending() int {
 }
 
 // Flush synchronously drains every buffered entry into the store, in
-// insertion order.
+// insertion order. A failed Put does not lose data: the failing entry
+// and everything after it are re-queued (unless a newer Put for the
+// same key raced in), the failure is counted, and the error returned —
+// so a later Flush, or the one Close runs, retries them.
 func (w *WriteBehind) Flush() error {
 	w.mu.Lock()
 	keys := w.order
@@ -143,12 +149,49 @@ func (w *WriteBehind) Flush() error {
 	w.pending = make(map[string]Entry)
 	w.mPending.Set(0)
 	w.mu.Unlock()
-	for _, e := range entries {
+	for i, e := range entries {
 		if err := w.st.Put(e); err != nil {
+			w.requeue(entries[i:], err)
 			return err
 		}
 	}
+	w.mu.Lock()
+	w.lastErr = nil
+	w.mu.Unlock()
 	return nil
+}
+
+// LastFlushErr reports the most recent flush failure, or nil after a
+// flush that drained cleanly — how callers observe background-flusher
+// failures between explicit flushes.
+func (w *WriteBehind) LastFlushErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastErr
+}
+
+// requeue puts entries a failed flush could not persist back at the
+// front of the buffer, preserving their relative order. Entries the
+// caller overwrote while the flush ran keep the newer value.
+func (w *WriteBehind) requeue(entries []Entry, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mFlushErrs.Inc()
+	w.lastErr = err
+	if w.pending == nil {
+		w.pending = make(map[string]Entry)
+	}
+	order := make([]string, 0, len(entries)+len(w.order))
+	for _, e := range entries {
+		k := e.key()
+		if _, newer := w.pending[k]; newer {
+			continue
+		}
+		w.pending[k] = e
+		order = append(order, k)
+	}
+	w.order = append(order, w.order...)
+	w.mPending.Set(float64(len(w.pending)))
 }
 
 // Close stops the flusher and drains whatever is still buffered. It is
@@ -171,7 +214,10 @@ func (w *WriteBehind) flusher() {
 	for {
 		select {
 		case <-w.wake:
-			w.Flush() // Put pre-validates, so this cannot fail
+			// A failed flush is counted, re-queued, and retried by the
+			// next wake-up or the final Close-time flush, whose error
+			// reaches the caller (the server's Drain).
+			w.Flush()
 		case <-w.stop:
 			return
 		}

@@ -3,10 +3,12 @@ package store
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
+	"edgetune/internal/obs"
 	"edgetune/internal/testutil"
 )
 
@@ -163,5 +165,92 @@ func TestWriteBehindConcurrent(t *testing.T) {
 	}
 	if st.Len() != 400 {
 		t.Errorf("store has %d entries, want 400", st.Len())
+	}
+}
+
+// TestWriteBehindFlushErrorSurfaced drives the buffer against a store
+// whose writes fail (a closed durable store) and asserts the failure
+// is counted, the entries are re-queued rather than dropped, and the
+// error reaches the caller instead of vanishing in the background
+// flusher.
+func TestWriteBehindFlushErrorSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(DurableOptions{SnapshotPath: filepath.Join(dir, "store.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	wb := NewWriteBehind(d.Store())
+	wb.Instrument(reg)
+	if err := wb.Put(wbEntry("sig-a", "i7")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Flush(); err != nil {
+		t.Fatalf("flush to healthy store: %v", err)
+	}
+	if err := d.Close(); err != nil { // now every store write fails
+		t.Fatal(err)
+	}
+	if err := wb.Put(wbEntry("sig-b", "i7")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Put(wbEntry("sig-c", "i7")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Flush(); !errors.Is(err, ErrDurableClosed) {
+		t.Fatalf("Flush error = %v, want ErrDurableClosed", err)
+	}
+	if got := reg.Counter("store.writebehind.flush-errors").Value(); got == 0 {
+		t.Error("flush failure not counted")
+	}
+	if wb.LastFlushErr() == nil {
+		t.Error("LastFlushErr lost the failure")
+	}
+	// Nothing dropped: both entries are back in the buffer, in order.
+	if wb.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2 re-queued entries", wb.Pending())
+	}
+	// The drain path (Close) surfaces the error instead of swallowing
+	// it — what the server's Drain(ctx) relies on.
+	if err := wb.Close(); !errors.Is(err, ErrDurableClosed) {
+		t.Errorf("Close error = %v, want ErrDurableClosed", err)
+	}
+}
+
+// TestWriteBehindRequeuePreservesOrderAndNewerWrites checks the
+// re-queue merge: failed entries go back to the front, but an entry
+// the caller overwrote while the flush was failing keeps its newer
+// value.
+func TestWriteBehindRequeuePreservesOrderAndNewerWrites(t *testing.T) {
+	st := New()
+	wb := NewWriteBehind(st)
+	old := wbEntry("sig-a", "i7")
+	old.Throughput = 1
+	fresh := wbEntry("sig-a", "i7")
+	fresh.Throughput = 2
+	// Simulate the race: the flush drained {old}, failed, and a newer
+	// Put landed before the re-queue.
+	if err := wb.Put(fresh); err != nil {
+		t.Fatal(err)
+	}
+	wb.requeue([]Entry{old}, errors.New("boom"))
+	if wb.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", wb.Pending())
+	}
+	if err := wb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("sig-a", "i7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Throughput != 2 {
+		t.Errorf("Throughput = %v; re-queue resurrected the stale write", got.Throughput)
+	}
+	if wb.LastFlushErr() != nil {
+		t.Error("clean Flush did not clear LastFlushErr")
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
