@@ -98,12 +98,46 @@ echo "== benchtab wall-time regression gate =="
 BENCH_TOLERANCE="${BENCH_TOLERANCE:-0.5}"
 baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
 go run ./cmd/benchtab -only "Table 2" -json "$tracedir/bench-current.json" >/dev/null
-if [ -n "$baseline" ]; then
-    go run ./cmd/tracetool check-bench -baseline "$baseline" \
-        -tolerance "$BENCH_TOLERANCE" "$tracedir/bench-current.json"
-else
-    cp "$tracedir/bench-current.json" "BENCH_$(date +%Y%m%d).json"
-    echo "no committed baseline; wrote BENCH_$(date +%Y%m%d).json"
+if [ -z "$baseline" ]; then
+    # A missing baseline is a repo defect, not something CI should paper
+    # over by seeding its own: a self-seeded file would always pass and
+    # silently launder whatever perf the seeding machine happened to have.
+    echo "no committed BENCH_*.json baseline found." >&2
+    echo "generate one on a quiet machine and commit it:" >&2
+    echo "    go run ./cmd/benchtab -only \"Table 2\" -json BENCH_\$(date +%Y%m%d).json" >&2
+    exit 1
 fi
+go run ./cmd/tracetool check-bench -baseline "$baseline" \
+    -tolerance "$BENCH_TOLERANCE" "$tracedir/bench-current.json"
+
+echo "== cluster-failover gate =="
+# The sharded cluster's own tests, twice under the race detector, then
+# the end-to-end chaos proof: kill a shard mid-bracket, fail over to
+# its WAL-shipped follower, and require the exact outcome digest of the
+# unsharded uninterrupted run above. Every shard replica's store —
+# including the abandoned primary — must scrub clean afterwards.
+go test -race -count=2 ./internal/cluster
+cdir="$tracedir/cluster"
+"$tracedir/chaos" -seed 42 -cluster 2 -cluster-dir "$cdir" -kill-shard-after 2 \
+    > "$tracedir/chaos-cluster.out"
+grep -q "failed over: true" "$tracedir/chaos-cluster.out" || {
+    echo "cluster gate never failed over:" >&2
+    cat "$tracedir/chaos-cluster.out" >&2
+    exit 1
+}
+cluster_digest=$(tail -n 1 "$tracedir/chaos-cluster.out")
+if [ "$clean_digest" != "$cluster_digest" ]; then
+    echo "failed-over cluster run diverged: '$cluster_digest' != unsharded '$clean_digest'" >&2
+    exit 1
+fi
+echo "failed-over cluster run converged: $cluster_digest"
+# Glob on the replica directories, not the snapshot files: the
+# abandoned primary has only a WAL (no snapshot), and a file glob
+# would silently skip exactly the dir the failover left behind.
+for rdir in "$cdir"/shard*/primary "$cdir"/shard*/follower; do
+    storefile="$rdir/store.json"
+    [ -e "$storefile" ] || [ -e "$storefile.wal" ] || continue
+    go run ./cmd/tracetool store verify "$storefile"
+done
 
 echo "ci: all checks passed"

@@ -1,0 +1,184 @@
+package edgetune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"edgetune/internal/cluster"
+	"edgetune/internal/obs"
+	"edgetune/internal/obs/slo"
+)
+
+// ClusterOptions configures a sharded multi-tenant tuning cluster: N
+// simulated nodes, each pairing the tuner + inference server with a
+// crash-consistent durable store, behind a dispatcher that
+// consistent-hash-shards jobs, enforces per-tenant quotas, and ships
+// every shard's write-ahead log to a follower for failover.
+type ClusterOptions struct {
+	// Shards is the node-pair count (default 2).
+	Shards int
+	// VirtualNodes is the consistent-hash ring's points per shard
+	// (default 64).
+	VirtualNodes int
+	// Dir is the directory holding every node's store files: each shard
+	// gets Dir/shard<i>/{primary,follower}. Required.
+	Dir string
+	// TenantRate and TenantBurst configure the dispatcher's per-tenant
+	// token bucket: each tenant earns TenantRate tokens per cluster
+	// submission and holds at most TenantBurst (rate 0 disables quotas,
+	// burst default 4). Rejections surface as ErrTenantQuota, per-tenant
+	// counters, and the cluster/tenant-admission SLO.
+	TenantRate  float64
+	TenantBurst int
+	// Seed drives the cluster's fault injector.
+	Seed uint64
+	// Faults configures the cluster fault classes (ShardKill,
+	// NetPartition, FollowerLag); job-level classes belong on each Job.
+	Faults FaultConfig
+	// KillShardAfterRungs, when positive, deterministically kills a
+	// job's shard at its Nth completed rung (while the shard still has a
+	// follower) — the scripted chaos hook the failover gate uses.
+	KillShardAfterRungs int
+	// SnapshotEvery compacts each primary's WAL after this many records
+	// (default 256).
+	SnapshotEvery int
+	// TracePath, when set, writes the cluster's dispatcher spans (job
+	// routing, failovers) as JSON Lines at Close.
+	TracePath string
+}
+
+// Cluster is a running sharded tuning cluster. Tune routes jobs to
+// shards; Close (or Drain) seals every node's store.
+type Cluster struct {
+	inner  *cluster.Cluster
+	reg    *obs.Registry
+	ev     *slo.Evaluator
+	tracer *obs.Tracer
+	path   string
+}
+
+// ClusterReport is a completed cluster job's outcome.
+type ClusterReport struct {
+	*Report
+	// Shard is the node the job ran on.
+	Shard string
+	// FailedOver reports that the job survived its shard's death by
+	// WAL-shipped failover to the follower.
+	FailedOver bool
+}
+
+// NewCluster starts a cluster. Callers must Close (or Drain) it.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	reg := obs.NewRegistry()
+	ev := slo.NewEvaluator()
+	var tracer *obs.Tracer
+	if opts.TracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	inner, err := cluster.New(cluster.Options{
+		Shards:              opts.Shards,
+		VirtualNodes:        opts.VirtualNodes,
+		Dir:                 opts.Dir,
+		TenantRate:          opts.TenantRate,
+		TenantBurst:         opts.TenantBurst,
+		Seed:                opts.Seed,
+		Fault:               opts.Faults.toInternal(),
+		KillShardAfterRungs: opts.KillShardAfterRungs,
+		SnapshotEvery:       opts.SnapshotEvery,
+		Metrics:             reg,
+		SLO:                 ev,
+		Trace:               tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner, reg: reg, ev: ev, tracer: tracer, path: opts.TracePath}, nil
+}
+
+// Tune runs one job on the shard owning its key (the tenant/workload
+// pair), failing over mid-job if that shard's primary is killed. Jobs
+// sharing a shard serialize and share its historical store; jobs on
+// different shards run concurrently. Job options that configure
+// single-node storage (StorePath, StoreWAL, and the disk-fault hooks
+// that ride on them) are rejected — the cluster's shards own their
+// durable stores.
+func (c *Cluster) Tune(ctx context.Context, job Job) (*ClusterReport, error) {
+	if job.StorePath != "" || job.StoreWAL {
+		return nil, errors.New("edgetune: cluster jobs must not set StorePath/StoreWAL (shards own their stores)")
+	}
+	opts, err := job.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	// Per-job observability: each job's metrics, SLO events, and
+	// resilience counters stay on its own registry (exactly as a
+	// single-node Tune), with the dispatcher's cluster instruments kept
+	// separately on the cluster registry.
+	opts.Metrics = obs.NewRegistry()
+	opts.SLO = slo.NewEvaluator()
+	opts.Trace = c.tracer
+
+	tenant := job.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	res, err := c.inner.Submit(ctx, cluster.Job{
+		Key:    fmt.Sprintf("%s/%s", tenant, job.Workload),
+		Tenant: tenant,
+		Opts:   opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterReport{
+		Report:     buildReport(res.Result),
+		Shard:      res.Shard,
+		FailedOver: res.FailedOver,
+	}, nil
+}
+
+// Shards lists the cluster's shard names.
+func (c *Cluster) Shards() []string { return c.inner.Shards() }
+
+// Metrics snapshots the dispatcher's cluster-level instruments: job
+// routing, failovers, WAL shipping, and per-tenant quota rejections.
+func (c *Cluster) Metrics() MetricsReport {
+	return buildMetricsReport(c.reg.Snapshot())
+}
+
+// SLO evaluates the cluster's service-level objectives (currently the
+// tenant-admission objective).
+func (c *Cluster) SLO() SLOReport {
+	return buildSLOReport(c.ev.Snapshot())
+}
+
+// Drain stops the cluster gracefully: in-flight jobs finish (bounded
+// by ctx) before every shard's store is sealed.
+func (c *Cluster) Drain(ctx context.Context) error {
+	err := c.inner.Drain(ctx)
+	return c.saveTrace(err)
+}
+
+// Close cancels in-flight jobs and seals every shard's store.
+// Idempotent.
+func (c *Cluster) Close() error {
+	err := c.inner.Close()
+	return c.saveTrace(err)
+}
+
+func (c *Cluster) saveTrace(err error) error {
+	if c.tracer == nil || c.path == "" {
+		return err
+	}
+	path := c.path
+	c.path = "" // write once
+	if serr := c.tracer.SaveJSONL(path); serr != nil && err == nil {
+		err = fmt.Errorf("edgetune: write cluster trace: %w", serr)
+	}
+	return err
+}
+
+// ErrTenantQuota is returned by Cluster.Tune when the submitting
+// tenant's token bucket is empty.
+var ErrTenantQuota = cluster.ErrTenantQuota

@@ -10,9 +10,16 @@
 //	         [-trace spans.jsonl] [-trace-chrome trace.json]
 //	         [-debug-addr 127.0.0.1:6060] [-metrics]
 //	edgetune -job job.json
+//	edgetune -workload IC -cluster 2 -cluster-dir ./cluster [-tenant acme]
+//	         [-tenant-rate 0.5] [-tenant-burst 4] [-cluster-kill-rungs 2]
+//	         [-fault-shard-kill 0.1] [-fault-partition 0.1] [-fault-follower-lag 0.1]
 //
 // With -job, the flags are read from a JSON file matching the
-// edgetune.Job structure instead.
+// edgetune.Job structure instead. With -cluster N, the job runs on a
+// sharded multi-tenant cluster of N simulated nodes: jobs are
+// consistent-hash-routed by tenant and workload, every shard journals
+// to a write-ahead log shipped to a follower, and a killed shard fails
+// over to its follower mid-job.
 package main
 
 import (
@@ -70,6 +77,16 @@ func run(args []string, out io.Writer) error {
 		faultDiskFsync  = fs.Float64("fault-disk-slow-fsync", 0, "probability a durable-store fsync stalls (succeeds slowly)")
 		maxAttempts     = fs.Int("max-attempts", 0, "retry cap per training trial under faults (default 3)")
 		checkpoint      = fs.Bool("checkpoint", false, "checkpoint completed rungs for resumable tuning")
+
+		clusterN      = fs.Int("cluster", 0, "run the job on a sharded cluster with this many nodes (requires -cluster-dir)")
+		clusterDir    = fs.String("cluster-dir", "", "directory holding every cluster node's durable store")
+		tenant        = fs.String("tenant", "", "tenant the job is submitted as (default \"default\")")
+		tenantRate    = fs.Float64("tenant-rate", 0, "per-tenant admission tokens earned per cluster submission (0 disables quotas)")
+		tenantBurst   = fs.Int("tenant-burst", 0, "per-tenant admission token cap (default 4)")
+		clusterKill   = fs.Int("cluster-kill-rungs", 0, "chaos: kill the job's shard after its Nth completed rung and fail over to the follower")
+		faultShard    = fs.Float64("fault-shard-kill", 0, "probability a shard dies at a rung boundary (cluster only)")
+		faultPart     = fs.Float64("fault-partition", 0, "probability a shipped WAL frame is dropped by a network partition (cluster only)")
+		faultFollower = fs.Float64("fault-follower-lag", 0, "probability a shipped WAL frame is delayed behind its successors (cluster only)")
 
 		tracePath   = fs.String("trace", "", "write the deterministic span trace as JSON Lines to this file")
 		chromePath  = fs.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable)")
@@ -140,6 +157,35 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *tenant != "" {
+		job.Tenant = *tenant
+	}
+
+	if *clusterN > 0 {
+		if *clusterDir == "" {
+			return fmt.Errorf("-cluster requires -cluster-dir")
+		}
+		// The cluster owns each shard's durable store and the trace; the
+		// single-node store and trace paths don't apply to its jobs.
+		copts := edgetune.ClusterOptions{
+			Shards:      *clusterN,
+			Dir:         *clusterDir,
+			TenantRate:  *tenantRate,
+			TenantBurst: *tenantBurst,
+			Seed:        job.Seed,
+			Faults: edgetune.FaultConfig{
+				ShardKill:    *faultShard,
+				NetPartition: *faultPart,
+				FollowerLag:  *faultFollower,
+			},
+			KillShardAfterRungs: *clusterKill,
+			SnapshotEvery:       *storeSnapEv,
+			TracePath:           job.TracePath,
+		}
+		job.TracePath, job.TraceChromePath, job.DebugAddr = "", "", ""
+		return runCluster(out, copts, job, *asJSON, *showMetrics)
+	}
+
 	report, err := edgetune.Tune(context.Background(), job)
 	if err != nil {
 		return err
@@ -154,6 +200,44 @@ func run(args []string, out io.Writer) error {
 	if *showMetrics {
 		printMetrics(out, report.Metrics)
 		printSLO(out, report.SLO)
+	}
+	return nil
+}
+
+// runCluster executes the job on a freshly started sharded cluster and
+// renders the report plus the dispatcher's view (owning shard,
+// failover, cluster metrics).
+func runCluster(out io.Writer, copts edgetune.ClusterOptions, job edgetune.Job, asJSON, showMetrics bool) error {
+	c, err := edgetune.NewCluster(copts)
+	if err != nil {
+		return err
+	}
+	rep, tuneErr := c.Tune(context.Background(), job)
+	if closeErr := c.Close(); tuneErr == nil {
+		tuneErr = closeErr
+	}
+	if tuneErr != nil {
+		return tuneErr
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	printReport(out, rep.Report)
+	fmt.Fprintf(out, "  cluster:\n")
+	fmt.Fprintf(out, "    shards            %d\n", len(c.Shards()))
+	fmt.Fprintf(out, "    ran on            %s\n", rep.Shard)
+	fmt.Fprintf(out, "    failed over       %v\n", rep.FailedOver)
+	if showMetrics {
+		printMetrics(out, rep.Metrics)
+		printSLO(out, rep.SLO)
+		fmt.Fprintf(out, "  cluster metrics:\n")
+		for _, ctr := range c.Metrics().Counters {
+			fmt.Fprintf(out, "    counter   %-36s %d\n", ctr.Name, ctr.Value)
+		}
+		printSLO(out, c.SLO())
 	}
 	return nil
 }

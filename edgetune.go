@@ -154,6 +154,12 @@ type Job struct {
 	// Seed drives all randomised components; jobs are fully
 	// deterministic given a seed.
 	Seed uint64
+	// Tenant names the client submitting this job. It keys the serving
+	// layer's per-client admission (and the cluster dispatcher's quota
+	// gate), so per-tenant rejection counters and the tenant-rejections
+	// SLO attribute pressure to the right client. Empty means
+	// per-signature clients, the single-tenant default.
+	Tenant string
 	// Faults injects deterministic failures into the trial and
 	// inference paths for resilience testing; the zero value injects
 	// nothing. Fault decisions derive from the job seed, so a faulty
@@ -218,6 +224,15 @@ type FaultConfig struct {
 	DiskBitFlip   float64
 	DiskFull      float64
 	DiskSlowFsync float64
+	// The cluster classes fire on a sharded deployment (NewCluster):
+	// ShardKill crashes a job's shard primary at a rung boundary while
+	// its follower still stands, NetPartition drops a WAL frame on the
+	// primary→follower replication link, FollowerLag delays frames in
+	// flight (they land in order at the next ship or at failover
+	// catch-up). They are inert in a single-node Tune.
+	ShardKill    float64
+	NetPartition float64
+	FollowerLag  float64
 }
 
 // anyDisk reports whether any disk-fault class is enabled.
@@ -243,6 +258,9 @@ func (f FaultConfig) toInternal() fault.Config {
 		DiskBitFlip:     f.DiskBitFlip,
 		DiskFull:        f.DiskFull,
 		DiskSlowFsync:   f.DiskSlowFsync,
+		ShardKill:       f.ShardKill,
+		NetPartition:    f.NetPartition,
+		FollowerLag:     f.FollowerLag,
 	}
 }
 
@@ -468,27 +486,58 @@ type MetricsReport struct {
 	Histograms []MetricHistogram
 }
 
-// Tune runs a tuning job to completion.
-func Tune(ctx context.Context, job Job) (*Report, error) {
+// coreOptions resolves the job's workload and device and builds the
+// core options every execution path shares — the direct Tune below and
+// the cluster dispatcher, which supplies its own store, checkpointing,
+// and observability on top.
+func (job Job) coreOptions() (core.Options, error) {
 	if job.Workload == "" {
-		return nil, errors.New("edgetune: job needs a workload (IC, SR, NLP, or OD)")
+		return core.Options{}, errors.New("edgetune: job needs a workload (IC, SR, NLP, or OD)")
 	}
 	w, err := workload.New(job.Workload, job.Seed^0x9e3779b9)
 	if err != nil {
-		return nil, err
+		return core.Options{}, err
 	}
 	dev := device.I7()
 	switch {
 	case job.CustomDevice != nil:
 		dev, err = job.CustomDevice.toDevice()
 		if err != nil {
-			return nil, err
+			return core.Options{}, err
 		}
 	case job.Device != "":
 		dev, err = device.ByName(job.Device)
 		if err != nil {
-			return nil, err
+			return core.Options{}, err
 		}
+	}
+	return core.Options{
+		Workload:       w,
+		Device:         dev,
+		BudgetKind:     string(job.Budget),
+		Metric:         core.Metric(job.Metric),
+		ModelAlgo:      string(job.ModelAlgorithm),
+		InferAlgo:      string(job.InferenceAlgorithm),
+		SystemParams:   true,
+		InferenceAware: !job.WithoutInference,
+		StopAtTarget:   job.StopAtTarget,
+		InitialConfigs: job.Configs,
+		Rungs:          job.Rungs,
+		MaxBrackets:    job.Brackets,
+		InferTrials:    job.InferenceTrials,
+		Seed:           job.Seed,
+		Fault:          job.Faults.toInternal(),
+		MaxAttempts:    job.MaxTrialAttempts,
+		Checkpoint:     job.Checkpoint,
+		Tenant:         job.Tenant,
+	}, nil
+}
+
+// Tune runs a tuning job to completion.
+func Tune(ctx context.Context, job Job) (*Report, error) {
+	opts, err := job.coreOptions()
+	if err != nil {
+		return nil, err
 	}
 
 	var tracer *obs.Tracer
@@ -548,29 +597,10 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 		defer dbg.Close()
 	}
 
-	opts := core.Options{
-		Workload:       w,
-		Device:         dev,
-		BudgetKind:     string(job.Budget),
-		Metric:         core.Metric(job.Metric),
-		ModelAlgo:      string(job.ModelAlgorithm),
-		InferAlgo:      string(job.InferenceAlgorithm),
-		SystemParams:   true,
-		InferenceAware: !job.WithoutInference,
-		StopAtTarget:   job.StopAtTarget,
-		InitialConfigs: job.Configs,
-		Rungs:          job.Rungs,
-		MaxBrackets:    job.Brackets,
-		InferTrials:    job.InferenceTrials,
-		Store:          st,
-		Seed:           job.Seed,
-		Fault:          job.Faults.toInternal(),
-		MaxAttempts:    job.MaxTrialAttempts,
-		Checkpoint:     job.Checkpoint,
-		Trace:          tracer,
-		Metrics:        reg,
-		SLO:            ev,
-	}
+	opts.Store = st
+	opts.Trace = tracer
+	opts.Metrics = reg
+	opts.SLO = ev
 	if job.Checkpoint && job.StorePath != "" {
 		// Flush checkpoints through the persisted store so a killed
 		// process can resume from disk.

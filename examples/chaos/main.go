@@ -12,6 +12,15 @@
 // recovers from disk, resumes from the last completed rung, and the
 // final "digest:" line matches an uninterrupted same-seed run. That
 // loop is the CI crash-recovery gate.
+//
+// With -cluster N and -cluster-dir the same job instead runs on a
+// sharded cluster whose shards journal to WAL-shipped followers:
+// -kill-shard-after R kills the job's shard after its Rth completed
+// rung and fails over to the follower, and -fault-partition /
+// -fault-lag drop or delay shipped frames. The final "digest:" line is
+// computed identically, so CI can assert a failed-over sharded run
+// converges to the same answer as an unsharded one. That is the CI
+// cluster-failover gate.
 package main
 
 import (
@@ -32,10 +41,16 @@ func main() {
 		wal           = flag.Bool("wal", false, "use the crash-consistent WAL-backed store (requires -store)")
 		snapshotEvery = flag.Int("snapshot-every", 0, "WAL records between snapshot compactions (default 256)")
 		killAfter     = flag.Int("kill-after", 0, "chaos: kill the process (exit 3) after the Nth acknowledged WAL append")
+
+		clusterN       = flag.Int("cluster", 0, "run on a sharded cluster with this many nodes (requires -cluster-dir)")
+		clusterDir     = flag.String("cluster-dir", "", "directory holding every cluster node's durable store")
+		killShardAfter = flag.Int("kill-shard-after", 0, "chaos: kill the job's shard after its Nth completed rung and fail over")
+		faultPartition = flag.Float64("fault-partition", 0, "probability a shipped WAL frame is dropped by a network partition")
+		faultLag       = flag.Float64("fault-lag", 0, "probability a shipped WAL frame is delayed behind its successors")
 	)
 	flag.Parse()
 
-	report, err := edgetune.Tune(context.Background(), edgetune.Job{
+	job := edgetune.Job{
 		Workload: "IC",
 		Configs:  4,
 		Rungs:    4,
@@ -54,7 +69,22 @@ func main() {
 		StoreWAL:              *wal,
 		StoreSnapshotEvery:    *snapshotEvery,
 		StoreKillAfterAppends: *killAfter,
-	})
+	}
+
+	var (
+		report *edgetune.Report
+		err    error
+	)
+	if *clusterN > 0 {
+		// Cluster shards own their durable stores; the single-node store
+		// flags don't compose with this mode.
+		job.StorePath, job.StoreWAL = "", false
+		job.StoreSnapshotEvery, job.StoreKillAfterAppends = 0, 0
+		report, err = runCluster(*clusterN, *clusterDir, *killShardAfter,
+			*faultPartition, *faultLag, *snapshotEvery, job)
+	} else {
+		report, err = edgetune.Tune(context.Background(), job)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,6 +117,46 @@ func main() {
 	fmt.Printf("\nstill recommends%s: batch %d, %d cores at %.2f GHz on %s\n",
 		suffix, rec.BatchSize, rec.Cores, rec.FrequencyGHz, rec.Device)
 	fmt.Printf("digest: %s\n", digest(report))
+}
+
+// runCluster executes the chaos job on a sharded cluster and reports
+// how it was routed, then hands the inner report back so the digest is
+// computed exactly as in the single-node path.
+func runCluster(shards int, dir string, killAfterRungs int, partition, lag float64,
+	snapshotEvery int, job edgetune.Job) (*edgetune.Report, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("-cluster requires -cluster-dir")
+	}
+	c, err := edgetune.NewCluster(edgetune.ClusterOptions{
+		Shards: shards,
+		Dir:    dir,
+		Seed:   job.Seed,
+		Faults: edgetune.FaultConfig{
+			NetPartition: partition,
+			FollowerLag:  lag,
+		},
+		KillShardAfterRungs: killAfterRungs,
+		SnapshotEvery:       snapshotEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, tuneErr := c.Tune(context.Background(), job)
+	if closeErr := c.Close(); tuneErr == nil {
+		tuneErr = closeErr
+	}
+	if tuneErr != nil {
+		return nil, tuneErr
+	}
+	fmt.Printf("cluster: %d shards, ran on %s, failed over: %v\n",
+		shards, rep.Shard, rep.FailedOver)
+	for _, ctr := range c.Metrics().Counters {
+		switch ctr.Name {
+		case "cluster.failovers", "cluster.ship.shipped", "cluster.ship.dropped", "cluster.ship.lagged":
+			fmt.Printf("  %-21s %d\n", ctr.Name, ctr.Value)
+		}
+	}
+	return rep.Report, nil
 }
 
 // digest condenses the job outcome — winning configuration and the

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates a deterministic key population for the property
+// tests.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant%d/job-%d", i%97, i)
+	}
+	return keys
+}
+
+// TestRingBalance: with enough virtual nodes the key space splits
+// near-evenly — no shard's share exceeds twice the smallest share.
+func TestRingBalance(t *testing.T) {
+	const (
+		nodes  = 8
+		vnodes = 128
+		nkeys  = 20000
+	)
+	r := NewRing(vnodes)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("shard%d", i))
+	}
+	counts := make(map[string]int, nodes)
+	for _, k := range ringKeys(nkeys) {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("keys landed on %d of %d nodes", len(counts), nodes)
+	}
+	min, max := nkeys, 0
+	for node, n := range counts {
+		t.Logf("%s: %d keys", node, n)
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min == 0 {
+		t.Fatal("a node owns zero keys")
+	}
+	if ratio := float64(max) / float64(min); ratio > 2.0 {
+		t.Errorf("load imbalance %.2f exceeds the 2.0 bound (max %d, min %d)", ratio, max, min)
+	}
+}
+
+// TestRingMinimalDisruption: removing a node moves only the keys it
+// owned; every other key keeps its owner.
+func TestRingMinimalDisruption(t *testing.T) {
+	const nodes = 8
+	r := NewRing(128)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("shard%d", i))
+	}
+	keys := ringKeys(20000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	const dead = "shard3"
+	r.Remove(dead)
+	moved := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == dead {
+			t.Fatalf("key %q still owned by removed node", k)
+		}
+		if before[k] == dead {
+			moved++
+			continue // the dead node's keys must move somewhere
+		}
+		if after != before[k] {
+			t.Errorf("key %q moved %s -> %s though its owner survived", k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Error("removed node owned no keys — balance test should have caught this")
+	}
+}
+
+// TestRingOrderIndependent: the ring is a pure function of its member
+// set, not of insertion order.
+func TestRingOrderIndependent(t *testing.T) {
+	a := NewRing(64)
+	b := NewRing(64)
+	names := []string{"shard0", "shard1", "shard2", "shard3"}
+	for _, n := range names {
+		a.Add(n)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		b.Add(names[i])
+	}
+	for _, k := range ringKeys(2000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner of %q depends on insertion order: %s vs %s", k, ao, bo)
+		}
+	}
+}
+
+// TestRingEdgeCases: empty ring, duplicate adds, removing absent
+// nodes.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(16)
+	if got := r.Owner("anything"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+	r.Add("only")
+	r.Add("only") // duplicate: no-op
+	if got := len(r.points); got != 16 {
+		t.Errorf("duplicate add grew the ring to %d points, want 16", got)
+	}
+	if got := r.Owner("anything"); got != "only" {
+		t.Errorf("single-node ring owner = %q, want only", got)
+	}
+	r.Remove("absent") // no-op
+	r.Remove("only")
+	if got := r.Owner("anything"); got != "" {
+		t.Errorf("emptied ring owner = %q, want empty", got)
+	}
+}

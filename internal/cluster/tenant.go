@@ -1,0 +1,63 @@
+package cluster
+
+import "sync"
+
+// tenantGate is the dispatcher's per-tenant quota: the same
+// deterministic token bucket the inference server's admission gate
+// runs per client (internal/core/admission.go), lifted to the cluster
+// frontend so one tenant's job storm cannot starve the others before
+// work even reaches a shard. "Time" is the global submission tick, not
+// the wall clock: each tenant's bucket refills by rate tokens per
+// submission observed since its last use, capped at burst, so a fixed
+// submission sequence always produces the same quota verdicts.
+type tenantGate struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tick   int64
+	tokens map[string]float64
+	last   map[string]int64
+}
+
+// newTenantGate returns a gate admitting rate jobs per submission tick
+// with the given burst capacity. rate <= 0 disables the gate (admit
+// everything); burst below 1 defaults to 4.
+func newTenantGate(rate float64, burst int) *tenantGate {
+	if burst < 1 {
+		burst = 4
+	}
+	return &tenantGate{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: make(map[string]float64),
+		last:   make(map[string]int64),
+	}
+}
+
+// admit charges one token to tenant, reporting false when its bucket
+// is empty. The returned tick is the submission's position on the
+// gate's deterministic clock (for SLO event times).
+func (g *tenantGate) admit(tenant string) (tick int64, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tick++
+	if g.rate <= 0 {
+		return g.tick, true
+	}
+	t, seen := g.tokens[tenant]
+	if !seen {
+		t = g.burst // a new tenant starts with a full bucket
+	} else {
+		t += float64(g.tick-g.last[tenant]) * g.rate
+		if t > g.burst {
+			t = g.burst
+		}
+	}
+	g.last[tenant] = g.tick
+	if t < 1 {
+		g.tokens[tenant] = t
+		return g.tick, false
+	}
+	g.tokens[tenant] = t - 1
+	return g.tick, true
+}

@@ -223,7 +223,7 @@ func TestTuneCheckpointResume(t *testing.T) {
 
 	// Phase 1: kill after bracket 0, rung 1.
 	partialOpts := makeOpts()
-	partialOpts.afterRung = func(bracket, rung int) error {
+	partialOpts.AfterRung = func(bracket, rung int) error {
 		if bracket == 0 && rung == 1 {
 			return errKilled
 		}
@@ -308,7 +308,7 @@ func TestTuneCheckpointResumeAtBracketBoundary(t *testing.T) {
 	opts := smallOptions("IC")
 	opts.Store = st
 	opts.Checkpoint = true
-	opts.afterRung = func(bracket, rung int) error {
+	opts.AfterRung = func(bracket, rung int) error {
 		if bracket == 0 && rung == opts.Rungs-1 {
 			return errKilled
 		}
@@ -318,7 +318,7 @@ func TestTuneCheckpointResumeAtBracketBoundary(t *testing.T) {
 	if !errors.Is(err, errKilled) {
 		t.Fatalf("kill hook not honoured: %v", err)
 	}
-	opts.afterRung = nil
+	opts.AfterRung = nil
 	resumed, err := Tune(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
@@ -348,7 +348,7 @@ func TestTuneCheckpointSurvivesKill(t *testing.T) {
 	opts.Store = store.New()
 	opts.Checkpoint = true
 	opts.CheckpointPath = path
-	opts.afterRung = func(bracket, rung int) error {
+	opts.AfterRung = func(bracket, rung int) error {
 		if bracket == 0 && rung == 0 {
 			return errKilled
 		}
@@ -390,7 +390,7 @@ func TestTuneCheckpointIgnoredForDifferentJob(t *testing.T) {
 	opts := smallOptions("IC")
 	opts.Store = st
 	opts.Checkpoint = true
-	opts.afterRung = func(bracket, rung int) error { return errKilled }
+	opts.AfterRung = func(bracket, rung int) error { return errKilled }
 	if _, err := Tune(context.Background(), opts); !errors.Is(err, errKilled) {
 		t.Fatal(err)
 	}
@@ -418,7 +418,7 @@ func TestTuneChaosResumeCompletes(t *testing.T) {
 	opts := chaosOptions(fault.Config{TrialCrash: 0.1, DroppedReply: 0.1})
 	opts.Store = st
 	opts.Checkpoint = true
-	opts.afterRung = func(bracket, rung int) error {
+	opts.AfterRung = func(bracket, rung int) error {
 		if bracket == 1 && rung == 0 {
 			return errKilled
 		}
@@ -427,7 +427,7 @@ func TestTuneChaosResumeCompletes(t *testing.T) {
 	if _, err := Tune(context.Background(), opts); !errors.Is(err, errKilled) {
 		t.Fatal(err)
 	}
-	opts.afterRung = nil
+	opts.AfterRung = nil
 	resumed, err := Tune(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)

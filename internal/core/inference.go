@@ -203,6 +203,9 @@ func (o *InferenceServerOptions) normalise() error {
 type InferenceServer struct {
 	opts InferenceServerOptions
 	m    servingMetrics
+	// reg is the recorder's registry (nil = metrics off); kept for the
+	// per-tenant rejection counters, whose names are data-dependent.
+	reg *obs.Registry
 
 	mu        sync.Mutex
 	pending   map[string]*call // in-flight coalescing per signature
@@ -214,8 +217,9 @@ type InferenceServer struct {
 	writes *store.WriteBehind
 
 	// SLO objectives (nil = no accounting; Record no-ops).
-	sloLatency *slo.Objective
-	sloRejects *slo.Objective
+	sloLatency       *slo.Objective
+	sloRejects       *slo.Objective
+	sloTenantRejects *slo.Objective
 
 	wg sync.WaitGroup
 
@@ -286,6 +290,7 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 		closedCh:  make(chan struct{}),
 	}
 	if reg := opts.Recorder.Registry(); reg != nil {
+		s.reg = reg
 		s.m = servingMetrics{
 			requests:     reg.Counter("serving.requests"),
 			cacheHits:    reg.Counter("serving.cache-hits"),
@@ -307,6 +312,11 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 			Name:        "serving/rejections",
 			Description: "95% of submissions admitted (not shed, rate-limited, or preempted)",
 			Target:      0.95,
+		})
+		s.sloTenantRejects = opts.SLO.Register(slo.Spec{
+			Name:        "serving/tenant-rejections",
+			Description: "99% of submissions clear the per-client token bucket (not rate-limited)",
+			Target:      0.99,
 		})
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -526,6 +536,11 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 		switch {
 		case errors.Is(perr, ErrRateLimited):
 			s.opts.Recorder.AddRateLimited()
+			// Per-tenant rejection counter: the label rides in the
+			// name, the registry convention for data-keyed series.
+			if s.reg != nil {
+				s.reg.Counter("serving.rate-limited.tenant." + req.Client).Inc()
+			}
 		case errors.Is(perr, ErrOverloaded):
 			s.opts.Recorder.AddShed()
 		}
@@ -603,6 +618,7 @@ func (s *InferenceServer) deliver(c *call, res InferOutcome) {
 // latency objective only requests that actually produced a result.
 func (s *InferenceServer) recordSLO(at time.Duration, res InferOutcome) {
 	s.sloRejects.Record(at, !errors.Is(res.Err, ErrOverloaded))
+	s.sloTenantRejects.Record(at, !errors.Is(res.Err, ErrRateLimited))
 	if res.Err == nil {
 		s.sloLatency.Record(at, res.Latency <= s.opts.SLOServeLatency)
 	}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"edgetune/internal/counters"
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
+	"edgetune/internal/obs/slo"
 	"edgetune/internal/store"
 	"edgetune/internal/testutil"
 	"edgetune/internal/workload"
@@ -185,6 +187,50 @@ func TestRateLimitPerClient(t *testing.T) {
 		if out := mustOutcome(t, ch); out.Err != nil {
 			t.Errorf("admitted submission failed: %v", out.Err)
 		}
+	}
+}
+
+// TestRateLimitTenantInstruments: rate-limit rejections surface as
+// per-tenant labeled counters and as errors on the standing
+// serving/tenant-rejections objective, attributed to the bursting
+// client only.
+func TestRateLimitTenantInstruments(t *testing.T) {
+	ev := slo.NewEvaluator()
+	srv, rec := servingServer(t, store.New(), func(o *InferenceServerOptions) {
+		o.QueueLimit = 10
+		o.RateLimit = 0.25
+		o.RateBurst = 2
+		o.SLO = ev
+	})
+	srv.adm.setHold(true)
+	chs := make([]<-chan InferOutcome, 0, 5)
+	for i := 0; i < 4; i++ {
+		chs = append(chs, srv.Submit(context.Background(), sigRequest(i)))
+	}
+	other := sigRequest(9)
+	other.Client = "other-client"
+	chs = append(chs, srv.Submit(context.Background(), other))
+	srv.adm.setHold(false)
+	for _, ch := range chs {
+		mustOutcome(t, ch)
+	}
+
+	got := map[string]int64{}
+	for _, c := range rec.Registry().Snapshot().Counters {
+		if strings.HasPrefix(c.Name, "serving.rate-limited.tenant.") {
+			got[strings.TrimPrefix(c.Name, "serving.rate-limited.tenant.")] = c.Value
+		}
+	}
+	if got["test-client"] != 2 || got["other-client"] != 0 {
+		t.Errorf("per-tenant rate-limited counters = %v, want test-client=2 and no other-client", got)
+	}
+
+	obj, ok := ev.Snapshot().Objective("serving/tenant-rejections")
+	if !ok {
+		t.Fatal("serving/tenant-rejections objective not registered")
+	}
+	if obj.Errors != 2 || obj.Events != 5 {
+		t.Errorf("tenant-rejections objective = %d errors / %d events, want 2/5", obj.Errors, obj.Events)
 	}
 }
 

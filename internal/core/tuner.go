@@ -117,10 +117,18 @@ type Options struct {
 	// the final evaluation lands in Result.SLO.
 	SLO *slo.Evaluator
 
-	// afterRung, when non-nil, runs after each completed (and
-	// checkpointed) rung; a non-nil return aborts the job. Test-only:
-	// it simulates a kill at a deterministic point.
-	afterRung func(bracket, rung int) error
+	// Tenant names the client this job runs on behalf of. When set it
+	// stamps every inference submission's Client field, so per-client
+	// admission, quota counters, and the tenant-rejections SLO all see
+	// the same identity the cluster dispatcher admitted.
+	Tenant string
+
+	// AfterRung, when non-nil, runs after each completed (and
+	// checkpointed) rung; a non-nil return aborts the job. Chaos hook:
+	// the rung checkpoint is already durable when it fires, so a kill
+	// here simulates a node death at the exact point failover can
+	// resume from.
+	AfterRung func(bracket, rung int) error
 }
 
 func (o *Options) normalise() error {
@@ -636,8 +644,8 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 					return res, err
 				}
 			}
-			if opts.afterRung != nil {
-				if err := opts.afterRung(bracket, rung); err != nil {
+			if opts.AfterRung != nil {
+				if err := opts.AfterRung(bracket, rung); err != nil {
 					return res, err
 				}
 			}
@@ -668,6 +676,7 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			FLOPsPerSample: flops,
 			Params:         params,
 			SubmitTime:     res.TuningDuration,
+			Client:         opts.Tenant,
 		})
 		switch {
 		case out.Err == nil:
@@ -840,6 +849,7 @@ func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer
 			FLOPsPerSample: flops,
 			Params:         params,
 			SubmitTime:     start,
+			Client:         opts.Tenant,
 		})
 	}
 
@@ -897,6 +907,7 @@ func runTrial(ctx context.Context, runner *trial.Runner, infSrv *InferenceServer
 				FLOPsPerSample: flops,
 				Params:         params,
 				SubmitTime:     start,
+				Client:         opts.Tenant,
 			})
 			if retry.Err == nil {
 				rec.InferCached = retry.Cached

@@ -66,11 +66,23 @@ const (
 	// DiskSlowFsync makes one fsync slow (counted, not failed) — flash
 	// garbage collection stalling the write path.
 	DiskSlowFsync Class = "disk-slow-fsync"
+	// ShardKill crashes one cluster shard's primary node at a rung
+	// boundary mid-job (node panic, OOM-kill); the dispatcher must fail
+	// over to the shard's follower and resume from the replicated WAL.
+	ShardKill Class = "shard-kill"
+	// NetPartition drops one WAL-shipping frame on the primary→follower
+	// link (lossy edge uplink): the follower misses that frame and the
+	// failover path must cope with the resulting hole.
+	NetPartition Class = "net-partition"
+	// FollowerLag delays WAL frames in flight to the follower (slow
+	// replica): frames queue in order and land late, so a failover first
+	// drains the lagged backlog (catch-up replay) before promotion.
+	FollowerLag Class = "follower-lag"
 )
 
 // Classes lists every fault class in deterministic order.
 func Classes() []Class {
-	return []Class{DeviceBrownout, DeviceFlap, DiskBitFlip, DiskCrash, DiskFull, DiskSlowFsync, DiskTornWrite, DroppedReply, OverloadBurst, StoreWrite, Straggler, TrialCrash, TrialNaN}
+	return []Class{DeviceBrownout, DeviceFlap, DiskBitFlip, DiskCrash, DiskFull, DiskSlowFsync, DiskTornWrite, DroppedReply, FollowerLag, NetPartition, OverloadBurst, ShardKill, StoreWrite, Straggler, TrialCrash, TrialNaN}
 }
 
 // Config holds per-class injection probabilities in [0, 1].
@@ -107,6 +119,13 @@ type Config struct {
 	DiskBitFlip   float64 `json:"diskBitFlip,omitempty"`
 	DiskFull      float64 `json:"diskFull,omitempty"`
 	DiskSlowFsync float64 `json:"diskSlowFsync,omitempty"`
+	// The cluster classes fire on the sharded dispatcher: ShardKill per
+	// rung boundary of a job on a shard whose follower is still standing,
+	// NetPartition and FollowerLag per WAL frame shipped from a shard's
+	// primary to its follower.
+	ShardKill    float64 `json:"shardKill,omitempty"`
+	NetPartition float64 `json:"netPartition,omitempty"`
+	FollowerLag  float64 `json:"followerLag,omitempty"`
 }
 
 // Enabled reports whether any class has a non-zero probability.
@@ -163,6 +182,12 @@ func (c Config) prob(class Class) float64 {
 		return c.DiskFull
 	case DiskSlowFsync:
 		return c.DiskSlowFsync
+	case ShardKill:
+		return c.ShardKill
+	case NetPartition:
+		return c.NetPartition
+	case FollowerLag:
+		return c.FollowerLag
 	default:
 		return 0
 	}

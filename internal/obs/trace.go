@@ -38,6 +38,7 @@ const (
 	TrackTuner   = 1
 	TrackServing = 2
 	TrackStore   = 3
+	TrackCluster = 4
 )
 
 // trackNames label the tracks in the Chrome trace metadata.
@@ -45,6 +46,7 @@ var trackNames = map[int]string{
 	TrackTuner:   "model-tuning",
 	TrackServing: "inference-serving",
 	TrackStore:   "historical-store",
+	TrackCluster: "cluster",
 }
 
 // SpanID identifies a span; 0 means "no parent".

@@ -41,6 +41,7 @@ type Durable struct {
 	sinceCompact int
 	appendSeq    int64
 	killAfter    int
+	shipper      Shipper
 
 	failed   error // sticky: the WAL could not be repaired in place
 	closed   bool
@@ -58,6 +59,16 @@ type Durable struct {
 
 // ErrDurableClosed is returned by mutations after Close.
 var ErrDurableClosed = errors.New("store: durable store closed")
+
+// Shipper receives a copy of every durably acknowledged WAL frame,
+// in append order, while the store's mutex is held — the hook the
+// cluster layer uses to replicate a shard's log to its follower. The
+// frame is the raw on-disk encoding (length prefix, CRC, payload), so
+// appending it verbatim to another WAL file yields a valid log. Ship
+// must not call back into the store.
+type Shipper interface {
+	Ship(seq int64, frame []byte)
+}
 
 // KillExitCode is the exit status of the chaos kill switch
 // (DurableOptions.KillAfterAppends): a deliberate, recognisable
@@ -91,6 +102,9 @@ type DurableOptions struct {
 	// record is on disk; the in-memory ack never reaches the caller,
 	// exactly like a power cut between fsync and reply.
 	KillAfterAppends int
+	// Shipper, when non-nil, receives every durably acknowledged WAL
+	// frame for replication (nil = no replication).
+	Shipper Shipper
 }
 
 // RecoveryReport describes what OpenDurable salvaged.
@@ -137,6 +151,7 @@ func OpenDurable(opts DurableOptions) (*Durable, error) {
 		walPath:   opts.WALPath,
 		every:     opts.SnapshotEvery,
 		killAfter: opts.KillAfterAppends,
+		shipper:   opts.Shipper,
 
 		mAppends:     opts.Metrics.Counter("store.wal.appends"),
 		mAppendErrs:  opts.Metrics.Counter("store.wal.append-errors"),
@@ -350,6 +365,9 @@ func (d *Durable) appendLocked(rec walRecord) error {
 	d.mAppends.Inc()
 	d.mWALBytes.Add(int64(len(frame)))
 	d.sloDurability.Record(at, true)
+	if d.shipper != nil {
+		d.shipper.Ship(d.appendSeq, frame)
+	}
 	if d.killAfter > 0 && d.appendSeq >= int64(d.killAfter) {
 		os.Exit(KillExitCode) // chaos: power loss right after the ack'd fsync
 	}
@@ -434,6 +452,23 @@ func (d *Durable) Close() error {
 	if cerr := d.wal.Close(); err == nil {
 		err = cerr
 	}
+	d.closed = true
+	d.closeErr = err
+	return err
+}
+
+// Abandon closes the WAL handle without the final compaction — the
+// disk image stays exactly as the last acknowledged append left it,
+// as if the process died there. Idempotent; used by the cluster layer
+// to depose a killed primary whose directory must remain untouched
+// evidence (recoverable, never mutated after the kill).
+func (d *Durable) Abandon() error {
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	if d.closed {
+		return d.closeErr
+	}
+	err := d.wal.Close()
 	d.closed = true
 	d.closeErr = err
 	return err
