@@ -140,4 +140,28 @@ for rdir in "$cdir"/shard*/primary "$cdir"/shard*/follower; do
     go run ./cmd/tracetool store verify "$storefile"
 done
 
+echo "== autoscale-resilience gate =="
+# The autoscaling controller's own tests and the serving-layer chaos
+# tests (flash-crowd determinism, mass-device-failure recovery through
+# the degradation ladder, stalled scale-ups), twice under the race
+# detector. Then the overload example twice: same seed must produce
+# byte-identical output, the ladder must both engage and release, and
+# the decision digest line must be present.
+go test -race -count=2 ./internal/autoscale
+go test -race -count=2 -run Autoscale ./internal/core
+go build -o "$tracedir/overload" ./examples/overload
+"$tracedir/overload" > "$tracedir/overload-a.out"
+"$tracedir/overload" > "$tracedir/overload-b.out"
+cmp "$tracedir/overload-a.out" "$tracedir/overload-b.out"
+grep -q "ladder engaged" "$tracedir/overload-a.out"
+grep -q "ladder released" "$tracedir/overload-a.out"
+grep -q "autoscale digest: " "$tracedir/overload-a.out"
+# Control-loop wall-time trend, gated against the same committed
+# baseline as the static tables (absent IDs SKIP, so older baselines
+# stay usable).
+go run ./cmd/benchtab -only BenchmarkAutoscaleDecision \
+    -json "$tracedir/bench-autoscale.json" >/dev/null
+go run ./cmd/tracetool check-bench -baseline "$baseline" \
+    -tolerance "$BENCH_TOLERANCE" "$tracedir/bench-autoscale.json"
+
 echo "ci: all checks passed"

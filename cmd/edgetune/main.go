@@ -6,6 +6,8 @@
 //	edgetune -workload IC [-device i7] [-budget multi] [-metric runtime]
 //	         [-hierarchical] [-no-inference] [-stop-at-target]
 //	         [-store history.json] [-store-wal] [-store-snapshot-every 256]
+//	         [-autoscale] [-autoscale-min 1] [-autoscale-max 4]
+//	         [-fault-flash-crowd 0.1] [-fault-mass-devicefail 0.1] [-fault-scale-stall 0.1]
 //	         [-seed 1] [-json]
 //	         [-trace spans.jsonl] [-trace-chrome trace.json]
 //	         [-debug-addr 127.0.0.1:6060] [-metrics]
@@ -78,6 +80,13 @@ func run(args []string, out io.Writer) error {
 		maxAttempts     = fs.Int("max-attempts", 0, "retry cap per training trial under faults (default 3)")
 		checkpoint      = fs.Bool("checkpoint", false, "checkpoint completed rungs for resumable tuning")
 
+		autoscaleOn   = fs.Bool("autoscale", false, "enable the SLO-driven device-pool autoscaler and graceful-degradation ladder")
+		autoscaleMin  = fs.Int("autoscale-min", 0, "minimum device replicas (default 1, requires -autoscale)")
+		autoscaleMax  = fs.Int("autoscale-max", 0, "maximum device replicas (default 4, requires -autoscale)")
+		faultCrowd    = fs.Float64("fault-flash-crowd", 0, "probability a submission brings a phantom flash-crowd arrival surge (requires -autoscale)")
+		faultMassFail = fs.Float64("fault-mass-devicefail", 0, "probability the whole device pool is quarantined at once, at most once per job (requires -autoscale)")
+		faultStall    = fs.Float64("fault-scale-stall", 0, "probability a scale-up stalls: warm-up charged, replica never joins (requires -autoscale)")
+
 		clusterN      = fs.Int("cluster", 0, "run the job on a sharded cluster with this many nodes (requires -cluster-dir)")
 		clusterDir    = fs.String("cluster-dir", "", "directory holding every cluster node's durable store")
 		tenant        = fs.String("tenant", "", "tenant the job is submitted as (default \"default\")")
@@ -95,6 +104,57 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Fail fast on malformed flag values, before any tuning work starts:
+	// every fault class is a probability, and the scalar knobs must not
+	// be negative. (-store-snapshot-every is the deliberate exception —
+	// a negative value disables periodic compaction.)
+	for _, p := range []struct {
+		flag string
+		val  float64
+	}{
+		{"-fault-crash", *faultCrash},
+		{"-fault-nan", *faultNaN},
+		{"-fault-straggler", *faultStraggler},
+		{"-fault-flap", *faultFlap},
+		{"-fault-brownout", *faultBrownout},
+		{"-fault-overload", *faultOverload},
+		{"-fault-store-write", *faultStoreWrite},
+		{"-fault-drop", *faultDrop},
+		{"-fault-disk-torn", *faultDiskTorn},
+		{"-fault-disk-crash", *faultDiskCrash},
+		{"-fault-disk-flip", *faultDiskFlip},
+		{"-fault-disk-full", *faultDiskFull},
+		{"-fault-disk-slow-fsync", *faultDiskFsync},
+		{"-fault-shard-kill", *faultShard},
+		{"-fault-partition", *faultPart},
+		{"-fault-follower-lag", *faultFollower},
+		{"-fault-flash-crowd", *faultCrowd},
+		{"-fault-mass-devicefail", *faultMassFail},
+		{"-fault-scale-stall", *faultStall},
+	} {
+		if p.val < 0 || p.val > 1 {
+			return fmt.Errorf("%s: probability %v outside [0,1]", p.flag, p.val)
+		}
+	}
+	for _, n := range []struct {
+		flag string
+		val  float64
+	}{
+		{"-brownout-factor", *brownoutFactor},
+		{"-max-attempts", float64(*maxAttempts)},
+		{"-autoscale-min", float64(*autoscaleMin)},
+		{"-autoscale-max", float64(*autoscaleMax)},
+		{"-tenant-rate", *tenantRate},
+		{"-tenant-burst", float64(*tenantBurst)},
+		{"-cluster", float64(*clusterN)},
+		{"-cluster-kill-rungs", float64(*clusterKill)},
+		{"-store-kill-after", float64(*storeKill)},
+	} {
+		if n.val < 0 {
+			return fmt.Errorf("%s: negative value %v", n.flag, n.val)
+		}
 	}
 
 	var job edgetune.Job
@@ -132,6 +192,9 @@ func run(args []string, out io.Writer) error {
 			StoreWAL:              *storeWAL,
 			StoreSnapshotEvery:    *storeSnapEv,
 			StoreKillAfterAppends: *storeKill,
+			Autoscale:             *autoscaleOn,
+			AutoscaleMin:          *autoscaleMin,
+			AutoscaleMax:          *autoscaleMax,
 			Seed:                  *seed,
 			Faults: edgetune.FaultConfig{
 				TrialCrash:     *faultCrash,
@@ -148,6 +211,9 @@ func run(args []string, out io.Writer) error {
 				DiskBitFlip:    *faultDiskFlip,
 				DiskFull:       *faultDiskFull,
 				DiskSlowFsync:  *faultDiskFsync,
+				FlashCrowd:     *faultCrowd,
+				MassDeviceFail: *faultMassFail,
+				ScaleStall:     *faultStall,
 			},
 			MaxTrialAttempts: *maxAttempts,
 			Checkpoint:       *checkpoint,
@@ -313,6 +379,17 @@ func printReport(out io.Writer, r *edgetune.Report) {
 		fmt.Fprintf(out, "    frequency     %.2f GHz\n", rec.FrequencyGHz)
 		fmt.Fprintf(out, "    throughput    %.1f samples/s\n", rec.Throughput)
 		fmt.Fprintf(out, "    energy        %.3f J/sample\n", rec.EnergyPerSampleJ)
+	}
+	if a := r.Autoscale; a != nil {
+		fmt.Fprintf(out, "  autoscale:\n")
+		fmt.Fprintf(out, "    ticks             %d (decisions %d)\n", a.Ticks, a.Decisions)
+		fmt.Fprintf(out, "    scale up/down     %d/%d (final replicas %d)\n",
+			a.ScaleUps, a.ScaleDowns, a.FinalReplicas)
+		fmt.Fprintf(out, "    ladder            deepest %s, final %s (degrade/recover %d/%d)\n",
+			a.DeepestMode, a.FinalMode, a.DegradeSteps, a.RecoverSteps)
+		fmt.Fprintf(out, "    warm-up cost      %.1f simulated minutes, %.3f kJ\n",
+			a.WarmupMinutes, a.WarmupEnergyKJ)
+		fmt.Fprintf(out, "    digest            %s\n", a.Digest)
 	}
 	res := r.Resilience
 	if res.TotalFaults > 0 || res.Retries > 0 || res.ResumedRungs > 0 {

@@ -159,14 +159,81 @@ func TestRunMetricsSLOSection(t *testing.T) {
 }
 
 func TestRunFaultFlagValidation(t *testing.T) {
-	// An out-of-range probability must fail fast, before any trial runs
-	// — this exercises the flag plumbing without a full tuning job.
-	var out bytes.Buffer
-	if err := run([]string{"-workload", "IC", "-fault-crash", "1.5"}, &out); err == nil {
-		t.Error("out-of-range -fault-crash accepted")
+	// Malformed flag values must fail fast with a one-line error before
+	// any trial runs — this exercises the flag plumbing without a full
+	// tuning job.
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"prob-above-one", []string{"-fault-crash", "1.5"}, "outside [0,1]"},
+		{"prob-negative", []string{"-fault-flash-crowd", "-0.1"}, "outside [0,1]"},
+		{"mass-devicefail-above-one", []string{"-fault-mass-devicefail", "2"}, "outside [0,1]"},
+		{"scale-stall-negative", []string{"-fault-scale-stall", "-1"}, "outside [0,1]"},
+		{"shard-kill-above-one", []string{"-fault-shard-kill", "7"}, "outside [0,1]"},
+		{"negative-max-attempts", []string{"-max-attempts", "-2"}, "negative"},
+		{"negative-autoscale-min", []string{"-autoscale-min", "-1"}, "negative"},
+		{"negative-autoscale-max", []string{"-autoscale-max", "-4"}, "negative"},
+		{"negative-tenant-rate", []string{"-tenant-rate", "-0.5"}, "negative"},
+		{"negative-tenant-burst", []string{"-tenant-burst", "-4"}, "negative"},
+		{"negative-brownout-factor", []string{"-brownout-factor", "-6"}, "negative"},
 	}
-	if err := run([]string{"-workload", "IC", "-max-attempts", "-2"}, &out); err == nil {
-		t.Error("negative -max-attempts accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(append([]string{"-workload", "IC"}, tc.args...), &out)
+			if err == nil {
+				t.Fatalf("%v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.args[0]) || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %q, want it to name %s and say %q", err, tc.args[0], tc.want)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Errorf("validation error spans multiple lines: %q", err)
+			}
+		})
+	}
+	// The documented exception: a negative -store-snapshot-every
+	// disables periodic compaction and must stay accepted.
+	path := quickJobFile(t, edgetune.Job{Workload: "IC", Seed: 1})
+	var out bytes.Buffer
+	st := filepath.Join(t.TempDir(), "h.json")
+	if err := run([]string{"-job", path, "-store", st, "-store-wal", "-store-snapshot-every", "-1"}, &out); err != nil {
+		t.Errorf("negative -store-snapshot-every rejected: %v", err)
+	}
+}
+
+func TestRunAutoscaleTextReport(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{
+		"-workload", "IC", "-seed", "7",
+		"-autoscale", "-autoscale-max", "3",
+		"-fault-flash-crowd", "0.3",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"autoscale:",
+		"scale up/down",
+		"ladder",
+		"warm-up cost",
+		"digest",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("autoscale report missing %q:\n%s", want, got)
+		}
+	}
+	// Same seed, same flags: the autoscale block (digest included) must
+	// be byte-stable.
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if got != again.String() {
+		t.Error("identically-seeded autoscaled runs produced different reports")
 	}
 }
 

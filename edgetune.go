@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 
+	"edgetune/internal/autoscale"
 	"edgetune/internal/core"
 	"edgetune/internal/counters"
 	"edgetune/internal/device"
@@ -151,6 +152,20 @@ type Job struct {
 	// crash/restart harness uses to prove recovery. Only meaningful
 	// with StoreWAL.
 	StoreKillAfterAppends int
+	// Autoscale enables the inference server's SLO-driven device-pool
+	// autoscaler and graceful-degradation ladder: simulated replicas of
+	// the target device are added under saturation or capacity loss
+	// (each charging a warm-up cost to the tuning budget), retired again
+	// with hysteresis when load recedes, and when scaling out is not
+	// enough the server sheds background work, disables hedging, and
+	// finally serves critical requests only — stepping back out as the
+	// burn rate recovers. The run's control-loop summary lands in
+	// Report.Autoscale.
+	Autoscale bool
+	// AutoscaleMin and AutoscaleMax bound the replica count (defaults 1
+	// and 4). Only meaningful with Autoscale.
+	AutoscaleMin int
+	AutoscaleMax int
 	// Seed drives all randomised components; jobs are fully
 	// deterministic given a seed.
 	Seed uint64
@@ -233,6 +248,16 @@ type FaultConfig struct {
 	ShardKill    float64
 	NetPartition float64
 	FollowerLag  float64
+	// The autoscale classes exercise the SLO-driven device-pool
+	// autoscaler (Job.Autoscale): FlashCrowd injects a phantom arrival
+	// surge that inflates the in-system load signal until it decays,
+	// MassDeviceFail quarantines the entire device pool at once (at most
+	// once per job), ScaleStall swallows a scale-up so the warm-up cost
+	// is charged but the replica never joins. They are inert without
+	// Autoscale.
+	FlashCrowd     float64
+	MassDeviceFail float64
+	ScaleStall     float64
 }
 
 // anyDisk reports whether any disk-fault class is enabled.
@@ -261,6 +286,9 @@ func (f FaultConfig) toInternal() fault.Config {
 		ShardKill:       f.ShardKill,
 		NetPartition:    f.NetPartition,
 		FollowerLag:     f.FollowerLag,
+		FlashCrowd:      f.FlashCrowd,
+		MassDeviceFail:  f.MassDeviceFail,
+		ScaleStall:      f.ScaleStall,
 	}
 }
 
@@ -377,6 +405,40 @@ type Report struct {
 	// StoreRecovery describes what opening the durable store salvaged
 	// from a previous crash (nil without StoreWAL).
 	StoreRecovery *StoreRecovery
+	// Autoscale summarises the device-pool autoscaler's control loop
+	// (nil unless Job.Autoscale was set).
+	Autoscale *AutoscaleReport
+}
+
+// AutoscaleReport summarises the autoscaler's run: how often it
+// scaled, how deep the graceful-degradation ladder went, the warm-up
+// bill, and the deterministic digest of the decision stream. Stalled
+// scale-ups (the ScaleStall fault class) appear in the
+// "autoscale.stalls" counter of Report.Metrics.
+type AutoscaleReport struct {
+	// Ticks counts control-loop evaluations (one per inference
+	// submission); Decisions counts the actions emitted.
+	Ticks     int64
+	Decisions int
+	// ScaleUps and ScaleDowns count replica additions and retirements.
+	ScaleUps   int
+	ScaleDowns int
+	// DegradeSteps and RecoverSteps count degradation-ladder
+	// transitions. Modes are "normal", "shed-background", "no-hedging",
+	// and "critical-only".
+	DegradeSteps int
+	RecoverSteps int
+	DeepestMode  string
+	FinalMode    string
+	// FinalReplicas is the active replica count at the last tick.
+	FinalReplicas int
+	// WarmupMinutes and WarmupEnergyKJ are the total replica warm-up
+	// costs, already included in TuningMinutes and TuningEnergyKJ.
+	WarmupMinutes  float64
+	WarmupEnergyKJ float64
+	// Digest is the FNV-1a fold of the decision stream, hex-encoded;
+	// same-seed jobs produce identical digests.
+	Digest string
 }
 
 // StoreRecovery reports a durable store's crash-recovery salvage: how
@@ -511,9 +573,14 @@ func (job Job) coreOptions() (core.Options, error) {
 			return core.Options{}, err
 		}
 	}
+	var as *autoscale.Config
+	if job.Autoscale {
+		as = &autoscale.Config{Min: job.AutoscaleMin, Max: job.AutoscaleMax}
+	}
 	return core.Options{
 		Workload:       w,
 		Device:         dev,
+		Autoscale:      as,
 		BudgetKind:     string(job.Budget),
 		Metric:         core.Metric(job.Metric),
 		ModelAlgo:      string(job.ModelAlgorithm),
@@ -673,6 +740,22 @@ func buildReport(res core.Result) *Report {
 		Resilience:             buildResilienceReport(res.Resilience),
 		Metrics:                buildMetricsReport(res.Metrics),
 		SLO:                    buildSLOReport(res.SLO),
+	}
+	if a := res.Autoscale; a != nil {
+		r.Autoscale = &AutoscaleReport{
+			Ticks:          a.Ticks,
+			Decisions:      a.Decisions,
+			ScaleUps:       a.ScaleUps,
+			ScaleDowns:     a.ScaleDowns,
+			DegradeSteps:   a.DegradeSteps,
+			RecoverSteps:   a.RecoverSteps,
+			DeepestMode:    a.DeepestMode.String(),
+			FinalMode:      a.FinalMode.String(),
+			FinalReplicas:  a.FinalReplicas,
+			WarmupMinutes:  a.WarmupTime.Minutes(),
+			WarmupEnergyKJ: a.WarmupEnergyJ / 1000,
+			Digest:         fmt.Sprintf("%016x", a.Digest),
+		}
 	}
 	if res.Recommendation.Signature != "" {
 		r.Recommendation = InferenceRecommendation{

@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"time"
 
+	"edgetune/internal/autoscale"
 	"edgetune/internal/core"
 	"edgetune/internal/counters"
 	"edgetune/internal/device"
@@ -133,4 +135,79 @@ func main() {
 	fmt.Printf("  drained       %d\n", s.Drained)
 	fmt.Printf("\nhistorical store holds %d tuned entries; pending writes: %d\n",
 		st.Len(), srv.PendingWrites())
+
+	ladderDemo(w)
+}
+
+// ladderDemo is phase two: the autoscaler's graceful-degradation
+// ladder riding out a mass device failure. The whole pool is
+// quarantined on the first submission; the controller scales out warm
+// replicas, steps the ladder down to critical-only while capacity is
+// gone, and — as recovery probes and warmed-up replicas restore the
+// pool — releases every rung and retires the extra replicas again.
+// Each submission is awaited before the next one, so every control
+// decision is stamped on the simulated clock and the decision digest
+// is identical on every run.
+func ladderDemo(w *workload.Workload) {
+	inj, err := fault.NewInjector(fault.Config{MassDeviceFail: 1}, 7, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := device.I7()
+	space, err := w.InferenceSpace(dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := core.NewInferenceServer(core.InferenceServerOptions{
+		Device:  dev,
+		Space:   space,
+		Metric:  core.MetricRuntime,
+		Trials:  6,
+		Workers: 1,
+		Store:   store.New(),
+		Seed:    7,
+		Fault:   inj,
+		Autoscale: &autoscale.Config{
+			Min:              1,
+			Max:              3,
+			Window:           8,
+			HysteresisTicks:  2,
+			LadderAfterTicks: 2,
+			WarmupTime:       300 * time.Second,
+			WarmupEnergyJ:    50,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	fmt.Printf("\n--- degradation ladder: mass device failure at t=0 ---\n")
+	ctx := context.Background()
+	for i := 0; i < 60; i++ {
+		out := srv.Submit(ctx, core.InferRequest{
+			Signature:      fmt.Sprintf("IC/layers=%d", 18+i),
+			FLOPsPerSample: 5.6e8,
+			Params:         11e6,
+			Client:         "ladder-demo",
+			SubmitTime:     time.Duration(i) * 10 * time.Second,
+		})
+		<-out // sequential awaited submissions keep the tick order exact
+	}
+
+	for _, d := range srv.AutoscaleDecisions() {
+		fmt.Printf("  t=%-5v tick %-2d %-24s replicas=%d mode=%s\n",
+			d.At, d.Tick, d.Reason, d.Replicas, d.Mode)
+	}
+	rep := srv.AutoscaleReport()
+	if rep.DeepestMode == autoscale.ModeCriticalOnly {
+		fmt.Printf("ladder engaged: degraded to %s while the pool was down\n", rep.DeepestMode)
+	}
+	if rep.FinalMode == autoscale.ModeNormal && rep.FinalReplicas == 1 {
+		fmt.Printf("ladder released: back to %s with %d replica after recovery\n",
+			rep.FinalMode, rep.FinalReplicas)
+	}
+	fmt.Printf("warm-up billed: %v and %.0f J for %d scale-ups\n",
+		rep.WarmupTime, rep.WarmupEnergyJ, rep.ScaleUps)
+	fmt.Printf("autoscale digest: %016x\n", rep.Digest)
 }

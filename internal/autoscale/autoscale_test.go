@@ -1,0 +1,293 @@
+package autoscale
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testConfig keeps the control loop small enough that unit tests can
+// walk it tick by tick.
+func testConfig() Config {
+	return Config{
+		Min:              1,
+		Max:              3,
+		Window:           4,
+		HysteresisTicks:  2,
+		LadderAfterTicks: 2,
+		WarmupTime:       10 * time.Second,
+		WarmupEnergyJ:    50,
+	}
+}
+
+func hotSignals(at time.Duration, replicas int) Signals {
+	return Signals{At: at, InSystem: 8, QueueLimit: 8, Replicas: replicas, Healthy: replicas, Good: false}
+}
+
+func calmSignals(at time.Duration, replicas int) Signals {
+	return Signals{At: at, InSystem: 0, QueueLimit: 8, Replicas: replicas, Healthy: replicas, Good: true}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	n, err := Config{}.Normalised()
+	if err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	want := defaults()
+	if !reflect.DeepEqual(n, want) {
+		t.Fatalf("zero config normalised to %+v, want %+v", n, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Min: -1},
+		{Min: 3, Max: 2},
+		{ScaleUpAt: 1.5},
+		{ScaleUpAt: -0.1},
+		{ScaleDownAt: 0.9}, // >= default ScaleUpAt
+		{BurnHot: -2},
+		{BurnCalm: 100}, // > default BurnHot
+		{Target: 1.5},
+		{Window: -1},
+		{HysteresisTicks: -1},
+		{LadderAfterTicks: -2},
+		{WarmupTime: -time.Second},
+		{WarmupEnergyJ: -1},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: config %+v accepted, want error", i, c)
+		}
+	}
+}
+
+func TestScaleUpThenLadder(t *testing.T) {
+	ctl, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := 1
+	var modes []Mode
+	var deltas []int
+	for i := 0; i < 10; i++ {
+		d, ok := ctl.Evaluate(hotSignals(time.Duration(i)*time.Minute, replicas))
+		if !ok {
+			continue
+		}
+		deltas = append(deltas, d.Delta)
+		modes = append(modes, d.Mode)
+		replicas += d.Delta
+	}
+	// Ticks 1,2 scale up to Max=3; then every LadderAfterTicks=2 hot
+	// ticks the ladder steps a rung deeper until critical-only.
+	wantDeltas := []int{1, 1, 0, 0, 0}
+	wantModes := []Mode{ModeNormal, ModeNormal, ModeShedBackground, ModeNoHedging, ModeCriticalOnly}
+	if !reflect.DeepEqual(deltas, wantDeltas) {
+		t.Errorf("deltas = %v, want %v", deltas, wantDeltas)
+	}
+	if !reflect.DeepEqual(modes, wantModes) {
+		t.Errorf("modes = %v, want %v", modes, wantModes)
+	}
+	if got := ctl.Mode(); got != ModeCriticalOnly {
+		t.Errorf("final mode = %v, want critical-only", got)
+	}
+	rep := ctl.Report()
+	if rep.ScaleUps != 2 || rep.DegradeSteps != 3 || rep.DeepestMode != ModeCriticalOnly {
+		t.Errorf("report = %+v, want 2 scale-ups, 3 degrade steps, deepest critical-only", rep)
+	}
+	if rep.WarmupTime != 20*time.Second || rep.WarmupEnergyJ != 100 {
+		t.Errorf("warm-up charges = %v / %v J, want 20s / 100 J", rep.WarmupTime, rep.WarmupEnergyJ)
+	}
+}
+
+func TestLadderReleasesAndScalesDownWithHysteresis(t *testing.T) {
+	ctl, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := 1
+	at := time.Duration(0)
+	tick := func(s Signals) (Decision, bool) {
+		at += time.Minute
+		s.At = at
+		return ctl.Evaluate(s)
+	}
+	// Drive to max replicas + critical-only.
+	for i := 0; i < 8; i++ {
+		if d, ok := tick(hotSignals(0, replicas)); ok {
+			replicas += d.Delta
+		}
+	}
+	if ctl.Mode() != ModeCriticalOnly || replicas != 3 {
+		t.Fatalf("setup: mode %v replicas %d, want critical-only/3", ctl.Mode(), replicas)
+	}
+	// Calm ticks: the window (4) still holds bad events, so the first
+	// calm ticks are merely "not hot" until burn decays; then each
+	// HysteresisTicks=2 calm streak releases one rung, then scales down.
+	var trail []string
+	for i := 0; i < 24; i++ {
+		if d, ok := tick(calmSignals(0, replicas)); ok {
+			replicas += d.Delta
+			trail = append(trail, d.Reason)
+		}
+	}
+	want := []string{
+		"recover:no-hedging",
+		"recover:shed-background",
+		"recover:normal",
+		"scale-down:idle",
+		"scale-down:idle",
+	}
+	if !reflect.DeepEqual(trail, want) {
+		t.Fatalf("release trail = %v, want %v", trail, want)
+	}
+	if replicas != 1 || ctl.Mode() != ModeNormal {
+		t.Errorf("final state %d replicas mode %v, want 1/normal", replicas, ctl.Mode())
+	}
+	rep := ctl.Report()
+	if rep.RecoverSteps != 3 || rep.ScaleDowns != 2 || rep.FinalMode != ModeNormal {
+		t.Errorf("report = %+v, want 3 recover steps, 2 scale-downs, final normal", rep)
+	}
+}
+
+func TestHysteresisResetOnHotTick(t *testing.T) {
+	cfg := testConfig()
+	cfg.HysteresisTicks = 3
+	ctl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reach 2 replicas so a scale-down is possible.
+	ctl.Evaluate(hotSignals(0, 1))
+	// Flush the window with good events, interleaving a hot tick right
+	// before the hysteresis threshold: no scale-down may fire.
+	for i := 0; i < 20; i++ {
+		sig := calmSignals(time.Duration(i)*time.Minute, 2)
+		if i%3 == 2 { // every third tick goes hot: streak never reaches 3
+			sig = hotSignals(sig.At, 2)
+			sig.Replicas, sig.Healthy = 2, 2
+		}
+		if d, ok := ctl.Evaluate(sig); ok && d.Delta < 0 {
+			t.Fatalf("scale-down fired at tick %d despite broken calm streak", i)
+		}
+	}
+}
+
+func TestCapacityLossIsHot(t *testing.T) {
+	ctl, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet queue but zero healthy devices: must scale up immediately.
+	d, ok := ctl.Evaluate(Signals{At: time.Minute, InSystem: 0, QueueLimit: 8, Replicas: 1, Healthy: 0})
+	if !ok || d.Delta != 1 || d.Reason != "scale-up:capacity-loss" {
+		t.Fatalf("decision = %+v ok=%v, want capacity-loss scale-up", d, ok)
+	}
+}
+
+func TestAdmissionWaitIsHot(t *testing.T) {
+	ctl, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := ctl.Evaluate(Signals{At: time.Minute, InSystem: 2, QueuedAhead: 4, QueueLimit: 8, Replicas: 1, Healthy: 1, Good: true})
+	if !ok || d.Reason != "scale-up:admission-wait" {
+		t.Fatalf("decision = %+v ok=%v, want admission-wait scale-up", d, ok)
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	ctl, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At Max, hot ticks ladder instead of scaling.
+	for i := 0; i < 30; i++ {
+		if d, ok := ctl.Evaluate(hotSignals(time.Duration(i)*time.Minute, 3)); ok && d.Delta > 0 {
+			t.Fatalf("scaled past Max at tick %d: %+v", i, d)
+		}
+	}
+	// At Min, calm ticks never scale down.
+	ctl2, _ := New(testConfig())
+	for i := 0; i < 30; i++ {
+		if d, ok := ctl2.Evaluate(calmSignals(time.Duration(i)*time.Minute, 1)); ok && d.Delta < 0 {
+			t.Fatalf("scaled below Min at tick %d: %+v", i, d)
+		}
+	}
+}
+
+func TestSameInputsSameDigest(t *testing.T) {
+	run := func() (uint64, []Decision) {
+		ctl, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas := 1
+		for i := 0; i < 40; i++ {
+			sig := calmSignals(time.Duration(i)*time.Minute, replicas)
+			if i%7 < 3 {
+				sig = hotSignals(sig.At, replicas)
+			}
+			if d, ok := ctl.Evaluate(sig); ok {
+				replicas += d.Delta
+			}
+		}
+		return ctl.Digest(), ctl.Decisions()
+	}
+	d1, dec1 := run()
+	d2, dec2 := run()
+	if d1 != d2 {
+		t.Fatalf("digests diverged: %016x != %016x", d1, d2)
+	}
+	if !reflect.DeepEqual(dec1, dec2) {
+		t.Fatalf("decision streams diverged:\n%v\n%v", dec1, dec2)
+	}
+	if len(dec1) == 0 {
+		t.Fatal("mixed drive emitted no decisions")
+	}
+}
+
+func TestNilControllerIsSafe(t *testing.T) {
+	var ctl *Controller
+	if _, ok := ctl.Evaluate(hotSignals(0, 1)); ok {
+		t.Fatal("nil controller emitted a decision")
+	}
+	if ctl.Mode() != ModeNormal || ctl.Digest() != 0 || ctl.Decisions() != nil {
+		t.Fatal("nil controller accessors not zero-valued")
+	}
+	if got := ctl.Report(); got != (Report{}) {
+		t.Fatalf("nil controller report = %+v", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{
+		ModeNormal:         "normal",
+		ModeShedBackground: "shed-background",
+		ModeNoHedging:      "no-hedging",
+		ModeCriticalOnly:   "critical-only",
+		Mode(9):            "mode(9)",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}
+
+// BenchmarkAutoscaleDecision measures one controller tick on the hot
+// path (no decision emitted most ticks).
+func BenchmarkAutoscaleDecision(b *testing.B) {
+	ctl, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig := Signals{At: time.Minute, InSystem: 3, QueueLimit: 8, Replicas: 2, Healthy: 2, Good: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig.At += time.Millisecond
+		ctl.Evaluate(sig)
+	}
+}

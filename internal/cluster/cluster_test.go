@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"edgetune/internal/autoscale"
 	"edgetune/internal/core"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
@@ -118,6 +119,53 @@ func TestClusterFailoverConvergence(t *testing.T) {
 	}
 	if got := digestOf(res2.Result); !reflect.DeepEqual(got, want) {
 		t.Errorf("resumed digest diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestClusterAutoscaleSurvivesFailover: a job tuned with the
+// autoscaler enabled and flash crowds injected is killed mid-bracket;
+// the promoted follower rebuilds its own controller, the job still
+// converges to the unsharded recommendation digest, and the autoscale
+// report is surfaced on the result.
+func TestClusterAutoscaleSurvivesFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos suite skipped in -short mode")
+	}
+	testutil.CheckGoroutineLeak(t, 4)
+
+	withAutoscale := func() core.Options {
+		opts := jobOpts()
+		opts.Autoscale = &autoscale.Config{}
+		opts.Fault = fault.Config{FlashCrowd: 0.3}
+		return opts
+	}
+	clean, err := core.Tune(context.Background(), withAutoscale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := digestOf(clean)
+
+	c := newTestCluster(t, Options{
+		Shards:              2,
+		Seed:                11,
+		KillShardAfterRungs: 2,
+	})
+	res, err := c.Submit(context.Background(), Job{Key: "acme/IC", Opts: withAutoscale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FailedOver {
+		t.Fatal("shard was not killed — the chaos hook never fired")
+	}
+	rep := res.Result.Autoscale
+	if rep == nil {
+		t.Fatal("autoscale report missing after failover")
+	}
+	if rep.ScaleUps == 0 {
+		t.Error("flash crowds never drove a scale-up on the promoted shard")
+	}
+	if got := digestOf(res.Result); !reflect.DeepEqual(got, want) {
+		t.Errorf("failed-over autoscaled digest diverged from unsharded run:\n got %+v\nwant %+v", got, want)
 	}
 }
 
@@ -413,5 +461,54 @@ func TestClusterDrainDeadline(t *testing.T) {
 	}
 	if err := <-subErr; !errors.Is(err, context.Canceled) {
 		t.Errorf("wedged job err = %v, want Canceled", err)
+	}
+}
+
+// TestClusterDrainExpiredContext: a Drain whose context expired before
+// the call skips the grace period entirely — in-flight jobs are
+// cancelled, their submitters get typed errors, and Close stays
+// idempotent (repeating the drain's verdict) afterwards.
+func TestClusterDrainExpiredContext(t *testing.T) {
+	testutil.CheckGoroutineLeak(t, 4)
+	c := newTestCluster(t, Options{Shards: 1})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	opts := jobOpts()
+	opts.AfterRung = func(bracket, rung int) error {
+		once.Do(func() { close(entered) })
+		<-release
+		return nil
+	}
+
+	subErr := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(context.Background(), Job{Key: "k", Opts: opts})
+		subErr <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the drain even starts
+	drainErr := make(chan error, 1)
+	go func() {
+		drainErr <- c.Drain(ctx)
+	}()
+	// The expired context cancels the wedged job immediately; release
+	// the rung hook so the cancellation can take effect.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	if err := <-drainErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("expired drain err = %v, want context.Canceled", err)
+	}
+	if err := <-subErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("wedged job err = %v, want Canceled", err)
+	}
+	err1 := c.Close()
+	err2 := c.Close()
+	if !errors.Is(err1, context.Canceled) || !errors.Is(err2, context.Canceled) {
+		t.Errorf("close after expired drain = %v, %v, want the drain's verdict both times", err1, err2)
 	}
 }

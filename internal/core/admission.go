@@ -231,6 +231,18 @@ func (a *admission) evictAll() []*inferJob {
 	return out
 }
 
+// evictBackground empties the background queue (the degradation
+// ladder's critical-only rung), returning the evicted jobs so the
+// server can deliver their typed errors.
+func (a *admission) evictBackground() []*inferJob {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.low
+	a.low = nil
+	a.maybeEmpty()
+	return out
+}
+
 // emptied is closed once the server is rejecting and no work remains.
 func (a *admission) emptiedCh() <-chan struct{} { return a.emptyCh }
 

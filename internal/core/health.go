@@ -73,6 +73,15 @@ type poolDevice struct {
 	state   deviceHealthState
 	probing bool // a recovery probe is in flight
 
+	// readyAt is the simulated time at which the device becomes
+	// routable: autoscaled replicas warm up first. Zero for the
+	// configured pool, which is ready from the start.
+	readyAt time.Duration
+	// retired devices (autoscale scale-down) receive no new traffic but
+	// stay in the slice so in-flight observations and the stored-entry
+	// fast path still resolve them.
+	retired bool
+
 	// Per-device registry instruments (nil when metrics are disabled).
 	mRequests *obs.Counter
 	mFailures *obs.Counter
@@ -99,42 +108,128 @@ type devicePool struct {
 	devs []*poolDevice
 	rec  *counters.Resilience
 	seq  int64
+
+	// Breaker parameters, kept so autoscaled replicas get breakers
+	// configured like the seed pool's.
+	threshold, cooldown int
 }
 
 func newDevicePool(devs []device.Device, threshold, cooldown int, rec *counters.Resilience) *devicePool {
-	p := &devicePool{rec: rec}
-	reg := rec.Registry()
+	p := &devicePool{rec: rec, threshold: threshold, cooldown: cooldown}
 	for _, d := range devs {
-		name := d.Profile.Name
-		pd := &poolDevice{
-			dev:   d,
-			name:  name,
-			br:    newBreaker(threshold, cooldown, rec),
-			score: 1,
-		}
-		if reg != nil {
-			prefix := "serving.device." + name
-			pd.mRequests = reg.Counter(prefix + ".requests")
-			pd.mFailures = reg.Counter(prefix + ".failures")
-			pd.mLatency = reg.Histogram(prefix+".latency.ms", obs.LatencyBucketsMS)
-			pd.mHealth = reg.Gauge(prefix + ".health")
-			pd.mHealth.Set(pd.score)
-		}
-		p.devs = append(p.devs, pd)
+		p.devs = append(p.devs, p.newPoolDevice(d, 0))
 	}
 	return p
 }
 
-// pick returns the next device for a fresh submission, or
-// ErrNoHealthyDevice. Deterministic: no randomness, the best-weighted
-// admissible device wins, ties broken by pool order.
-func (p *devicePool) pick() (route, error) {
+// newPoolDevice builds a routed device entry with its breaker and
+// registry instruments; callers hold p.mu (or are still single-owner
+// in newDevicePool).
+func (p *devicePool) newPoolDevice(d device.Device, readyAt time.Duration) *poolDevice {
+	pd := &poolDevice{
+		dev:     d,
+		name:    d.Profile.Name,
+		br:      newBreaker(p.threshold, p.cooldown, p.rec),
+		score:   1,
+		readyAt: readyAt,
+	}
+	if reg := p.rec.Registry(); reg != nil {
+		prefix := "serving.device." + pd.name
+		pd.mRequests = reg.Counter(prefix + ".requests")
+		pd.mFailures = reg.Counter(prefix + ".failures")
+		pd.mLatency = reg.Histogram(prefix+".latency.ms", obs.LatencyBucketsMS)
+		pd.mHealth = reg.Gauge(prefix + ".health")
+		pd.mHealth.Set(pd.score)
+	}
+	return pd
+}
+
+// addReplica joins a cloned device to the pool; it becomes routable at
+// readyAt (warm-up on the simulated clock).
+func (p *devicePool) addReplica(d device.Device, readyAt time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.devs = append(p.devs, p.newPoolDevice(d, readyAt))
+}
+
+// retireNewest removes the most recently added, still-active device
+// from routing (autoscale scale-down), never touching the pool's first
+// device. It reports the retired device's name, or false when nothing
+// is retirable.
+func (p *devicePool) retireNewest() (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.devs) - 1; i > 0; i-- {
+		if d := p.devs[i]; !d.retired {
+			d.retired = true
+			return d.name, true
+		}
+	}
+	return "", false
+}
+
+// massFail quarantines every active device at once (the MassDeviceFail
+// fault class): score to zero, no routed traffic until recovery probes
+// succeed. Returns the number of devices hit.
+func (p *devicePool) massFail() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, d := range p.devs {
+		if d.retired || d.state == deviceQuarantined {
+			continue
+		}
+		d.state = deviceQuarantined
+		d.score = 0
+		if d.mHealth != nil {
+			d.mHealth.Set(0)
+		}
+		p.rec.AddQuarantine()
+		n++
+	}
+	return n
+}
+
+// counts reports, at simulated time at: active devices (non-retired,
+// including ones still warming up) and healthy devices (active, past
+// warm-up, not quarantined).
+func (p *devicePool) counts(at time.Duration) (active, healthy int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, d := range p.devs {
+		if d.retired {
+			continue
+		}
+		active++
+		if d.state != deviceQuarantined && d.readyAt <= at {
+			healthy++
+		}
+	}
+	return active, healthy
+}
+
+// names lists every pool device name (active and retired) in join
+// order, for the stored-entry fast path.
+func (p *devicePool) names() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.devs))
+	for i, d := range p.devs {
+		out[i] = d.name
+	}
+	return out
+}
+
+// pick returns the next device for a fresh submission at simulated
+// time at, or ErrNoHealthyDevice. Deterministic: no randomness, the
+// best-weighted admissible device wins, ties broken by pool order.
+func (p *devicePool) pick(at time.Duration) (route, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.seq++
 	if p.seq%probeEvery == 0 {
 		for _, d := range p.devs {
-			if d.state == deviceQuarantined && !d.probing {
+			if d.state == deviceQuarantined && !d.probing && !d.retired {
 				if ok, brProbe := d.br.allowProbe(); ok {
 					d.probing = true
 					p.rec.AddProbe()
@@ -143,23 +238,24 @@ func (p *devicePool) pick() (route, error) {
 			}
 		}
 	}
-	return p.bestLocked(nil)
+	return p.bestLocked(nil, at)
 }
 
 // next returns the best device other than exclude, for hedged
 // re-issues.
-func (p *devicePool) next(exclude *poolDevice) (route, error) {
+func (p *devicePool) next(exclude *poolDevice, at time.Duration) (route, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.bestLocked(exclude)
+	return p.bestLocked(exclude, at)
 }
 
-// bestLocked walks the non-quarantined devices in weight order and
-// returns the first whose breaker admits traffic; callers hold p.mu.
-func (p *devicePool) bestLocked(exclude *poolDevice) (route, error) {
+// bestLocked walks the routable devices (non-quarantined, non-retired,
+// past warm-up at simulated time at) in weight order and returns the
+// first whose breaker admits traffic; callers hold p.mu.
+func (p *devicePool) bestLocked(exclude *poolDevice, at time.Duration) (route, error) {
 	order := make([]*poolDevice, 0, len(p.devs))
 	for _, d := range p.devs {
-		if d == exclude || d.state == deviceQuarantined {
+		if d == exclude || d.state == deviceQuarantined || d.retired || d.readyAt > at {
 			continue
 		}
 		order = append(order, d)

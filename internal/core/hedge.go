@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"edgetune/internal/autoscale"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
 	"edgetune/internal/perfmodel"
@@ -72,7 +73,12 @@ func (s *InferenceServer) runHedged(ctx context.Context, req InferRequest, prima
 	if s.opts.DisableHedging || len(s.pool.devs) < 2 || (!straggled && !failed) {
 		return out
 	}
-	second, err := s.pool.next(pd)
+	if s.degradeMode() >= autoscale.ModeNoHedging {
+		// The degradation ladder has switched hedging off: worst-case
+		// device load per request matters more than tail latency now.
+		return out
+	}
+	second, err := s.pool.next(pd, base)
 	if err != nil {
 		return out // nowhere to hedge; keep the primary result
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"edgetune/internal/autoscale"
 	"edgetune/internal/counters"
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
@@ -131,6 +132,10 @@ type InferenceServerOptions struct {
 	// simulated clock: a served request is "good" when its effective
 	// serving time is at or below it (default 60s).
 	SLOServeLatency time.Duration
+	// Autoscale enables the SLO-driven device-pool autoscaler and its
+	// graceful-degradation ladder (nil = static pool). Zero fields in
+	// the config select the documented defaults.
+	Autoscale *autoscale.Config
 }
 
 func (o *InferenceServerOptions) normalise() error {
@@ -215,11 +220,13 @@ type InferenceServer struct {
 	adm    *admission
 	pool   *devicePool
 	writes *store.WriteBehind
+	scale  *scaler // nil when autoscaling is disabled
 
 	// SLO objectives (nil = no accounting; Record no-ops).
 	sloLatency       *slo.Objective
 	sloRejects       *slo.Objective
 	sloTenantRejects *slo.Objective
+	sloCapacity      *slo.Objective
 
 	wg sync.WaitGroup
 
@@ -289,6 +296,13 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 		writes:    store.NewWriteBehind(opts.Store),
 		closedCh:  make(chan struct{}),
 	}
+	if opts.Autoscale != nil {
+		sc, err := newScaler(*opts.Autoscale, &s.opts)
+		if err != nil {
+			return nil, err
+		}
+		s.scale = sc
+	}
 	if reg := opts.Recorder.Registry(); reg != nil {
 		s.reg = reg
 		s.m = servingMetrics{
@@ -318,6 +332,13 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 			Description: "99% of submissions clear the per-client token bucket (not rate-limited)",
 			Target:      0.99,
 		})
+		if s.scale != nil {
+			s.sloCapacity = opts.SLO.Register(slo.Spec{
+				Name:        "serving/capacity",
+				Description: "submissions find a routable device pool with in-system headroom",
+				Target:      s.scale.ctl.Config().Target,
+			})
+		}
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -404,11 +425,14 @@ func (s *InferenceServer) PendingWrites() int { return s.writes.Pending() }
 
 // LookupStored reads an entry for any pool device (preferred first)
 // through the write-behind buffer, so callers building degraded
-// fallbacks see results that have not reached the store yet.
+// fallbacks see results that have not reached the store yet. The walk
+// covers the live pool — autoscaled replicas and retired devices
+// included — so entries tuned on a since-retired replica still satisfy
+// later duplicates.
 func (s *InferenceServer) LookupStored(sig string) (store.Entry, error) {
 	var lastErr error
-	for _, d := range s.opts.Pool {
-		e, err := s.writes.Get(sig, d.Profile.Name)
+	for _, name := range s.pool.names() {
+		e, err := s.writes.Get(sig, name)
 		if err == nil {
 			return e, nil
 		}
@@ -453,6 +477,12 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	seq := s.seq
 	s.seq++
 	s.mu.Unlock()
+
+	// Tick the autoscaler before anything can short-circuit the
+	// submission: every submission is one control-loop tick and one
+	// capacity SLO event, cache hits included, so the tick stream is
+	// exactly the submission sequence.
+	s.autoscaleTick(req, seq)
 
 	// The request's root span is keyed on the submission sequence,
 	// which is deterministic for a deterministic submission order (the
@@ -510,6 +540,20 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	s.pending[req.Signature] = c
 	s.mu.Unlock()
 
+	// Degradation ladder: once it has stepped past normal, background
+	// traffic is shed at the gate so critical work keeps the queue.
+	// Cache hits above stay free — degraded service still answers what
+	// it already knows.
+	if req.Priority == PriorityBackground {
+		if mode := s.degradeMode(); mode >= autoscale.ModeShedBackground {
+			s.opts.Recorder.AddShed()
+			s.scale.cShed.Inc()
+			s.admissionSpan(c, "shed-degraded", "", -1)
+			s.deliver(c, InferOutcome{Err: fmt.Errorf("core: background shed by degradation ladder (%s): %w", mode, ErrOverloaded)})
+			return out
+		}
+	}
+
 	// Injected overload burst: a synthetic traffic spike sheds this
 	// submission at the gate.
 	if ferr := s.opts.Fault.Fail(fault.OverloadBurst, fmt.Sprintf("admit/%s#%d", req.Client, seq), 0); ferr != nil {
@@ -522,7 +566,7 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	// Route before queuing so workers never see an unrouted job. Fail
 	// fast when the pool has nothing healthy to offer; the caller
 	// falls back to degraded data instead of queueing doomed work.
-	rt, rerr := s.pool.pick()
+	rt, rerr := s.pool.pick(req.SubmitTime)
 	if rerr != nil {
 		s.admissionSpan(c, "no-healthy-device", "", -1)
 		s.deliver(c, InferOutcome{Err: rerr})
@@ -637,8 +681,8 @@ func (s *InferenceServer) worker() {
 			// Cancelled between queue and worker; the watcher may have
 			// lost the race to remove it.
 			s.pool.release(job.rt)
-			s.deliver(job.call, InferOutcome{Err: job.ctx.Err()})
 			s.adm.done()
+			s.deliver(job.call, InferOutcome{Err: job.ctx.Err()})
 			continue
 		}
 		jctx, cancel := context.WithCancel(job.ctx)
@@ -655,8 +699,12 @@ func (s *InferenceServer) worker() {
 		if s.adm.isRejecting() {
 			s.opts.Recorder.AddDrained()
 		}
-		s.deliver(job.call, out)
+		// Retire the in-system slot before delivering the outcome: a
+		// caller that awaits each request then observes a fully-drained
+		// queue at its next submission, keeping the autoscaler's
+		// in-system signal deterministic for sequential drivers.
 		s.adm.done()
+		s.deliver(job.call, out)
 		s.m.queue.Set(float64(s.adm.inSystem()))
 	}
 }

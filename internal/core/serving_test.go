@@ -291,6 +291,34 @@ func TestDrainDeadlineEvicts(t *testing.T) {
 	}
 }
 
+// TestDrainExpiredContext: a Drain whose context expired before the
+// call must still run the deadline-eviction path — every queued caller
+// receives a typed outcome rather than hanging — and Close stays
+// idempotent afterwards.
+func TestDrainExpiredContext(t *testing.T) {
+	testutil.CheckGoroutineLeak(t, 2)
+	srv, _ := servingServer(t, store.New(), nil)
+	srv.adm.setHold(true) // keep both submissions queued
+	a := srv.Submit(context.Background(), sigRequest(0))
+	b := srv.Submit(context.Background(), sigRequest(1))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the drain even starts
+	if err := srv.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired drain returned %v, want context.Canceled", err)
+	}
+	for i, ch := range []<-chan InferOutcome{a, b} {
+		if out := mustOutcome(t, ch); !errors.Is(out.Err, ErrServerClosed) {
+			t.Errorf("queued request %d err = %v, want ErrServerClosed", i, out.Err)
+		}
+	}
+	if out := mustOutcome(t, srv.Submit(context.Background(), sigRequest(2))); !errors.Is(out.Err, ErrServerClosed) {
+		t.Errorf("submit after expired drain err = %v, want ErrServerClosed", out.Err)
+	}
+	srv.Close()
+	srv.Close() // idempotent after a drain, including repeated calls
+}
+
 // TestHedgeOnBrownout: with a browned-out primary, the server issues a
 // deterministic hedge to the twin device and the request still
 // succeeds.
@@ -384,7 +412,7 @@ func TestPoolQuarantineAndRecovery(t *testing.T) {
 
 	// Routing avoids the quarantined device...
 	for i := 1; i <= 3; i++ {
-		rt, err := pool.pick()
+		rt, err := pool.pick(0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -397,7 +425,7 @@ func TestPoolQuarantineAndRecovery(t *testing.T) {
 	// the first probe attempts, then half-opens and admits one.
 	var probe route
 	for i := 0; i < 3*probeEvery && probe.pd == nil; i++ {
-		rt, err := pool.pick()
+		rt, err := pool.pick(0)
 		if err != nil {
 			t.Fatal(err)
 		}

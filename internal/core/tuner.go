@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"edgetune/internal/autoscale"
 	"edgetune/internal/budget"
 	"edgetune/internal/counters"
 	"edgetune/internal/device"
@@ -122,6 +123,13 @@ type Options struct {
 	// admission, quota counters, and the tenant-rejections SLO all see
 	// the same identity the cluster dispatcher admitted.
 	Tenant string
+
+	// Autoscale enables the inference server's SLO-driven device-pool
+	// autoscaler and graceful-degradation ladder (nil = static pool).
+	// The controller's report lands in Result.Autoscale, and the
+	// replicas' warm-up time and energy are charged to the job's
+	// budget totals.
+	Autoscale *autoscale.Config
 
 	// AfterRung, when non-nil, runs after each completed (and
 	// checkpointed) rung; a non-nil return aborts the job. Chaos hook:
@@ -314,6 +322,10 @@ type Result struct {
 	// SLO is the job's service-level evaluation at its simulated end
 	// (zero value when Options.SLO is nil).
 	SLO slo.Snapshot
+
+	// Autoscale is the device-pool autoscaler's run report (nil when
+	// Options.Autoscale is nil).
+	Autoscale *autoscale.Report
 }
 
 // Tune runs the EdgeTune onefold tuning loop (Algorithm 1): brackets of
@@ -414,11 +426,22 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			BreakerCooldown:  opts.BreakerCooldown,
 			Trace:            opts.Trace,
 			SLO:              opts.SLO,
+			Autoscale:        opts.Autoscale,
 		})
 		if err != nil {
 			return res, err
 		}
 		defer infSrv.Close()
+		// Defer LIFO: snapshot the autoscaler before Close tears the
+		// server down, and charge the replicas' warm-up time and energy
+		// to the job's budget totals.
+		defer func() {
+			if rep := infSrv.AutoscaleReport(); rep != nil {
+				res.Autoscale = rep
+				res.TuningDuration += rep.WarmupTime
+				res.TuningEnergyKJ += rep.WarmupEnergyJ / 1000
+			}
+		}()
 	}
 
 	// Saturated allocation: scores use each configuration's projected

@@ -327,3 +327,42 @@ func TestTable2EdgeTuneRow(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchmarkAutoscaleDecisionShape: steady load is decision-free,
+// surge and outage traces balance their ups/downs and ladder steps, and
+// the decision digests are stable across regenerations.
+func TestBenchmarkAutoscaleDecisionShape(t *testing.T) {
+	tab, err := BenchmarkAutoscaleDecision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 scenarios, got %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "steady" || tab.Rows[0][2] != "0" {
+		t.Errorf("steady scenario emitted decisions: %v", tab.Rows[0])
+	}
+	for _, row := range tab.Rows[1:3] { // diurnal-surge, capacity-loss
+		if row[3] != row[4] {
+			t.Errorf("%s: scale-ups %s != scale-downs %s", row[0], row[3], row[4])
+		}
+		if row[5] != row[6] {
+			t.Errorf("%s: degrades %s != recovers %s", row[0], row[5], row[6])
+		}
+		if row[7] != "critical-only" {
+			t.Errorf("%s: never reached critical-only: %v", row[0], row)
+		}
+	}
+	if guard := cell(t, tab, 3, 2); guard > 10 {
+		t.Errorf("thrash-guard flapped: %.0f decisions", guard)
+	}
+	again, err := BenchmarkAutoscaleDecision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tab.Rows {
+		if row[8] != again.Rows[i][8] {
+			t.Errorf("%s digest unstable: %s vs %s", row[0], row[8], again.Rows[i][8])
+		}
+	}
+}

@@ -78,11 +78,25 @@ const (
 	// replica): frames queue in order and land late, so a failover first
 	// drains the lagged backlog (catch-up replay) before promotion.
 	FollowerLag Class = "follower-lag"
+	// FlashCrowd injects a phantom traffic surge at one inference
+	// submission: the autoscaler's in-system signal is inflated by a
+	// burst of simulated arrivals that decays linearly, driving
+	// scale-up and (if it persists) the degradation ladder.
+	FlashCrowd Class = "flash-crowd"
+	// MassDeviceFail quarantines every active device in the serving
+	// pool at once (rack power event, fleet-wide bad firmware push).
+	// It fires at most once per run; recovery comes from health probes
+	// and autoscaled replacement replicas.
+	MassDeviceFail Class = "mass-device-fail"
+	// ScaleStall makes one autoscale scale-up fail to materialise
+	// (cloud capacity shortage, image pull failure): the warm-up cost
+	// is still charged but the replica never joins the pool.
+	ScaleStall Class = "scale-stall"
 )
 
 // Classes lists every fault class in deterministic order.
 func Classes() []Class {
-	return []Class{DeviceBrownout, DeviceFlap, DiskBitFlip, DiskCrash, DiskFull, DiskSlowFsync, DiskTornWrite, DroppedReply, FollowerLag, NetPartition, OverloadBurst, ShardKill, StoreWrite, Straggler, TrialCrash, TrialNaN}
+	return []Class{DeviceBrownout, DeviceFlap, DiskBitFlip, DiskCrash, DiskFull, DiskSlowFsync, DiskTornWrite, DroppedReply, FlashCrowd, FollowerLag, MassDeviceFail, NetPartition, OverloadBurst, ScaleStall, ShardKill, StoreWrite, Straggler, TrialCrash, TrialNaN}
 }
 
 // Config holds per-class injection probabilities in [0, 1].
@@ -126,6 +140,13 @@ type Config struct {
 	ShardKill    float64 `json:"shardKill,omitempty"`
 	NetPartition float64 `json:"netPartition,omitempty"`
 	FollowerLag  float64 `json:"followerLag,omitempty"`
+	// The autoscale classes fire on the serving pool's control loop:
+	// FlashCrowd per inference submission (phantom arrival surge),
+	// MassDeviceFail once per run on the whole pool, ScaleStall per
+	// attempted scale-up.
+	FlashCrowd     float64 `json:"flashCrowd,omitempty"`
+	MassDeviceFail float64 `json:"massDeviceFail,omitempty"`
+	ScaleStall     float64 `json:"scaleStall,omitempty"`
 }
 
 // Enabled reports whether any class has a non-zero probability.
@@ -188,6 +209,12 @@ func (c Config) prob(class Class) float64 {
 		return c.NetPartition
 	case FollowerLag:
 		return c.FollowerLag
+	case FlashCrowd:
+		return c.FlashCrowd
+	case MassDeviceFail:
+		return c.MassDeviceFail
+	case ScaleStall:
+		return c.ScaleStall
 	default:
 		return 0
 	}

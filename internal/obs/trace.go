@@ -35,18 +35,20 @@ import (
 // Tracks group spans into Perfetto threads: the tuning loop and the
 // inference serving path render as separate swim lanes.
 const (
-	TrackTuner   = 1
-	TrackServing = 2
-	TrackStore   = 3
-	TrackCluster = 4
+	TrackTuner     = 1
+	TrackServing   = 2
+	TrackStore     = 3
+	TrackCluster   = 4
+	TrackAutoscale = 5
 )
 
 // trackNames label the tracks in the Chrome trace metadata.
 var trackNames = map[int]string{
-	TrackTuner:   "model-tuning",
-	TrackServing: "inference-serving",
-	TrackStore:   "historical-store",
-	TrackCluster: "cluster",
+	TrackTuner:     "model-tuning",
+	TrackServing:   "inference-serving",
+	TrackStore:     "historical-store",
+	TrackCluster:   "cluster",
+	TrackAutoscale: "autoscale",
 }
 
 // SpanID identifies a span; 0 means "no parent".
