@@ -16,10 +16,12 @@ import (
 	"testing"
 
 	"edgetune/internal/budget"
+	"edgetune/internal/cluster"
 	"edgetune/internal/core"
 	"edgetune/internal/device"
 	"edgetune/internal/experiments"
 	"edgetune/internal/nn"
+	"edgetune/internal/obs"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
 	"edgetune/internal/sim"
@@ -321,6 +323,65 @@ func BenchmarkInferenceServerCacheHit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := st.Get(sig, "i7"); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceEmission measures span emission — root, attributed
+// child, two ends — the tracer cost every traced trial pays.
+func BenchmarkTraceEmission(b *testing.B) {
+	tracer := obs.NewTracer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := tracer.Root(0, "bench", uint64(i)+1, 0)
+		sp := root.Child("stage", 0, obs.Int("i", int64(i)))
+		sp.End(1)
+		root.End(1)
+	}
+}
+
+// BenchmarkWALAppend measures one durable-store put on a real WAL
+// file: encode, checksum, append.
+func BenchmarkWALAppend(b *testing.B) {
+	dur, err := store.OpenDurable(store.DurableOptions{
+		SnapshotPath:  b.TempDir() + "/store.json",
+		SnapshotEvery: 1 << 30, // no compaction mid-benchmark
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dur.Close()
+	st := dur.Store()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Put(store.Entry{
+			Signature: "wal" + strconv.Itoa(i),
+			Device:    "i7",
+			Config:    search.Config{"infer_batch": 16},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterDispatch measures the consistent-hash owner lookup
+// every cluster submission starts with.
+func BenchmarkClusterDispatch(b *testing.B) {
+	ring := cluster.NewRing(64)
+	for i := 0; i < 4; i++ {
+		ring.Add("shard" + strconv.Itoa(i))
+	}
+	keys := make([]string, 128)
+	for i := range keys {
+		keys[i] = "tenant-" + strconv.Itoa(i%17) + "/job-" + strconv.Itoa(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ring.Owner(keys[i%len(keys)]) == "" {
+			b.Fatal("no owner")
 		}
 	}
 }

@@ -164,4 +164,36 @@ go run ./cmd/benchtab -only BenchmarkAutoscaleDecision \
 go run ./cmd/tracetool check-bench -baseline "$baseline" \
     -tolerance "$BENCH_TOLERANCE" "$tracedir/bench-autoscale.json"
 
+echo "== profile-plane gate =="
+# The profiling plane end to end. First the registry/probe layers under
+# concurrent writers, twice under the race detector. Then the expanded
+# hot-loop benchmark suite: every Benchmark* experiment reports
+# allocs/op, gated against the committed baseline (wall time AND
+# allocation regressions). Finally a labeled chaos run: capture a CPU
+# profile across a profiled cluster run and require that the pprof
+# label taxonomy (tenant/shard/rung/bracket) actually landed in it.
+go test -race -count=2 \
+    -run 'TestRegistryConcurrentWriters|TestWritePrometheus|TestProf|TestMeasure|TestDo' \
+    ./internal/obs ./internal/obs/prof
+go run ./cmd/benchtab -only Benchmark -json "$tracedir/bench-hotloops.json" >/dev/null
+go run ./cmd/tracetool check-bench -baseline "$baseline" \
+    -tolerance "$BENCH_TOLERANCE" "$tracedir/bench-hotloops.json"
+pdir="$tracedir/profplane"
+"$tracedir/chaos" -seed 42 -cluster 2 -cluster-dir "$pdir" -profile \
+    -cpuprofile "$tracedir/chaos-cpu.pprof" > "$tracedir/chaos-profile.out"
+grep -q "profile (allocs/op, bytes/op):" "$tracedir/chaos-profile.out"
+grep -q "nn.minibatch-step" "$tracedir/chaos-profile.out"
+go run ./cmd/tracetool profile check -want tenant,shard,rung,bracket \
+    "$tracedir/chaos-cpu.pprof"
+# The profiled run must still be the same run: label propagation and
+# alloc probes ride alongside the pipeline, never inside the digest.
+profile_digest=$(grep '^digest: ' "$tracedir/chaos-profile.out")
+if [ "$clean_digest" != "$profile_digest" ]; then
+    echo "profiled run diverged: '$profile_digest' != unprofiled '$clean_digest'" >&2
+    exit 1
+fi
+# Label-free fast path: the disabled-profiling benchmark must keep
+# running (a regression here would tax every unprofiled hot loop).
+go test -run '^$' -bench BenchmarkProfDisabled -benchtime=1x ./internal/obs/prof
+
 echo "ci: all checks passed"

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"sort"
 
 	"edgetune/internal/cluster"
 	"edgetune/internal/obs"
@@ -46,6 +48,11 @@ type ClusterOptions struct {
 	// TracePath, when set, writes the cluster's dispatcher spans (job
 	// routing, failovers) as JSON Lines at Close.
 	TracePath string
+	// DebugAddr, when set (e.g. "localhost:0"), serves the cluster's
+	// debug endpoints: the dispatcher registry on /metrics*, plus a
+	// merged /metrics/prom where every shard's store instruments carry
+	// a shard="<name>" label alongside the unlabeled cluster series.
+	DebugAddr string
 }
 
 // Cluster is a running sharded tuning cluster. Tune routes jobs to
@@ -56,6 +63,7 @@ type Cluster struct {
 	ev     *slo.Evaluator
 	tracer *obs.Tracer
 	path   string
+	dbg    *obs.DebugServer
 }
 
 // ClusterReport is a completed cluster job's outcome.
@@ -93,8 +101,41 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{inner: inner, reg: reg, ev: ev, tracer: tracer, path: opts.TracePath}, nil
+	c := &Cluster{inner: inner, reg: reg, ev: ev, tracer: tracer, path: opts.TracePath}
+	if opts.DebugAddr != "" {
+		dbg, err := obs.StartDebugServerOpts(opts.DebugAddr, obs.DebugOptions{
+			Registry: reg,
+			Handlers: map[string]http.Handler{
+				// Override the single-registry exposition with the
+				// merged cluster view: dispatcher series unlabeled,
+				// each shard's store series labeled shard="<name>".
+				"/metrics/prom": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+					w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+					parts := []obs.LabeledSnapshot{{Snapshot: c.reg.Snapshot()}}
+					shards := c.inner.ShardMetrics()
+					names := make([]string, 0, len(shards))
+					for name := range shards {
+						names = append(names, name)
+					}
+					sort.Strings(names)
+					for _, name := range names {
+						parts = append(parts, obs.LabeledSnapshot{Value: name, Snapshot: shards[name]})
+					}
+					obs.WritePrometheusLabeled(w, "shard", parts)
+				}),
+			},
+		})
+		if err != nil {
+			inner.Close()
+			return nil, fmt.Errorf("edgetune: cluster debug server: %w", err)
+		}
+		c.dbg = dbg
+	}
+	return c, nil
 }
+
+// DebugAddr reports the bound debug listen address ("" when disabled).
+func (c *Cluster) DebugAddr() string { return c.dbg.Addr() }
 
 // Tune runs one job on the shard owning its key (the tenant/workload
 // pair), failing over mid-job if that shard's primary is killed. Jobs
@@ -147,6 +188,18 @@ func (c *Cluster) Metrics() MetricsReport {
 	return buildMetricsReport(c.reg.Snapshot())
 }
 
+// ShardMetrics snapshots each shard's store instruments, keyed by shard
+// name — the same per-shard series the debug endpoint's merged
+// /metrics/prom labels with shard="<name>".
+func (c *Cluster) ShardMetrics() map[string]MetricsReport {
+	shards := c.inner.ShardMetrics()
+	out := make(map[string]MetricsReport, len(shards))
+	for name, snap := range shards {
+		out[name] = buildMetricsReport(snap)
+	}
+	return out
+}
+
 // SLO evaluates the cluster's service-level objectives (currently the
 // tenant-admission objective).
 func (c *Cluster) SLO() SLOReport {
@@ -157,6 +210,7 @@ func (c *Cluster) SLO() SLOReport {
 // by ctx) before every shard's store is sealed.
 func (c *Cluster) Drain(ctx context.Context) error {
 	err := c.inner.Drain(ctx)
+	c.dbg.Close()
 	return c.saveTrace(err)
 }
 
@@ -164,6 +218,7 @@ func (c *Cluster) Drain(ctx context.Context) error {
 // Idempotent.
 func (c *Cluster) Close() error {
 	err := c.inner.Close()
+	c.dbg.Close()
 	return c.saveTrace(err)
 }
 

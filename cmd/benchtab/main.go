@@ -28,12 +28,19 @@ func main() {
 	}
 }
 
-// benchEntry is one experiment's wall-time record in the -json output.
+// benchEntry is one experiment's record in the -json output: wall time
+// plus, for experiments carrying an alloc probe, the hot loop's
+// allocation cost per operation. The alloc fields are pointers so a
+// probed zero-alloc loop still reports "allocs_per_op": 0 — that zero
+// is a guarantee the regression gate protects — while unprobed
+// experiments omit the fields entirely.
 type benchEntry struct {
-	ID          string  `json:"id"`
-	Title       string  `json:"title"`
-	Rows        int     `json:"rows"`
-	WallSeconds float64 `json:"wallSeconds"`
+	ID          string   `json:"id"`
+	Title       string   `json:"title"`
+	Rows        int      `json:"rows"`
+	WallSeconds float64  `json:"wallSeconds"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 }
 
 // benchReport is the -json output: per-experiment regeneration times,
@@ -46,7 +53,7 @@ type benchReport struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	var (
-		only     = fs.String("only", "", "run only the experiment whose ID contains this string (e.g. \"13\" or \"Table 1\")")
+		only     = fs.String("only", "", "run only experiments whose ID contains one of these comma-separated strings (e.g. \"13\", \"Table 1\", or \"Table 2,Benchmark\")")
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		jsonPath = fs.String("json", "", "write per-experiment wall times to this JSON file")
 	)
@@ -54,10 +61,26 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	var filters []string
+	if *only != "" {
+		filters = strings.Split(*only, ",")
+	}
+	matches := func(id string) bool {
+		if len(filters) == 0 {
+			return true
+		}
+		for _, f := range filters {
+			if strings.Contains(id, strings.TrimSpace(f)) {
+				return true
+			}
+		}
+		return false
+	}
+
 	var bench benchReport
 	ran := 0
 	for _, exp := range experiments.All() {
-		if *only != "" && !strings.Contains(exp.ID, *only) {
+		if !matches(exp.ID) {
 			continue
 		}
 		if *list {
@@ -72,12 +95,17 @@ func run(args []string, out io.Writer) error {
 		}
 		elapsed := time.Since(start).Seconds()
 		fmt.Fprintf(out, "%s(regenerated in %.1fs)\n\n", tab, elapsed)
-		bench.Experiments = append(bench.Experiments, benchEntry{
+		entry := benchEntry{
 			ID:          exp.ID,
 			Title:       tab.Title,
 			Rows:        len(tab.Rows),
 			WallSeconds: elapsed,
-		})
+		}
+		if tab.ProbeRuns > 0 {
+			allocs, bytes := tab.AllocsPerOp, tab.BytesPerOp
+			entry.AllocsPerOp, entry.BytesPerOp = &allocs, &bytes
+		}
+		bench.Experiments = append(bench.Experiments, entry)
 		bench.TotalSeconds += elapsed
 		ran++
 	}

@@ -15,13 +15,17 @@ func TestRunList(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"Figure 1", "Figure 17", "Table 1", "Table 2", "BenchmarkAutoscaleDecision"} {
+	for _, want := range []string{
+		"Figure 1", "Figure 17", "Table 1", "Table 2",
+		"BenchmarkAutoscaleDecision", "BenchmarkNNMiniBatch",
+		"BenchmarkWALAppend", "BenchmarkClusterDispatch",
+	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("list missing %q", want)
 		}
 	}
-	if lines := strings.Count(got, "\n"); lines != 19 {
-		t.Errorf("list has %d lines, want 19 experiments", lines)
+	if lines := strings.Count(got, "\n"); lines != 25 {
+		t.Errorf("list has %d lines, want 25 experiments", lines)
 	}
 }
 

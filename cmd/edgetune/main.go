@@ -100,6 +100,7 @@ func run(args []string, out io.Writer) error {
 		tracePath   = fs.String("trace", "", "write the deterministic span trace as JSON Lines to this file")
 		chromePath  = fs.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable)")
 		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /metrics/prom, /healthz, /slo, /analyze, /debug/vars, and /debug/pprof on this address while tuning")
+		profileOn   = fs.Bool("profile", false, "enable the profiling plane: pprof label attribution on both pipelines plus per-stage allocation probes in the report")
 		showMetrics = fs.Bool("metrics", false, "print the full metrics snapshot and SLO evaluation after the report")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -177,6 +178,9 @@ func run(args []string, out io.Writer) error {
 		if *debugAddr != "" {
 			job.DebugAddr = *debugAddr
 		}
+		if *profileOn {
+			job.Profile = true
+		}
 	} else {
 		job = edgetune.Job{
 			Workload:              *workloadID,
@@ -220,6 +224,7 @@ func run(args []string, out io.Writer) error {
 			TracePath:        *tracePath,
 			TraceChromePath:  *chromePath,
 			DebugAddr:        *debugAddr,
+			Profile:          *profileOn,
 		}
 	}
 
@@ -379,6 +384,12 @@ func printReport(out io.Writer, r *edgetune.Report) {
 		fmt.Fprintf(out, "    frequency     %.2f GHz\n", rec.FrequencyGHz)
 		fmt.Fprintf(out, "    throughput    %.1f samples/s\n", rec.Throughput)
 		fmt.Fprintf(out, "    energy        %.3f J/sample\n", rec.EnergyPerSampleJ)
+	}
+	if len(r.Profile) > 0 {
+		fmt.Fprintf(out, "  profile (allocs/op, bytes/op):\n")
+		for _, p := range r.Profile {
+			fmt.Fprintf(out, "    %-22s %8.1f  %10.0f\n", p.Stage, p.AllocsPerOp, p.BytesPerOp)
+		}
 	}
 	if a := r.Autoscale; a != nil {
 		fmt.Fprintf(out, "  autoscale:\n")

@@ -1,18 +1,21 @@
 // Command tracetool consumes the pipeline's observability artefacts:
 // it analyses JSONL span traces ("where did the time go?"), diffs two
 // same-workload traces span-class by span-class, gates CI on benchtab
-// wall-time regressions, and scrubs durable-store files for
+// wall-time and allocation regressions, checks captured pprof profiles
+// for expected label strings, and scrubs durable-store files for
 // corruption.
 //
 // Usage:
 //
 //	tracetool analyze [-json] trace.jsonl
 //	tracetool diff [-threshold 0.10] a.jsonl b.jsonl
-//	tracetool check-bench [-tolerance 0.5] [-min-seconds 1] -baseline BENCH_old.json current.json
+//	tracetool check-bench [-tolerance 0.5] [-min-seconds 1] [-alloc-tolerance 0.25] [-alloc-slack 16] -baseline BENCH_old.json current.json
+//	tracetool profile check -want tenant,shard,rung cpu.pprof
 //	tracetool store verify [-json] [-wal store.json.wal] store.json
 //
 // Exit codes: 0 clean, 1 usage or I/O error, 2 gate failure (flagged
-// diff deltas, a wall-time regression, or store corruption).
+// diff deltas, a wall-time or alloc regression, missing profile
+// labels, or store corruption).
 package main
 
 import (
@@ -22,8 +25,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"edgetune/internal/obs/analyze"
+	"edgetune/internal/obs/prof"
 	"edgetune/internal/store"
 )
 
@@ -55,11 +60,68 @@ func run(args []string, out io.Writer) error {
 		return runDiff(args[1:], out)
 	case "check-bench":
 		return runCheckBench(args[1:], out)
+	case "profile":
+		return runProfile(args[1:], out)
 	case "store":
 		return runStore(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want analyze, diff, check-bench, or store)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want analyze, diff, check-bench, profile, or store)", args[0])
 	}
+}
+
+// runProfile dispatches the pprof-profile subcommands.
+func runProfile(args []string, out io.Writer) error {
+	if len(args) == 0 || args[0] != "check" {
+		return errors.New("usage: tracetool profile check -want k1,k2,... profile.pprof")
+	}
+	return runProfileCheck(args[1:], out)
+}
+
+// runProfileCheck verifies that a captured pprof profile's string
+// table contains every wanted string — the label keys (and values)
+// the profiling plane is expected to have attributed samples with.
+// Exit 2 when any are missing: either labels were not applied, or no
+// labelled work was sampled.
+func runProfileCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool profile check", flag.ContinueOnError)
+	want := fs.String("want", "", "comma-separated strings that must appear in the profile's string table (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *want == "" || fs.NArg() != 1 {
+		return errors.New("usage: tracetool profile check -want k1,k2,... profile.pprof")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	table, err := prof.ProfileStrings(data)
+	if err != nil {
+		return err
+	}
+	var wanted []string
+	for _, w := range strings.Split(*want, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			wanted = append(wanted, w)
+		}
+	}
+	missing := prof.MissingStrings(table, wanted)
+	for _, w := range wanted {
+		status := "ok  "
+		for _, m := range missing {
+			if m == w {
+				status = "MISS"
+			}
+		}
+		fmt.Fprintf(out, "%s %s\n", status, w)
+	}
+	fmt.Fprintf(out, "profile: %d strings in table, %d/%d wanted present\n",
+		len(table), len(wanted)-len(missing), len(wanted))
+	if len(missing) > 0 {
+		return fmt.Errorf("%w: profile missing %d label strings: %s",
+			errGate, len(missing), strings.Join(missing, ", "))
+	}
+	return nil
 }
 
 // runStore dispatches the store maintenance subcommands.
@@ -176,12 +238,17 @@ func runDiff(args []string, out io.Writer) error {
 	return nil
 }
 
-// benchEntry and benchReport mirror benchtab's -json artefact.
+// benchEntry and benchReport mirror benchtab's -json artefact. The
+// alloc fields are pointers because absent-vs-zero matters: a missing
+// field means the experiment carried no probe, while an explicit 0 is
+// a measured allocation-free hot loop the gate must defend.
 type benchEntry struct {
-	ID          string  `json:"id"`
-	Title       string  `json:"title"`
-	Rows        int     `json:"rows"`
-	WallSeconds float64 `json:"wallSeconds"`
+	ID          string   `json:"id"`
+	Title       string   `json:"title"`
+	Rows        int      `json:"rows"`
+	WallSeconds float64  `json:"wallSeconds"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 }
 
 type benchReport struct {
@@ -207,6 +274,8 @@ func runCheckBench(args []string, out io.Writer) error {
 		baseline   = fs.String("baseline", "", "committed BENCH_*.json to compare against (required)")
 		tolerance  = fs.Float64("tolerance", 0.5, "allowed relative wall-time growth per experiment")
 		minSeconds = fs.Float64("min-seconds", 1.0, "ignore regressions where the current time is below this floor (microsecond-scale baselines are all noise)")
+		allocTol   = fs.Float64("alloc-tolerance", 0.25, "allowed relative allocs/op growth per experiment (alloc counts are near-deterministic, so this is tighter than wall time)")
+		allocSlack = fs.Float64("alloc-slack", 16, "absolute allocs/op headroom added to the limit, absorbing runtime noise on tiny baselines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -244,6 +313,23 @@ func runCheckBench(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "FAIL %-28s %.6fs -> %.6fs exceeds limit %.6fs\n",
 				b.ID, b.WallSeconds, c.WallSeconds, limit)
 		}
+		// Alloc gating: only for experiments whose baseline carries a
+		// probe (a zero-alloc baseline still gates — alloc-slack is the
+		// headroom). A current run without the probe (older binary)
+		// skips rather than comparing an absent value.
+		if b.AllocsPerOp != nil {
+			switch allocLimit := *b.AllocsPerOp*(1+*allocTol) + *allocSlack; {
+			case c.AllocsPerOp == nil:
+				fmt.Fprintf(out, "SKIP %-28s no allocs/op in current run\n", b.ID)
+			case *c.AllocsPerOp <= allocLimit:
+				fmt.Fprintf(out, "ok   %-28s %.1f -> %.1f allocs/op (limit %.1f)\n",
+					b.ID, *b.AllocsPerOp, *c.AllocsPerOp, allocLimit)
+			default:
+				regressions++
+				fmt.Fprintf(out, "FAIL %-28s %.1f -> %.1f allocs/op exceeds limit %.1f\n",
+					b.ID, *b.AllocsPerOp, *c.AllocsPerOp, allocLimit)
+			}
+		}
 	}
 	totalLimit := base.TotalSeconds * (1 + *tolerance)
 	if cur.TotalSeconds > totalLimit && cur.TotalSeconds >= *minSeconds {
@@ -255,7 +341,7 @@ func runCheckBench(args []string, out io.Writer) error {
 			base.TotalSeconds, cur.TotalSeconds, totalLimit)
 	}
 	if regressions > 0 {
-		return fmt.Errorf("%w: %d wall-time regressions beyond %.0f%% tolerance", errGate, regressions, *tolerance*100)
+		return fmt.Errorf("%w: %d wall-time or allocs/op regressions beyond tolerance", errGate, regressions)
 	}
 	return nil
 }

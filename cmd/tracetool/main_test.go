@@ -146,3 +146,81 @@ func TestCheckBench(t *testing.T) {
 		t.Fatalf("sub-floor growth must pass: %v\n%s", err, out.String())
 	}
 }
+
+// TestCheckBenchAllocGate: the alloc gate fires on a real allocs/op
+// regression (exit 2), tolerates growth within tolerance+slack, and
+// skips experiments without a probe in either run.
+func TestCheckBenchAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeBench(t, base, `{"experiments":[
+		{"id":"BenchmarkWALAppend","title":"t","rows":1,"wallSeconds":0.1,"allocs_per_op":100},
+		{"id":"Table 2","title":"t","rows":3,"wallSeconds":0.1}],"totalSeconds":0.2}`)
+
+	// 3x the baseline allocs: well past 100*1.25+16.
+	slow := filepath.Join(dir, "alloc-regress.json")
+	writeBench(t, slow, `{"experiments":[
+		{"id":"BenchmarkWALAppend","title":"t","rows":1,"wallSeconds":0.1,"allocs_per_op":300},
+		{"id":"Table 2","title":"t","rows":3,"wallSeconds":0.1}],"totalSeconds":0.2}`)
+	var out bytes.Buffer
+	if err := run([]string{"check-bench", "-baseline", base, slow}, &out); !errors.Is(err, errGate) {
+		t.Fatalf("alloc regression err = %v, want gate failure\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op exceeds limit") {
+		t.Errorf("output must name the alloc regression:\n%s", out.String())
+	}
+
+	// Within tolerance + slack: 100 -> 130 <= 100*1.25+16.
+	ok := filepath.Join(dir, "alloc-ok.json")
+	writeBench(t, ok, `{"experiments":[
+		{"id":"BenchmarkWALAppend","title":"t","rows":1,"wallSeconds":0.1,"allocs_per_op":130},
+		{"id":"Table 2","title":"t","rows":3,"wallSeconds":0.1}],"totalSeconds":0.2}`)
+	out.Reset()
+	if err := run([]string{"check-bench", "-baseline", base, ok}, &out); err != nil {
+		t.Fatalf("in-tolerance alloc growth must pass: %v\n%s", err, out.String())
+	}
+
+	// Probe absent from the current run: skip, not a 0-vs-100 failure.
+	noprobe := filepath.Join(dir, "alloc-none.json")
+	writeBench(t, noprobe, `{"experiments":[
+		{"id":"BenchmarkWALAppend","title":"t","rows":1,"wallSeconds":0.1},
+		{"id":"Table 2","title":"t","rows":3,"wallSeconds":0.1}],"totalSeconds":0.2}`)
+	out.Reset()
+	if err := run([]string{"check-bench", "-baseline", base, noprobe}, &out); err != nil {
+		t.Fatalf("missing current probe must skip, got: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no allocs/op in current run") {
+		t.Errorf("output must note the skipped probe:\n%s", out.String())
+	}
+}
+
+// pprofString encodes one Profile.string_table entry (field 6).
+func pprofString(b []byte, s string) []byte {
+	b = append(b, 6<<3|2, byte(len(s)))
+	return append(b, s...)
+}
+
+// TestProfileCheck: the profile gate passes when every wanted string
+// is in the profile's string table and exits 2 when one is missing.
+func TestProfileCheck(t *testing.T) {
+	var raw []byte
+	for _, s := range []string{"", "samples", "tenant", "acme", "rung"} {
+		raw = pprofString(raw, s)
+	}
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"profile", "check", "-want", "tenant,rung,acme", path}, &out); err != nil {
+		t.Fatalf("present labels must pass: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"profile", "check", "-want", "tenant,shard", path}, &out); !errors.Is(err, errGate) {
+		t.Fatalf("missing label err = %v, want gate failure\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "MISS shard") {
+		t.Errorf("output must name the missing string:\n%s", out.String())
+	}
+}

@@ -200,6 +200,15 @@ type Job struct {
 	// of the job. /analyze renders a live trace analysis, so setting
 	// DebugAddr enables tracing even without TracePath.
 	DebugAddr string
+	// Profile turns on the profiling plane: pprof labels (tenant,
+	// bracket/rung, fault class, serving priority — plus shard under a
+	// cluster) attribute CPU/heap profiles captured from DebugAddr's
+	// pprof endpoints, and per-stage allocation probes land in
+	// Report.Profile and on the metrics surfaces as
+	// prof.allocs-per-op.<stage> / prof.bytes-per-op.<stage> gauges.
+	// Measured alloc values can wobble a few allocs across runs, so
+	// digest-compared deterministic runs leave this off.
+	Profile bool
 }
 
 // FaultConfig sets per-site injection probabilities for the supported
@@ -408,6 +417,20 @@ type Report struct {
 	// Autoscale summarises the device-pool autoscaler's control loop
 	// (nil unless Job.Autoscale was set).
 	Autoscale *AutoscaleReport
+	// Profile is the per-stage allocation probes (nil unless
+	// Job.Profile was set). The same values appear in Metrics as
+	// prof.allocs-per-op.<stage> / prof.bytes-per-op.<stage> gauges.
+	Profile []ProfileProbe
+}
+
+// ProfileProbe is one hot-loop stage's allocation measurement: the
+// average heap allocations and bytes one operation of the stage costs,
+// over Runs probe runs on self-contained throwaway state.
+type ProfileProbe struct {
+	Stage       string
+	Runs        int
+	AllocsPerOp float64
+	BytesPerOp  float64
 }
 
 // AutoscaleReport summarises the autoscaler's run: how often it
@@ -597,6 +620,7 @@ func (job Job) coreOptions() (core.Options, error) {
 		MaxAttempts:    job.MaxTrialAttempts,
 		Checkpoint:     job.Checkpoint,
 		Tenant:         job.Tenant,
+		Profile:        job.Profile,
 	}, nil
 }
 
@@ -740,6 +764,14 @@ func buildReport(res core.Result) *Report {
 		Resilience:             buildResilienceReport(res.Resilience),
 		Metrics:                buildMetricsReport(res.Metrics),
 		SLO:                    buildSLOReport(res.SLO),
+	}
+	for _, p := range res.Profile {
+		r.Profile = append(r.Profile, ProfileProbe{
+			Stage:       p.Stage,
+			Runs:        p.Runs,
+			AllocsPerOp: p.AllocsPerOp,
+			BytesPerOp:  p.BytesPerOp,
+		})
 	}
 	if a := res.Autoscale; a != nil {
 		r.Autoscale = &AutoscaleReport{

@@ -21,6 +21,13 @@
 // computed identically, so CI can assert a failed-over sharded run
 // converges to the same answer as an unsharded one. That is the CI
 // cluster-failover gate.
+//
+// With -profile every stage runs under pprof labels and the report
+// carries per-stage alloc probes; -cpuprofile additionally captures a
+// CPU profile across the run (padding with extra same-shaped runs on
+// varied seeds until enough labeled samples have accumulated), which
+// `tracetool profile check` asserts carries the tenant/shard/rung
+// labels. That is the CI profile-plane gate.
 package main
 
 import (
@@ -29,7 +36,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
 	"sort"
+	"time"
 
 	"edgetune"
 )
@@ -47,8 +58,26 @@ func main() {
 		killShardAfter = flag.Int("kill-shard-after", 0, "chaos: kill the job's shard after its Nth completed rung and fail over")
 		faultPartition = flag.Float64("fault-partition", 0, "probability a shipped WAL frame is dropped by a network partition")
 		faultLag       = flag.Float64("fault-lag", 0, "probability a shipped WAL frame is delayed behind its successors")
+
+		profileOn  = flag.Bool("profile", false, "run under pprof labels and report per-stage alloc probes")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (implies -profile)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		*profileOn = true
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	job := edgetune.Job{
 		Workload: "IC",
@@ -69,6 +98,7 @@ func main() {
 		StoreWAL:              *wal,
 		StoreSnapshotEvery:    *snapshotEvery,
 		StoreKillAfterAppends: *killAfter,
+		Profile:               *profileOn,
 	}
 
 	var (
@@ -117,6 +147,55 @@ func main() {
 	fmt.Printf("\nstill recommends%s: batch %d, %d cores at %.2f GHz on %s\n",
 		suffix, rec.BatchSize, rec.Cores, rec.FrequencyGHz, rec.Device)
 	fmt.Printf("digest: %s\n", digest(report))
+
+	if len(report.Profile) > 0 {
+		fmt.Printf("\nprofile (allocs/op, bytes/op):\n")
+		for _, p := range report.Profile {
+			fmt.Printf("  %-22s %8.1f  %10.0f\n", p.Stage, p.AllocsPerOp, p.BytesPerOp)
+		}
+	}
+	if *cpuProfile != "" {
+		// A single quick job rarely accrues enough 100Hz samples for every
+		// pprof label to land in the profile; pad with extra same-shaped
+		// runs on varied seeds (checkpointing would short-circuit a
+		// same-seed rerun) until enough labeled CPU time has accumulated.
+		padProfile(job, *clusterN, *clusterDir, *snapshotEvery)
+	}
+}
+
+// padProfile reruns the chaos job with varied seeds while the CPU
+// profile is being captured, mirroring the primary run's mode so the
+// samples carry the same label set (cluster runs add shard labels).
+func padProfile(job edgetune.Job, clusterN int, clusterDir string, snapshotEvery int) {
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	for i := 1; time.Now().Before(deadline); i++ {
+		j := job
+		j.Seed = job.Seed + uint64(i)
+		j.Profile = true
+		// Padding runs are throwaway: never touch the primary run's store.
+		j.StorePath, j.StoreWAL = "", false
+		j.StoreSnapshotEvery, j.StoreKillAfterAppends = 0, 0
+		if clusterN > 0 {
+			c, err := edgetune.NewCluster(edgetune.ClusterOptions{
+				Shards:        clusterN,
+				Dir:           filepath.Join(clusterDir, fmt.Sprintf("p%d", i)),
+				Seed:          j.Seed,
+				SnapshotEvery: snapshotEvery,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := c.Tune(context.Background(), j); err != nil {
+				c.Close()
+				log.Fatal(err)
+			}
+			if err := c.Close(); err != nil {
+				log.Fatal(err)
+			}
+		} else if _, err := edgetune.Tune(context.Background(), j); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 // runCluster executes the chaos job on a sharded cluster and reports

@@ -28,6 +28,7 @@ import (
 	"edgetune/internal/counters"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/prof"
 	"edgetune/internal/obs/slo"
 	"edgetune/internal/store"
 )
@@ -187,6 +188,18 @@ func (c *Cluster) Shards() []string { return c.ring.Nodes() }
 // Owner returns the shard a key routes to.
 func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
 
+// ShardMetrics snapshots each shard's private registry (the primary
+// store's instruments), keyed by shard name. Cluster-fabric counters —
+// dispatch, quotas, WAL shipping, failovers — live on the shared
+// registry and are not duplicated here.
+func (c *Cluster) ShardMetrics() map[string]obs.Snapshot {
+	out := make(map[string]obs.Snapshot, len(c.shards))
+	for name, sh := range c.shards {
+		out[name] = sh.reg.Snapshot()
+	}
+	return out
+}
+
 // Submit runs one tuning job on the shard owning its key, failing over
 // to the shard's follower if the primary is killed mid-job. Jobs on
 // the same shard serialize; jobs on different shards run concurrently.
@@ -290,6 +303,13 @@ func (c *Cluster) shardOptions(sh *shard, job Job, armKills bool) core.Options {
 	opts.Checkpoint = true
 	opts.CheckpointPath = sh.snapshotPath(sh.primaryDir)
 	opts.Tenant = job.Tenant
+	if opts.Profile {
+		// Stamp the owning shard on every pprof label set the job
+		// applies, training and serving side alike. Copy-on-append: the
+		// job's own slice must survive a failover rerun unchanged.
+		opts.ProfLabels = append(append([]string(nil), opts.ProfLabels...),
+			prof.KeyShard, sh.name)
+	}
 	userHook := opts.AfterRung
 	if armKills && !sh.degraded {
 		rungs := 0
@@ -321,7 +341,7 @@ func (c *Cluster) failOver(sh *shard, sp *obs.Span, at time.Duration) error {
 	if sp != nil {
 		fsp = sp.Child("failover", at, obs.Str("shard", sh.name))
 	}
-	err := sh.failover(c.opts.Metrics)
+	err := sh.failover()
 	if fsp != nil {
 		fsp.Set(obs.Bool("ok", err == nil))
 	}

@@ -20,6 +20,13 @@ type shard struct {
 	name string
 	dir  string // <cluster dir>/<name>
 
+	// reg is the shard's private registry: the primary store's
+	// instruments land here, keyed apart from every other shard's, so
+	// the cluster can serve a merged per-shard metrics view. Replica
+	// shipping counters stay on the shared cluster registry — they
+	// describe the cluster's replication fabric, not one store.
+	reg *obs.Registry
+
 	mu sync.Mutex // serializes jobs and failover on this shard
 
 	primary    *store.Durable
@@ -40,7 +47,7 @@ func (s *shard) snapshotPath(sub string) string {
 // the primary durable store with WAL shipping attached, and opens the
 // follower's log for appends.
 func openShard(name, dir string, snapshotEvery int, inj *fault.Injector, reg *obs.Registry) (*shard, error) {
-	s := &shard{name: name, dir: dir, primaryDir: "primary"}
+	s := &shard{name: name, dir: dir, primaryDir: "primary", reg: obs.NewRegistry()}
 	for _, sub := range []string{"primary", "follower"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("cluster: shard %s: %w", name, err)
@@ -53,7 +60,7 @@ func openShard(name, dir string, snapshotEvery int, inj *fault.Injector, reg *ob
 	prim, err := store.OpenDurable(store.DurableOptions{
 		SnapshotPath:  s.snapshotPath("primary"),
 		SnapshotEvery: snapshotEvery,
-		Metrics:       reg,
+		Metrics:       s.reg,
 		Shipper:       rep,
 	})
 	if err != nil {
@@ -72,7 +79,7 @@ func openShard(name, dir string, snapshotEvery int, inj *fault.Injector, reg *ob
 // standby does at promotion. The shard comes back degraded (no
 // follower seat left), so at most one failover per shard. Callers hold
 // s.mu.
-func (s *shard) failover(reg *obs.Registry) error {
+func (s *shard) failover() error {
 	if s.degraded {
 		return fmt.Errorf("cluster: shard %s already failed over", s.name)
 	}
@@ -87,7 +94,7 @@ func (s *shard) failover(reg *obs.Registry) error {
 	s.primary.Abandon()
 	promoted, err := store.OpenDurable(store.DurableOptions{
 		SnapshotPath: s.snapshotPath("follower"),
-		Metrics:      reg,
+		Metrics:      s.reg,
 	})
 	if err != nil {
 		return fmt.Errorf("cluster: shard %s promote follower: %w", s.name, err)

@@ -12,6 +12,7 @@ import (
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/prof"
 	"edgetune/internal/obs/slo"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
@@ -136,6 +137,15 @@ type InferenceServerOptions struct {
 	// graceful-degradation ladder (nil = static pool). Zero fields in
 	// the config select the documented defaults.
 	Autoscale *autoscale.Config
+
+	// Profile applies pprof labels (tenant, priority, ProfLabels) to
+	// each request's serve path. Workers run on their own goroutines,
+	// so labels set by the submitting caller do not reach them; the
+	// worker re-applies them from the job's own fields.
+	Profile bool
+	// ProfLabels is extra label pairs applied with the built-ins
+	// (cluster shard identity, typically). Ignored unless Profile.
+	ProfLabels []string
 }
 
 func (o *InferenceServerOptions) normalise() error {
@@ -690,7 +700,21 @@ func (s *InferenceServer) worker() {
 		s.inflightC[job] = cancel
 		s.mu.Unlock()
 
-		out := s.serve(jctx, job)
+		var out InferOutcome
+		if s.opts.Profile {
+			// Labels do not cross the Submit→worker goroutine hop;
+			// re-apply the serving taxonomy from the job itself. The
+			// store write inside serve happens on this goroutine, so it
+			// inherits the same labels.
+			prof.Do(jctx, func(ctx context.Context) {
+				out = s.serve(ctx, job)
+			}, append([]string{
+				prof.KeyTenant, tenantLabel(job.req.Client),
+				prof.KeyPriority, priorityLabel(job.req.Priority),
+			}, s.opts.ProfLabels...)...)
+		} else {
+			out = s.serve(jctx, job)
+		}
 
 		s.mu.Lock()
 		delete(s.inflightC, job)

@@ -14,6 +14,7 @@ import (
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/prof"
 	"edgetune/internal/obs/slo"
 	"edgetune/internal/perfmodel"
 	"edgetune/internal/search"
@@ -123,6 +124,19 @@ type Options struct {
 	// admission, quota counters, and the tenant-rejections SLO all see
 	// the same identity the cluster dispatcher admitted.
 	Tenant string
+
+	// Profile turns on the profiling plane: pprof labels (tenant,
+	// bracket, rung, fault class, serving priority, plus ProfLabels)
+	// follow both pipelines so CPU/heap profiles captured from the
+	// debug endpoints are attributable per dimension, and per-stage
+	// allocation probes land in Result.Profile and the metrics
+	// registry. Off by default: measured alloc values are scheduler-
+	// adjacent, so digest-gated deterministic runs keep this off.
+	Profile bool
+	// ProfLabels is extra label pairs (alternating key, value) applied
+	// alongside the built-in taxonomy — the cluster dispatcher uses it
+	// to stamp the owning shard. Ignored unless Profile is set.
+	ProfLabels []string
 
 	// Autoscale enables the inference server's SLO-driven device-pool
 	// autoscaler and graceful-degradation ladder (nil = static pool).
@@ -326,6 +340,12 @@ type Result struct {
 	// Autoscale is the device-pool autoscaler's run report (nil when
 	// Options.Autoscale is nil).
 	Autoscale *autoscale.Report
+
+	// Profile is the per-stage allocation probes measured for this job
+	// (nil unless Options.Profile). The same values ride Metrics as
+	// "prof.allocs-per-op.<stage>" / "prof.bytes-per-op.<stage>"
+	// gauges.
+	Profile []prof.Probe
 }
 
 // Tune runs the EdgeTune onefold tuning loop (Algorithm 1): brackets of
@@ -357,6 +377,12 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 		// event is already recorded.
 		res.SLO = opts.SLO.Snapshot()
 	}()
+	if opts.Profile {
+		// Probes run before the loop so even an aborted job reports
+		// them; they publish to reg, and the deferred snapshot above
+		// folds the gauges into Result.Metrics.
+		res.Profile = collectProfile(opts, reg)
+	}
 	sloOverrun := opts.SLO.Register(slo.Spec{
 		Name:        "tuning/trial-overrun",
 		Description: "90% of trials complete without retry cost or failure",
@@ -427,6 +453,8 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			Trace:            opts.Trace,
 			SLO:              opts.SLO,
 			Autoscale:        opts.Autoscale,
+			Profile:          opts.Profile,
+			ProfLabels:       opts.ProfLabels,
 		})
 		if err != nil {
 			return res, err
@@ -564,7 +592,23 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 				if err := ctx.Err(); err != nil {
 					return res, err
 				}
-				rec, err := runResilientTrial(ctx, runner, infSrv, obj, opts, recd, inj, population[i].cfg, alloc, satAlloc, rgSp, res.TuningDuration)
+				var rec TrialRecord
+				var err error
+				if opts.Profile {
+					// The trial (and its synchronous mini-batch loop)
+					// runs on this goroutine, so the labels cover every
+					// training-side sample; inference work hops to the
+					// server's workers, which re-apply their own.
+					prof.Do(ctx, func(ctx context.Context) {
+						rec, err = runResilientTrial(ctx, runner, infSrv, obj, opts, recd, inj, population[i].cfg, alloc, satAlloc, rgSp, res.TuningDuration)
+					}, append([]string{
+						prof.KeyTenant, tenantLabel(opts.Tenant),
+						prof.KeyBracket, fmt.Sprint(bracket),
+						prof.KeyRung, fmt.Sprint(rung),
+					}, opts.ProfLabels...)...)
+				} else {
+					rec, err = runResilientTrial(ctx, runner, infSrv, obj, opts, recd, inj, population[i].cfg, alloc, satAlloc, rgSp, res.TuningDuration)
+				}
 				if err != nil {
 					return res, err
 				}
@@ -766,13 +810,25 @@ func runResilientTrial(ctx context.Context, runner *trial.Runner, infSrv *Infere
 			obs.Int("epochs", int64(alloc.Epochs)),
 			obs.Float("fraction", alloc.DataFraction))
 	}
+	var lastClass fault.Class
 	for attempt := 0; ; attempt++ {
 		attStart := start + wasted.Duration
 		var attSp *obs.Span
 		if trSp != nil {
 			attSp = trSp.Child("attempt", attStart, obs.Int("attempt", int64(attempt)))
 		}
-		rec, err := runTrial(ctx, runner, infSrv, obj, opts, recd, cfg, alloc, satAlloc, attempt, attSp, attStart)
+		var rec TrialRecord
+		var err error
+		if opts.Profile && lastClass != "" {
+			// Retry attempts carry the class of the fault that killed
+			// the previous one, so a profile shows what the injector's
+			// turbulence actually costs, per class.
+			prof.Do(ctx, func(ctx context.Context) {
+				rec, err = runTrial(ctx, runner, infSrv, obj, opts, recd, cfg, alloc, satAlloc, attempt, attSp, attStart)
+			}, prof.KeyFaultClass, string(lastClass))
+		} else {
+			rec, err = runTrial(ctx, runner, infSrv, obj, opts, recd, cfg, alloc, satAlloc, attempt, attSp, attStart)
+		}
 		if err == nil {
 			rec.Attempts = attempt + 1
 			rec.RetryCost = wasted
@@ -811,6 +867,7 @@ func runResilientTrial(ctx context.Context, runner *trial.Runner, infSrv *Infere
 			trSp.End(attStart + rec.TrainCost.Duration)
 			return rec, err
 		}
+		lastClass = fault.ClassOf(err)
 		// Charge what the failed attempt consumed before dying. The
 		// inference tuning it sheltered is pipelined, so only its
 		// energy counts (as for successful trials).

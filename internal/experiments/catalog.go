@@ -111,5 +111,11 @@ func All() []Experiment {
 		{ID: "Table 1", Run: Table1Workloads},
 		{ID: "Table 2", Run: Table2Features},
 		{ID: "BenchmarkAutoscaleDecision", Run: BenchmarkAutoscaleDecision},
+		{ID: "BenchmarkNNMiniBatch", Run: BenchmarkNNMiniBatch},
+		{ID: "BenchmarkPerfmodelEval", Run: BenchmarkPerfmodelEval},
+		{ID: "BenchmarkAdmissionServe", Run: BenchmarkAdmissionServe},
+		{ID: "BenchmarkTraceEmit", Run: BenchmarkTraceEmit},
+		{ID: "BenchmarkWALAppend", Run: BenchmarkWALAppend},
+		{ID: "BenchmarkClusterDispatch", Run: BenchmarkClusterDispatch},
 	}
 }

@@ -25,6 +25,21 @@ type Table struct {
 	Rows [][]string
 	// Notes carries the shape conclusions checked against the paper.
 	Notes []string
+	// ProbeRuns, when positive, records that a prof.Measure probe ran
+	// over the experiment's hot loop, and AllocsPerOp/BytesPerOp hold
+	// its measured allocation cost (zero is a real measurement — an
+	// allocation-free loop — not an absent probe). cmd/benchtab emits
+	// them in -json for tracetool's alloc-regression gate; String()
+	// leaves them out, because measured allocation values are not
+	// byte-deterministic, unlike the rows.
+	ProbeRuns   int
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// Probe stamps an alloc probe's result onto the table.
+func (t *Table) stampProbe(runs int, allocs, bytes float64) {
+	t.ProbeRuns, t.AllocsPerOp, t.BytesPerOp = runs, allocs, bytes
 }
 
 // String renders the table with aligned columns.

@@ -1,0 +1,34 @@
+package metrics
+
+import "testing"
+
+// BenchmarkQuantile tracks the cost of the quantile used throughout
+// the experiment harnesses (box stats, percentile rows). It allocates
+// one sorted copy per call by design — the alloc report keeps that at
+// exactly one, so an accidental second copy can't sneak in.
+func BenchmarkQuantile(b *testing.B) {
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = float64((i * 7919) % 1024)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Quantile(xs, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMean pins the zero-allocation summary path.
+func BenchmarkMean(b *testing.B) {
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mean(xs)
+	}
+}

@@ -52,37 +52,47 @@ func StartDebugServerOpts(addr string, opts DebugOptions) (*DebugServer, error) 
 	}
 	reg := opts.Registry
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	// A caller-supplied handler on a built-in path replaces the default
+	// (registering both would panic the mux); callers use this to serve
+	// e.g. a merged multi-registry /metrics/prom.
+	handleFunc := func(path string, h http.HandlerFunc) {
+		if _, override := opts.Handlers[path]; !override {
+			mux.HandleFunc(path, h)
+		}
+	}
+	handleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		reg.Snapshot().WriteText(w)
 	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+	handleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(reg.Snapshot())
 	})
-	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+	handleFunc("/metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.Snapshot().WritePrometheus(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
 			"status":     "ok",
 			"goroutines": runtime.NumGoroutine(),
 		})
 	})
-	mux.HandleFunc("/debug/goroutines", func(w http.ResponseWriter, _ *http.Request) {
+	handleFunc("/debug/goroutines", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		rpprof.Lookup("goroutine").WriteTo(w, 1)
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if _, override := opts.Handlers["/debug/vars"]; !override {
+		mux.Handle("/debug/vars", expvar.Handler())
+	}
+	handleFunc("/debug/pprof/", pprof.Index)
+	handleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	handleFunc("/debug/pprof/profile", pprof.Profile)
+	handleFunc("/debug/pprof/symbol", pprof.Symbol)
+	handleFunc("/debug/pprof/trace", pprof.Trace)
 	for path, h := range opts.Handlers {
 		mux.Handle(path, h)
 	}

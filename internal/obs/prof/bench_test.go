@@ -1,0 +1,42 @@
+package prof
+
+import (
+	"context"
+	"testing"
+)
+
+// busyWork stands in for a pipeline stage body: enough arithmetic that
+// the label plumbing around it is measurable as relative overhead.
+func busyWork(n int) float64 {
+	acc := 1.0
+	for i := 0; i < n; i++ {
+		acc = acc*1.0000001 + float64(i)
+	}
+	return acc
+}
+
+var benchSink float64
+
+// BenchmarkProfDisabled is the no-op path: Do with no labels, the shape
+// every call site takes when Options.Profile is off.
+func BenchmarkProfDisabled(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		Do(ctx, func(context.Context) {
+			benchSink = busyWork(100)
+		})
+	}
+}
+
+// BenchmarkProfEnabled applies the full tune-side label set per call,
+// the worst case a single trial pays per rung.
+func BenchmarkProfEnabled(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		Do(ctx, func(context.Context) {
+			benchSink = busyWork(100)
+		}, KeyTenant, "acme", KeyShard, "shard0", KeyBracket, "1", KeyRung, "2")
+	}
+}

@@ -1,0 +1,101 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ProfileStrings extracts the string table of a pprof profile
+// (gzip-compressed protobuf, the format runtime/pprof writes). Label
+// keys and values live in that table, so checking a captured profile
+// for the taxonomy's keys needs no full profile parser: a minimal
+// top-level walk over the Profile message collecting field 6
+// (string_table) is enough, and it stays stdlib-only.
+func ProfileStrings(data []byte) ([]string, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: profile gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("prof: profile gunzip: %w", err)
+		}
+		data = raw
+	}
+	var table []string
+	for len(data) > 0 {
+		key, n := uvarint(data)
+		if n <= 0 {
+			return nil, errors.New("prof: truncated protobuf tag")
+		}
+		data = data[n:]
+		field, wire := key>>3, key&7
+		switch wire {
+		case 0: // varint
+			_, n := uvarint(data)
+			if n <= 0 {
+				return nil, errors.New("prof: truncated varint field")
+			}
+			data = data[n:]
+		case 1: // 64-bit
+			if len(data) < 8 {
+				return nil, errors.New("prof: truncated fixed64 field")
+			}
+			data = data[8:]
+		case 2: // length-delimited
+			ln, n := uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < ln {
+				return nil, errors.New("prof: truncated length-delimited field")
+			}
+			if field == 6 { // Profile.string_table
+				table = append(table, string(data[n:n+int(ln)]))
+			}
+			data = data[n+int(ln):]
+		case 5: // 32-bit
+			if len(data) < 4 {
+				return nil, errors.New("prof: truncated fixed32 field")
+			}
+			data = data[4:]
+		default:
+			return nil, fmt.Errorf("prof: unsupported protobuf wire type %d", wire)
+		}
+	}
+	return table, nil
+}
+
+// MissingStrings reports which of want are absent from the table.
+func MissingStrings(table []string, want []string) []string {
+	have := make(map[string]bool, len(table))
+	for _, s := range table {
+		have[s] = true
+	}
+	var missing []string
+	for _, w := range want {
+		if !have[w] {
+			missing = append(missing, w)
+		}
+	}
+	return missing
+}
+
+// uvarint decodes an unsigned varint, returning the value and byte
+// count (0 when the buffer is truncated). A local copy instead of
+// encoding/binary.Uvarint to keep the overflow semantics strict: more
+// than 10 bytes is corruption, not a value.
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

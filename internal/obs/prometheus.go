@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -101,13 +102,105 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		var cum int64
 		for _, b := range h.Buckets {
 			cum += b.Count
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
 				n, promEscape(b.LE), cum); err != nil {
 				return err
 			}
 		}
+		// _sum/_count are written even when the histogram has recorded
+		// nothing: scrapers treat a missing pair as a gapped series.
 		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum, n, h.Count); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// LabeledSnapshot pairs a snapshot with a label value, for rendering
+// several registries (e.g. one per cluster shard) into one merged
+// exposition. An empty Value renders the snapshot unlabeled.
+type LabeledSnapshot struct {
+	Value    string
+	Snapshot Snapshot
+}
+
+// WritePrometheusLabeled renders parts as one merged Prometheus
+// exposition, attaching `labelName="<part.Value>"` to every sample from
+// a part with a non-empty Value. Samples sharing a metric name across
+// parts are grouped under a single HELP/TYPE header, as the exposition
+// format requires; within a name, parts render in the order given.
+func WritePrometheusLabeled(w io.Writer, labelName string, parts []LabeledSnapshot) error {
+	lbl := func(v string) string {
+		if v == "" {
+			return ""
+		}
+		return fmt.Sprintf("{%s=\"%s\"}", promName(labelName), promEscape(v))
+	}
+	type sample struct {
+		part int
+		kind int // 0 counter, 1 gauge, 2 histogram
+		idx  int
+	}
+	byName := map[string][]sample{}
+	var order []string
+	add := func(name string, s sample) {
+		if _, seen := byName[name]; !seen {
+			order = append(order, name)
+		}
+		byName[name] = append(byName[name], s)
+	}
+	for pi, p := range parts {
+		for i, c := range p.Snapshot.Counters {
+			add(c.Name, sample{pi, 0, i})
+		}
+		for i, g := range p.Snapshot.Gauges {
+			add(g.Name, sample{pi, 1, i})
+		}
+		for i, h := range p.Snapshot.Histograms {
+			add(h.Name, sample{pi, 2, i})
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		n := promName(name)
+		typ := [...]string{"counter", "gauge", "histogram"}[byName[name][0].kind]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			n, promHelp(name), n, typ); err != nil {
+			return err
+		}
+		for _, s := range byName[name] {
+			p := parts[s.part]
+			switch s.kind {
+			case 0:
+				c := p.Snapshot.Counters[s.idx]
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", n, lbl(p.Value), c.Value); err != nil {
+					return err
+				}
+			case 1:
+				g := p.Snapshot.Gauges[s.idx]
+				if _, err := fmt.Fprintf(w, "%s%s %g\n", n, lbl(p.Value), g.Value); err != nil {
+					return err
+				}
+			case 2:
+				h := p.Snapshot.Histograms[s.idx]
+				var cum int64
+				for _, b := range h.Buckets {
+					cum += b.Count
+					// The shard label shares the brace block with le.
+					extra := ""
+					if p.Value != "" {
+						extra = fmt.Sprintf("%s=\"%s\",", promName(labelName), promEscape(p.Value))
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n",
+						n, extra, promEscape(b.LE), cum); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n",
+					n, lbl(p.Value), h.Sum, n, lbl(p.Value), h.Count); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

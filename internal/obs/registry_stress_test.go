@@ -1,0 +1,75 @@
+package obs_test
+
+// Concurrent-writer stress for the registry, run under -race -count=2
+// by the ci.sh profile-plane gate. It hammers shared counters, gauges,
+// and histograms from many goroutines while alloc probes publish their
+// gauges, then checks the snapshot arithmetic and that no goroutine
+// outlives the test.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"edgetune/internal/obs"
+	"edgetune/internal/obs/prof"
+	"edgetune/internal/testutil"
+)
+
+func TestRegistryConcurrentWriters(t *testing.T) {
+	testutil.CheckGoroutineLeak(t, 2)
+	reg := obs.NewRegistry()
+
+	const writers = 8
+	const opsPer = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				// Shared and per-writer names: exercises both the
+				// atomic hot path and first-touch map insertion.
+				reg.Counter("stress.shared").Add(1)
+				reg.Counter(fmt.Sprintf("stress.writer.%d", w)).Add(1)
+				reg.Gauge("stress.depth").Set(float64(i))
+				reg.Gauge("stress.depth").Add(1)
+				reg.Histogram("stress.latency-ms", []float64{1, 10, 100}).Observe(float64(i % 50))
+				if i%100 == 0 {
+					prof.Probe{
+						Stage:       fmt.Sprintf("stage-%d", w),
+						Runs:        1,
+						AllocsPerOp: float64(i),
+						BytesPerOp:  float64(i * 64),
+					}.Publish(reg)
+					reg.Snapshot() // concurrent reader in the mix
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("stress.shared"); got != writers*opsPer {
+		t.Errorf("stress.shared = %d, want %d", got, writers*opsPer)
+	}
+	for w := 0; w < writers; w++ {
+		if got := snap.Counter(fmt.Sprintf("stress.writer.%d", w)); got != opsPer {
+			t.Errorf("stress.writer.%d = %d, want %d", w, got, opsPer)
+		}
+	}
+	h, ok := snap.Histogram("stress.latency-ms")
+	if !ok || h.Count != writers*opsPer {
+		t.Fatalf("histogram count = %+v (ok=%v), want %d observations", h, ok, writers*opsPer)
+	}
+	var allocGauges int
+	for _, g := range snap.Gauges {
+		if strings.HasPrefix(g.Name, "prof.allocs-per-op.") {
+			allocGauges++
+		}
+	}
+	if allocGauges != writers {
+		t.Errorf("alloc gauges published = %d, want %d", allocGauges, writers)
+	}
+}

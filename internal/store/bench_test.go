@@ -1,0 +1,41 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkDurablePut times one acked write through the durable path —
+// in-memory put, JSON record encode, CRC-framed WAL append, fsync —
+// reporting allocs/op. The profiling plane's "store.wal-append" probe
+// measures the same loop from the experiment harness; this in-package
+// benchmark localises a regression to the store itself.
+func BenchmarkDurablePut(b *testing.B) {
+	dur, err := OpenDurable(DurableOptions{
+		SnapshotPath: filepath.Join(b.TempDir(), "store.json"),
+		// Keep compaction out of the timed loop: this benchmark is the
+		// append path, and a compact every 256 puts would dominate it.
+		SnapshotEvery: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dur.Close()
+	st := dur.Store()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := Entry{
+			Signature:  fmt.Sprintf("bench-%d", i),
+			Device:     "i7",
+			Throughput: 100,
+			Objective:  1,
+			TrialsRun:  1,
+		}
+		if err := st.Put(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package edgetune
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"edgetune/internal/testutil"
+)
+
+// TestProfileReport: a Profile-enabled job reports per-stage alloc
+// probes, mirrors them as prof.* gauges in the metrics snapshot, and
+// leaves probe-free jobs untouched.
+func TestProfileReport(t *testing.T) {
+	job := quickJob()
+	job.Profile = true
+	rep, err := Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Profile) < 4 {
+		t.Fatalf("Report.Profile has %d probes, want at least 4: %+v", len(rep.Profile), rep.Profile)
+	}
+	stages := map[string]bool{}
+	for _, p := range rep.Profile {
+		stages[p.Stage] = true
+		if p.Runs <= 0 {
+			t.Errorf("probe %q has Runs=%d", p.Stage, p.Runs)
+		}
+		if p.AllocsPerOp < 0 || p.BytesPerOp < 0 {
+			t.Errorf("probe %q has negative averages: %+v", p.Stage, p)
+		}
+	}
+	for _, want := range []string{"nn.minibatch-step", "perfmodel.infer-cost", "trace.emit", "store.put"} {
+		if !stages[want] {
+			t.Errorf("Report.Profile missing stage %q (have %v)", want, stages)
+		}
+	}
+	gauges := 0
+	for _, g := range rep.Metrics.Gauges {
+		if strings.HasPrefix(g.Name, "prof.allocs-per-op.") {
+			gauges++
+		}
+	}
+	if gauges != len(rep.Profile) {
+		t.Errorf("metrics snapshot has %d prof.allocs-per-op gauges, want %d", gauges, len(rep.Profile))
+	}
+
+	off, err := Tune(context.Background(), quickJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Profile != nil {
+		t.Errorf("Profile off must report no probes, got %+v", off.Profile)
+	}
+	for _, g := range off.Metrics.Gauges {
+		if strings.HasPrefix(g.Name, "prof.") {
+			t.Errorf("Profile off must publish no prof gauges, got %s", g.Name)
+		}
+	}
+}
+
+// TestClusterShardMetricsAndMergedProm: the cluster exposes per-shard
+// store instruments via ShardMetrics and serves a merged Prometheus
+// exposition where shard series carry a shard label next to the
+// unlabeled dispatcher series.
+func TestClusterShardMetricsAndMergedProm(t *testing.T) {
+	defer testutil.CheckGoroutineLeak(t, 4)
+
+	c, err := NewCluster(ClusterOptions{
+		Shards:    2,
+		Dir:       t.TempDir(),
+		Seed:      11,
+		DebugAddr: "localhost:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	job := clusterJob("acme")
+	job.Profile = true
+	rep, err := c.Tune(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Profile) == 0 {
+		t.Error("cluster job with Profile must report probes")
+	}
+
+	shards := c.ShardMetrics()
+	if len(shards) != 2 {
+		t.Fatalf("ShardMetrics has %d shards, want 2", len(shards))
+	}
+	var storeWrites int64
+	for _, m := range shards {
+		for _, ctr := range m.Counters {
+			if ctr.Name == "store.wal.appends" {
+				storeWrites += ctr.Value
+			}
+		}
+	}
+	if storeWrites == 0 {
+		t.Error("no store.wal.appends counter on any shard registry")
+	}
+
+	resp, err := http.Get("http://" + c.DebugAddr() + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	if !strings.Contains(out, `store_wal_appends{shard="shard0"}`) &&
+		!strings.Contains(out, `store_wal_appends{shard="shard1"}`) {
+		t.Errorf("merged exposition lacks shard-labeled store series:\n%.2000s", out)
+	}
+	if !strings.Contains(out, "cluster_jobs 1") {
+		t.Errorf("merged exposition lacks the unlabeled dispatcher series:\n%.2000s", out)
+	}
+	if n := strings.Count(out, "# TYPE store_wal_appends counter"); n != 1 {
+		t.Errorf("store_wal_appends TYPE header appears %d times, want 1", n)
+	}
+}
