@@ -1,11 +1,47 @@
 #!/bin/sh
 # Local CI gate: formatting, vet, build, and the full test suite under
-# the race detector. Fails fast on the first problem.
+# the race detector. Fails fast on the first problem, and ends every
+# run — pass or fail — with a one-line-per-gate summary.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== gofmt =="
+tracedir=$(mktemp -d)
+
+# Per-gate bookkeeping: gate() closes the previous gate as PASS and
+# opens the next; the EXIT trap closes the last one with the run's
+# status (under set -e a failed command exits through the trap, so the
+# in-flight gate is the one that failed) and prints the summary table.
+summary="$tracedir/summary.txt"
+: > "$summary"
+current_gate=""
+gate_start=0
+finish_gate() {
+    [ -n "$current_gate" ] || return 0
+    printf '%-44s %-4s %4ds\n' "$current_gate" "$1" \
+        "$(( $(date +%s) - gate_start ))" >> "$summary"
+    current_gate=""
+}
+gate() {
+    finish_gate PASS
+    current_gate="$1"
+    gate_start=$(date +%s)
+    echo "== $1 =="
+}
+on_exit() {
+    rc=$?
+    if [ "$rc" -eq 0 ]; then finish_gate PASS; else finish_gate FAIL; fi
+    if [ -s "$summary" ]; then
+        echo
+        echo "== gate summary =="
+        cat "$summary"
+    fi
+    rm -rf "$tracedir"
+    exit "$rc"
+}
+trap on_exit EXIT
+
+gate "gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
     echo "unformatted files:" >&2
@@ -13,29 +49,27 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go vet =="
+gate "go vet"
 go vet ./...
 
-echo "== go build =="
+gate "go build"
 go build ./...
 
-echo "== go test -race =="
+gate "go test -race"
 go test -race ./...
 
-echo "== go test -shuffle=on =="
+gate "go test -shuffle=on"
 go test -shuffle=on ./...
 
-echo "== trace determinism =="
+gate "trace determinism"
 # Two independent same-seed runs must write byte-identical trace files,
 # in both the JSONL and Chrome trace-event formats.
-tracedir=$(mktemp -d)
-trap 'rm -rf "$tracedir"' EXIT
 go run ./examples/tracing -seed 7 -trace "$tracedir/a.jsonl" -chrome "$tracedir/a.json" >/dev/null
 go run ./examples/tracing -seed 7 -trace "$tracedir/b.jsonl" -chrome "$tracedir/b.json" >/dev/null
 cmp "$tracedir/a.jsonl" "$tracedir/b.jsonl"
 cmp "$tracedir/a.json" "$tracedir/b.json"
 
-echo "== trace analytics =="
+gate "trace analytics"
 # The analyzer must be as deterministic as the traces it reads: same
 # trace, byte-identical analysis; and a span-class diff of the two
 # same-seed traces must pass the regression gate cleanly.
@@ -45,18 +79,18 @@ cmp "$tracedir/a.analysis" "$tracedir/b.analysis"
 grep -q "critical paths" "$tracedir/a.analysis"
 go run ./cmd/tracetool diff "$tracedir/a.jsonl" "$tracedir/b.jsonl" >/dev/null
 
-echo "== tracing no-op overhead =="
+gate "tracing no-op overhead"
 # Smoke-run the disabled-tracing benchmark so a regression that breaks
 # the nil-safe fast path is caught even without a full bench sweep.
 go test -run '^$' -bench BenchmarkTracingDisabled -benchtime=1x ./internal/obs
 
-echo "== store durability under faulty disks =="
+gate "store durability under faulty disks"
 # The durability layer's own tests plus the disk-fault injection tests,
 # twice under the race detector so any run-order or leftover-state bug
 # in WAL replay and quarantine handling surfaces.
 go test -race -count=2 ./internal/store ./internal/fault
 
-echo "== crash-recovery gate =="
+gate "crash-recovery gate"
 # Kill the tuner (exit 3) right after an acknowledged WAL append,
 # restart it from the on-disk store, and repeat until a run survives.
 # The surviving run's outcome digest must match an uninterrupted
@@ -89,7 +123,7 @@ fi
 echo "converged after $restarts kill/restart cycles: $crash_digest"
 go run ./cmd/tracetool store verify "$tracedir/crash.json"
 
-echo "== benchtab wall-time regression gate =="
+gate "benchtab wall-time regression gate"
 # Run the quick static tables fresh (into a scratch file, so today's
 # run never clobbers a committed baseline) and gate on wall-time
 # regressions against the newest committed BENCH_*.json. -tolerance is
@@ -110,7 +144,7 @@ fi
 go run ./cmd/tracetool check-bench -baseline "$baseline" \
     -tolerance "$BENCH_TOLERANCE" "$tracedir/bench-current.json"
 
-echo "== cluster-failover gate =="
+gate "cluster-failover gate"
 # The sharded cluster's own tests, twice under the race detector, then
 # the end-to-end chaos proof: kill a shard mid-bracket, fail over to
 # its WAL-shipped follower, and require the exact outcome digest of the
@@ -140,7 +174,7 @@ for rdir in "$cdir"/shard*/primary "$cdir"/shard*/follower; do
     go run ./cmd/tracetool store verify "$storefile"
 done
 
-echo "== autoscale-resilience gate =="
+gate "autoscale-resilience gate"
 # The autoscaling controller's own tests and the serving-layer chaos
 # tests (flash-crowd determinism, mass-device-failure recovery through
 # the degradation ladder, stalled scale-ups), twice under the race
@@ -164,7 +198,7 @@ go run ./cmd/benchtab -only BenchmarkAutoscaleDecision \
 go run ./cmd/tracetool check-bench -baseline "$baseline" \
     -tolerance "$BENCH_TOLERANCE" "$tracedir/bench-autoscale.json"
 
-echo "== profile-plane gate =="
+gate "profile-plane gate"
 # The profiling plane end to end. First the registry/probe layers under
 # concurrent writers, twice under the race detector. Then the expanded
 # hot-loop benchmark suite: every Benchmark* experiment reports
@@ -195,5 +229,56 @@ fi
 # Label-free fast path: the disabled-profiling benchmark must keep
 # running (a regression here would tax every unprofiled hot loop).
 go test -run '^$' -bench BenchmarkProfDisabled -benchtime=1x ./internal/obs/prof
+
+gate "flight-recorder gate"
+# The always-on flight recorder end to end. The recorder's own tests
+# twice under the race detector; then two same-seed failed-over cluster
+# chaos runs with recording on (-profile stays off: alloc gauges are
+# the one nondeterministic report section) — stdout and every incident
+# dossier artefact must be byte-identical, the failover dossier must
+# digest-verify and hold the kill/promotion events inside its window,
+# and `incident diff` must agree. Finally the Record hot path's alloc
+# probe is gated at exactly zero allocations per event.
+go test -race -count=2 ./internal/obs/flight
+fdir="$tracedir/flight"
+"$tracedir/chaos" -seed 42 -cluster 2 -cluster-dir "$fdir/c1" -kill-shard-after 2 \
+    -flight -incidents-dir "$fdir/inc1" > "$tracedir/chaos-flight-a.out"
+"$tracedir/chaos" -seed 42 -cluster 2 -cluster-dir "$fdir/c2" -kill-shard-after 2 \
+    -flight -incidents-dir "$fdir/inc2" > "$tracedir/chaos-flight-b.out"
+cmp "$tracedir/chaos-flight-a.out" "$tracedir/chaos-flight-b.out"
+grep -q "failed over: true" "$tracedir/chaos-flight-a.out"
+grep -q "incident .* shard-failover" "$tracedir/chaos-flight-a.out" || {
+    echo "flight run reported no shard-failover incident:" >&2
+    cat "$tracedir/chaos-flight-a.out" >&2
+    exit 1
+}
+# The recorded run must still be the same run: recording is observation
+# only, never inside the digest.
+flight_digest=$(grep '^digest: ' "$tracedir/chaos-flight-a.out")
+if [ "$clean_digest" != "$flight_digest" ]; then
+    echo "flight-recorded run diverged: '$flight_digest' != plain '$clean_digest'" >&2
+    exit 1
+fi
+ls "$fdir"/inc1/*.json >/dev/null || {
+    echo "flight run wrote no incident dossiers" >&2
+    exit 1
+}
+for dossier in "$fdir"/inc1/*.json; do
+    cmp "$dossier" "$fdir/inc2/$(basename "$dossier")"
+done
+fdos=$(ls "$fdir"/inc1/*shard-failover.json | head -n 1)
+go run ./cmd/tracetool incident show -events "$fdos" > "$tracedir/failover-incident.out"
+grep -q "(verified)" "$tracedir/failover-incident.out"
+grep -q "failover.*kill" "$tracedir/failover-incident.out"
+grep -q "failover.*promoted" "$tracedir/failover-incident.out"
+go run ./cmd/tracetool incident diff "$fdos" \
+    "$fdir/inc2/$(basename "$fdos")" >/dev/null
+# Zero-alloc Record: "always-on" is only honest if a record never
+# heap-allocates, so this one experiment gets no alloc headroom at all.
+go run ./cmd/benchtab -only BenchmarkFlightRecord \
+    -json "$tracedir/bench-flight.json" >/dev/null
+go run ./cmd/tracetool check-bench -baseline "$baseline" \
+    -tolerance "$BENCH_TOLERANCE" -alloc-tolerance 0 -alloc-slack 0 \
+    "$tracedir/bench-flight.json"
 
 echo "ci: all checks passed"

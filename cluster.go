@@ -9,6 +9,7 @@ import (
 
 	"edgetune/internal/cluster"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/flight"
 	"edgetune/internal/obs/slo"
 )
 
@@ -53,17 +54,31 @@ type ClusterOptions struct {
 	// merged /metrics/prom where every shard's store instruments carry
 	// a shard="<name>" label alongside the unlabeled cluster series.
 	DebugAddr string
+	// Flight gives every shard its own always-on flight recorder: WAL
+	// appends, replication shipping, serving events, and failovers land
+	// on the shard's ring, and a shard kill fires the shard-failover
+	// trigger. The recorder outlives the failover, so one dossier spans
+	// the kill, the promotion, and the resumed run. Incidents (and
+	// ClusterReport.Incidents) expose the dossiers.
+	Flight bool
+	// FlightSlots sizes each shard's ring (default 65536).
+	FlightSlots int
+	// IncidentsDir, when set (implies Flight), writes every shard's
+	// incident dossiers at Close/Drain as JSON artefacts named
+	// <shard>-incident-<seq>-<trigger>.json.
+	IncidentsDir string
 }
 
 // Cluster is a running sharded tuning cluster. Tune routes jobs to
 // shards; Close (or Drain) seals every node's store.
 type Cluster struct {
-	inner  *cluster.Cluster
-	reg    *obs.Registry
-	ev     *slo.Evaluator
-	tracer *obs.Tracer
-	path   string
-	dbg    *obs.DebugServer
+	inner        *cluster.Cluster
+	reg          *obs.Registry
+	ev           *slo.Evaluator
+	tracer       *obs.Tracer
+	path         string
+	incidentsDir string
+	dbg          *obs.DebugServer
 }
 
 // ClusterReport is a completed cluster job's outcome.
@@ -78,6 +93,9 @@ type ClusterReport struct {
 
 // NewCluster starts a cluster. Callers must Close (or Drain) it.
 func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.IncidentsDir != "" {
+		opts.Flight = true
+	}
 	reg := obs.NewRegistry()
 	ev := slo.NewEvaluator()
 	var tracer *obs.Tracer
@@ -97,11 +115,14 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		Metrics:             reg,
 		SLO:                 ev,
 		Trace:               tracer,
+		Flight:              opts.Flight,
+		FlightSlots:         opts.FlightSlots,
 	})
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{inner: inner, reg: reg, ev: ev, tracer: tracer, path: opts.TracePath}
+	c := &Cluster{inner: inner, reg: reg, ev: ev, tracer: tracer,
+		path: opts.TracePath, incidentsDir: opts.IncidentsDir}
 	if opts.DebugAddr != "" {
 		dbg, err := obs.StartDebugServerOpts(opts.DebugAddr, obs.DebugOptions{
 			Registry: reg,
@@ -206,10 +227,34 @@ func (c *Cluster) SLO() SLOReport {
 	return buildSLOReport(c.ev.Snapshot())
 }
 
+// Incidents summarises each shard's flight-recorder dossiers, keyed by
+// shard name (empty without ClusterOptions.Flight, or when no trigger
+// fired). Call after the shard's jobs have finished; the build is
+// repeatable. The full artefacts land in IncidentsDir at Close/Drain.
+func (c *Cluster) Incidents() map[string][]Incident {
+	out := make(map[string][]Incident)
+	for name, ds := range c.inner.Incidents() {
+		sums := make([]Incident, 0, len(ds))
+		for _, d := range ds {
+			sums = append(sums, Incident{
+				Trigger:   d.Trigger.Kind,
+				Detail:    d.Trigger.Detail,
+				AtMinutes: d.Trigger.At.Minutes(),
+				Seq:       d.Trigger.Seq,
+				Events:    len(d.Events),
+				Truncated: d.Truncated,
+				Digest:    d.Digest,
+			})
+		}
+		out[name] = sums
+	}
+	return out
+}
+
 // Drain stops the cluster gracefully: in-flight jobs finish (bounded
 // by ctx) before every shard's store is sealed.
 func (c *Cluster) Drain(ctx context.Context) error {
-	err := c.inner.Drain(ctx)
+	err := c.saveIncidents(c.inner.Drain(ctx))
 	c.dbg.Close()
 	return c.saveTrace(err)
 }
@@ -217,7 +262,7 @@ func (c *Cluster) Drain(ctx context.Context) error {
 // Close cancels in-flight jobs and seals every shard's store.
 // Idempotent.
 func (c *Cluster) Close() error {
-	err := c.inner.Close()
+	err := c.saveIncidents(c.inner.Close())
 	c.dbg.Close()
 	return c.saveTrace(err)
 }
@@ -230,6 +275,23 @@ func (c *Cluster) saveTrace(err error) error {
 	c.path = "" // write once
 	if serr := c.tracer.SaveJSONL(path); serr != nil && err == nil {
 		err = fmt.Errorf("edgetune: write cluster trace: %w", serr)
+	}
+	return err
+}
+
+// saveIncidents writes every shard's dossiers under the shard's name
+// prefix, once, at shutdown — after the jobs (and any failover rerun)
+// have quiesced, so the artefacts are the deterministic final builds.
+func (c *Cluster) saveIncidents(err error) error {
+	if c.incidentsDir == "" {
+		return err
+	}
+	dir := c.incidentsDir
+	c.incidentsDir = "" // write once
+	for shard, ds := range c.inner.Incidents() {
+		if _, werr := flight.WriteDossiers(dir, shard, ds); werr != nil && err == nil {
+			err = fmt.Errorf("edgetune: write cluster incidents: %w", werr)
+		}
 	}
 	return err
 }

@@ -19,13 +19,14 @@ func TestRunList(t *testing.T) {
 		"Figure 1", "Figure 17", "Table 1", "Table 2",
 		"BenchmarkAutoscaleDecision", "BenchmarkNNMiniBatch",
 		"BenchmarkWALAppend", "BenchmarkClusterDispatch",
+		"BenchmarkFlightRecord",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("list missing %q", want)
 		}
 	}
-	if lines := strings.Count(got, "\n"); lines != 25 {
-		t.Errorf("list has %d lines, want 25 experiments", lines)
+	if lines := strings.Count(got, "\n"); lines != 26 {
+		t.Errorf("list has %d lines, want 26 experiments", lines)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	         [-fault-flash-crowd 0.1] [-fault-mass-devicefail 0.1] [-fault-scale-stall 0.1]
 //	         [-seed 1] [-json]
 //	         [-trace spans.jsonl] [-trace-chrome trace.json]
+//	         [-flight] [-flight-slots 65536] [-incidents-dir ./incidents]
 //	         [-debug-addr 127.0.0.1:6060] [-metrics]
 //	edgetune -job job.json
 //	edgetune -workload IC -cluster 2 -cluster-dir ./cluster [-tenant acme]
@@ -22,6 +23,14 @@
 // consistent-hash-routed by tenant and workload, every shard journals
 // to a write-ahead log shipped to a follower, and a killed shard fails
 // over to its follower mid-job.
+//
+// With -flight, an always-on flight recorder captures a compact event
+// stream from both pipelines into a preallocated ring; anomaly
+// triggers (SLO alerts, ladder engagement, shard failover, crash
+// salvage, mass device failure) cut deterministic incident dossiers
+// into the report, written as JSON artefacts under -incidents-dir. In
+// cluster mode each shard gets its own recorder and its dossiers are
+// written (shard-prefixed) when the cluster closes.
 package main
 
 import (
@@ -97,11 +106,14 @@ func run(args []string, out io.Writer) error {
 		faultPart     = fs.Float64("fault-partition", 0, "probability a shipped WAL frame is dropped by a network partition (cluster only)")
 		faultFollower = fs.Float64("fault-follower-lag", 0, "probability a shipped WAL frame is delayed behind its successors (cluster only)")
 
-		tracePath   = fs.String("trace", "", "write the deterministic span trace as JSON Lines to this file")
-		chromePath  = fs.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable)")
-		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /metrics/prom, /healthz, /slo, /analyze, /debug/vars, and /debug/pprof on this address while tuning")
-		profileOn   = fs.Bool("profile", false, "enable the profiling plane: pprof label attribution on both pipelines plus per-stage allocation probes in the report")
-		showMetrics = fs.Bool("metrics", false, "print the full metrics snapshot and SLO evaluation after the report")
+		tracePath    = fs.String("trace", "", "write the deterministic span trace as JSON Lines to this file")
+		chromePath   = fs.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable)")
+		debugAddr    = fs.String("debug-addr", "", "serve /metrics, /metrics/prom, /healthz, /slo, /analyze, /flight, /debug/vars, and /debug/pprof on this address while tuning")
+		profileOn    = fs.Bool("profile", false, "enable the profiling plane: pprof label attribution on both pipelines plus per-stage allocation probes in the report")
+		flightOn     = fs.Bool("flight", false, "enable the always-on flight recorder: anomaly triggers cut deterministic incident dossiers into the report")
+		flightSlots  = fs.Int("flight-slots", 0, "flight recorder ring size in event slots (default 65536, requires -flight)")
+		incidentsDir = fs.String("incidents-dir", "", "write each incident dossier as a JSON artefact into this directory (implies -flight)")
+		showMetrics  = fs.Bool("metrics", false, "print the full metrics snapshot and SLO evaluation after the report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -152,6 +164,7 @@ func run(args []string, out io.Writer) error {
 		{"-cluster", float64(*clusterN)},
 		{"-cluster-kill-rungs", float64(*clusterKill)},
 		{"-store-kill-after", float64(*storeKill)},
+		{"-flight-slots", float64(*flightSlots)},
 	} {
 		if n.val < 0 {
 			return fmt.Errorf("%s: negative value %v", n.flag, n.val)
@@ -180,6 +193,15 @@ func run(args []string, out io.Writer) error {
 		}
 		if *profileOn {
 			job.Profile = true
+		}
+		if *flightOn {
+			job.Flight = true
+		}
+		if *flightSlots > 0 {
+			job.FlightSlots = *flightSlots
+		}
+		if *incidentsDir != "" {
+			job.IncidentsDir = *incidentsDir
 		}
 	} else {
 		job = edgetune.Job{
@@ -225,6 +247,9 @@ func run(args []string, out io.Writer) error {
 			TraceChromePath:  *chromePath,
 			DebugAddr:        *debugAddr,
 			Profile:          *profileOn,
+			Flight:           *flightOn,
+			FlightSlots:      *flightSlots,
+			IncidentsDir:     *incidentsDir,
 		}
 	}
 
@@ -252,8 +277,14 @@ func run(args []string, out io.Writer) error {
 			KillShardAfterRungs: *clusterKill,
 			SnapshotEvery:       *storeSnapEv,
 			TracePath:           job.TracePath,
+			Flight:              job.Flight,
+			FlightSlots:         job.FlightSlots,
+			IncidentsDir:        job.IncidentsDir,
 		}
 		job.TracePath, job.TraceChromePath, job.DebugAddr = "", "", ""
+		// The cluster owns the flight recorders too: one ring per shard,
+		// artefacts written (shard-prefixed) at Close.
+		job.Flight, job.FlightSlots, job.IncidentsDir = false, 0, ""
 		return runCluster(out, copts, job, *asJSON, *showMetrics)
 	}
 
@@ -284,6 +315,7 @@ func runCluster(out io.Writer, copts edgetune.ClusterOptions, job edgetune.Job, 
 		return err
 	}
 	rep, tuneErr := c.Tune(context.Background(), job)
+	incidents := c.Incidents()
 	if closeErr := c.Close(); tuneErr == nil {
 		tuneErr = closeErr
 	}
@@ -301,6 +333,20 @@ func runCluster(out io.Writer, copts edgetune.ClusterOptions, job edgetune.Job, 
 	fmt.Fprintf(out, "    shards            %d\n", len(c.Shards()))
 	fmt.Fprintf(out, "    ran on            %s\n", rep.Shard)
 	fmt.Fprintf(out, "    failed over       %v\n", rep.FailedOver)
+	if len(incidents) > 0 {
+		shardNames := make([]string, 0, len(incidents))
+		for name := range incidents {
+			shardNames = append(shardNames, name)
+		}
+		sort.Strings(shardNames)
+		fmt.Fprintf(out, "    incidents:\n")
+		for _, name := range shardNames {
+			for _, inc := range incidents[name] {
+				fmt.Fprintf(out, "      %s #%d %-17s at %.1fm  events=%d  %s\n",
+					name, inc.Seq, inc.Trigger, inc.AtMinutes, inc.Events, inc.Digest)
+			}
+		}
+	}
 	if showMetrics {
 		printMetrics(out, rep.Metrics)
 		printSLO(out, rep.SLO)
@@ -389,6 +435,16 @@ func printReport(out io.Writer, r *edgetune.Report) {
 		fmt.Fprintf(out, "  profile (allocs/op, bytes/op):\n")
 		for _, p := range r.Profile {
 			fmt.Fprintf(out, "    %-22s %8.1f  %10.0f\n", p.Stage, p.AllocsPerOp, p.BytesPerOp)
+		}
+	}
+	if len(r.Incidents) > 0 {
+		fmt.Fprintf(out, "  incidents:\n")
+		for _, inc := range r.Incidents {
+			fmt.Fprintf(out, "    #%d %-17s at %.1fm  events=%d  %s\n",
+				inc.Seq, inc.Trigger, inc.AtMinutes, inc.Events, inc.Digest)
+			if inc.Path != "" {
+				fmt.Fprintf(out, "       dossier %s\n", inc.Path)
+			}
 		}
 	}
 	if a := r.Autoscale; a != nil {

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+
+	"edgetune/internal/obs/flight"
+)
+
+// runIncident dispatches the flight-recorder dossier subcommands.
+func runIncident(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: tracetool incident <show|diff> [flags] args")
+	}
+	switch args[0] {
+	case "show":
+		return runIncidentShow(args[1:], out)
+	case "diff":
+		return runIncidentDiff(args[1:], out)
+	default:
+		return fmt.Errorf("unknown incident subcommand %q (want show or diff)", args[0])
+	}
+}
+
+// kindCounts tallies a dossier's window events by kind, sorted.
+func kindCounts(d flight.Dossier) (kinds []string, counts map[string]int) {
+	counts = make(map[string]int)
+	for _, e := range d.Events {
+		counts[e.Kind]++
+	}
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds, counts
+}
+
+// runIncidentShow prints one dossier's summary — trigger, window,
+// event-kind tally, and the embedded mini-analysis — after verifying
+// the stored digest against the content. Exit 2 on a digest mismatch:
+// the artefact was edited, truncated, or mixed up after it was cut.
+func runIncidentShow(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool incident show", flag.ContinueOnError)
+	var (
+		asJSON = fs.Bool("json", false, "re-emit the verified dossier as JSON instead of text")
+		events = fs.Bool("events", false, "print the full event timeline, not just the per-kind tally")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: tracetool incident show [-json] [-events] dossier.json")
+	}
+	d, err := flight.ReadDossier(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	want, got, ok := d.Verify()
+	if !ok {
+		return fmt.Errorf("%w: dossier digest mismatch (artefact says %s, content hashes to %s)",
+			errGate, want, got)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(d)
+	}
+	fmt.Fprintf(out, "trigger  #%d %s (%s) at %s\n", d.Trigger.Seq, d.Trigger.Kind, d.Trigger.Detail, d.Trigger.At)
+	fmt.Fprintf(out, "window   %s .. %s\n", d.Window.From, d.Window.To)
+	fmt.Fprintf(out, "events   %d in window, %d dropped from ring, truncated=%v\n",
+		len(d.Events), d.Dropped, d.Truncated)
+	kinds, counts := kindCounts(d)
+	for _, k := range kinds {
+		fmt.Fprintf(out, "  %-10s %d\n", k, counts[k])
+	}
+	if *events {
+		fmt.Fprintf(out, "timeline:\n")
+		for _, e := range d.Events {
+			fmt.Fprintf(out, "  %12s  %-10s %-24s %-12s a=%d b=%d\n",
+				e.Time, e.Kind, e.Subject, e.Detail, e.A, e.B)
+		}
+	}
+	if d.Analysis != nil {
+		fmt.Fprintf(out, "analysis %d span classes, %d spans in window\n",
+			len(d.Analysis.Classes), d.Analysis.Spans)
+	}
+	fmt.Fprintf(out, "digest   %s (verified)\n", d.Digest)
+	return nil
+}
+
+// runIncidentDiff compares two dossiers field by field. Two same-seed
+// runs must cut byte-identical dossiers, so CI diffs a fresh artefact
+// against a rerun's; exit 2 on any divergence. Both inputs are
+// digest-verified first — diffing a tampered artefact is meaningless.
+func runIncidentDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool incident diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return errors.New("usage: tracetool incident diff a.json b.json")
+	}
+	var ds [2]flight.Dossier
+	for i := 0; i < 2; i++ {
+		d, err := flight.ReadDossier(fs.Arg(i))
+		if err != nil {
+			return err
+		}
+		if want, got, ok := d.Verify(); !ok {
+			return fmt.Errorf("%w: %s digest mismatch (artefact says %s, content hashes to %s)",
+				errGate, fs.Arg(i), want, got)
+		}
+		ds[i] = d
+	}
+	a, b := ds[0], ds[1]
+
+	diffs := 0
+	check := func(field, av, bv string) {
+		if av == bv {
+			fmt.Fprintf(out, "ok   %-10s %s\n", field, av)
+		} else {
+			diffs++
+			fmt.Fprintf(out, "DIFF %-10s %s != %s\n", field, av, bv)
+		}
+	}
+	check("trigger", a.Trigger.Kind, b.Trigger.Kind)
+	check("detail", a.Trigger.Detail, b.Trigger.Detail)
+	check("at", a.Trigger.At.String(), b.Trigger.At.String())
+	check("window", fmt.Sprintf("%s..%s", a.Window.From, a.Window.To),
+		fmt.Sprintf("%s..%s", b.Window.From, b.Window.To))
+	check("events", fmt.Sprint(len(a.Events)), fmt.Sprint(len(b.Events)))
+	ka, ca := kindCounts(a)
+	kb, cb := kindCounts(b)
+	union := append(ka, kb...)
+	sort.Strings(union)
+	for i, k := range union {
+		if i > 0 && union[i-1] == k {
+			continue
+		}
+		check("  "+k, fmt.Sprint(ca[k]), fmt.Sprint(cb[k]))
+	}
+	check("digest", a.Digest, b.Digest)
+	if diffs > 0 {
+		return fmt.Errorf("%w: dossiers differ in %d fields", errGate, diffs)
+	}
+	return nil
+}

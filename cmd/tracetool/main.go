@@ -12,10 +12,13 @@
 //	tracetool check-bench [-tolerance 0.5] [-min-seconds 1] [-alloc-tolerance 0.25] [-alloc-slack 16] -baseline BENCH_old.json current.json
 //	tracetool profile check -want tenant,shard,rung cpu.pprof
 //	tracetool store verify [-json] [-wal store.json.wal] store.json
+//	tracetool incident show [-json] [-events] dossier.json
+//	tracetool incident diff a.json b.json
 //
 // Exit codes: 0 clean, 1 usage or I/O error, 2 gate failure (flagged
 // diff deltas, a wall-time or alloc regression, missing profile
-// labels, or store corruption).
+// labels, store corruption, a dossier digest mismatch, or two dossiers
+// that should match but differ).
 package main
 
 import (
@@ -64,8 +67,10 @@ func run(args []string, out io.Writer) error {
 		return runProfile(args[1:], out)
 	case "store":
 		return runStore(args[1:], out)
+	case "incident":
+		return runIncident(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want analyze, diff, check-bench, profile, or store)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want analyze, diff, check-bench, profile, store, or incident)", args[0])
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"edgetune/internal/autoscale"
 	"edgetune/internal/core"
@@ -38,6 +39,7 @@ import (
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
 	"edgetune/internal/obs/analyze"
+	"edgetune/internal/obs/flight"
 	"edgetune/internal/obs/slo"
 	"edgetune/internal/search"
 	"edgetune/internal/store"
@@ -209,6 +211,26 @@ type Job struct {
 	// Measured alloc values can wobble a few allocs across runs, so
 	// digest-compared deterministic runs leave this off.
 	Profile bool
+	// Flight turns on the always-on flight recorder: a preallocated
+	// fixed-slot ring continuously records a compact event stream from
+	// both pipelines (span completions, SLO alert edges, autoscale and
+	// ladder decisions, admission rejections, breaker and health
+	// transitions, WAL appends and recovery) with zero steady-state
+	// allocations, and anomaly triggers — an SLO alert's rising edge,
+	// ladder engagement, a crash-recovery salvage, a mass device
+	// failure — snapshot it into deterministic incident dossiers,
+	// summarised in Report.Incidents. Enabling Flight also enables
+	// tracing so dossiers carry a windowed trace analysis. Same-seed
+	// runs produce byte-identical dossiers (leave Profile off for
+	// digest-compared runs).
+	Flight bool
+	// FlightSlots sizes the recorder's ring (default 65536 slots).
+	FlightSlots int
+	// IncidentsDir, when set (implies Flight), writes each incident
+	// dossier as a self-contained JSON artefact into this directory,
+	// named incident-<seq>-<trigger>.json; tracetool incident show/diff
+	// reads them back.
+	IncidentsDir string
 }
 
 // FaultConfig sets per-site injection probabilities for the supported
@@ -421,6 +443,40 @@ type Report struct {
 	// Job.Profile was set). The same values appear in Metrics as
 	// prof.allocs-per-op.<stage> / prof.bytes-per-op.<stage> gauges.
 	Profile []ProfileProbe
+	// Incidents summarises the dossiers the flight recorder cut (nil
+	// unless Job.Flight was set and a trigger fired). The full
+	// artefacts are the JSON files at each Incident.Path when
+	// Job.IncidentsDir was set.
+	Incidents []Incident
+}
+
+// Incident summarises one incident dossier cut by the flight recorder
+// (Job.Flight): which trigger fired, where on the simulated clock, and
+// how much of the event window the dossier holds. The self-contained
+// artefact — trigger, window timeline, metrics and SLO snapshots,
+// windowed trace analysis, digest — is the JSON file at Path when the
+// job set IncidentsDir.
+type Incident struct {
+	// Trigger is the trigger kind: "slo-alert", "ladder-engaged",
+	// "shard-failover", "crash-salvage", "mass-device-fail", or
+	// "manual".
+	Trigger string
+	// Detail is the trigger's context: the alerting objective, the
+	// failed-over shard, the engaged ladder mode.
+	Detail string
+	// AtMinutes is the trigger's simulated time.
+	AtMinutes float64
+	// Seq orders the run's triggers from zero.
+	Seq int
+	// Events counts the timeline events inside the dossier's window.
+	Events int
+	// Truncated marks a window whose left edge the ring had already
+	// overwritten.
+	Truncated bool
+	// Digest is the artefact's FNV-1a content digest.
+	Digest string
+	// Path is the written JSON artefact (empty without IncidentsDir).
+	Path string
 }
 
 // ProfileProbe is one hot-loop stage's allocation measurement: the
@@ -626,17 +682,35 @@ func (job Job) coreOptions() (core.Options, error) {
 
 // Tune runs a tuning job to completion.
 func Tune(ctx context.Context, job Job) (*Report, error) {
+	if job.IncidentsDir != "" {
+		job.Flight = true
+	}
 	opts, err := job.coreOptions()
 	if err != nil {
 		return nil, err
 	}
 
 	var tracer *obs.Tracer
-	if job.TracePath != "" || job.TraceChromePath != "" || job.DebugAddr != "" {
+	if job.TracePath != "" || job.TraceChromePath != "" || job.DebugAddr != "" || job.Flight {
 		tracer = obs.NewTracer()
 	}
 	reg := obs.NewRegistry()
 	ev := slo.NewEvaluator()
+
+	var fr *flight.Recorder
+	if job.Flight {
+		slots := job.FlightSlots
+		if slots <= 0 {
+			slots = flight.DefaultSlots
+		}
+		fr = flight.New(slots)
+		// Span completions feed the ring as they end; names and tracks
+		// are pre-existing strings and small ints, so the hook keeps
+		// Record's zero-allocation contract.
+		tracer.SetSpanObserver(func(name string, track int, start, dur time.Duration) {
+			fr.Record(start, flight.KindSpan, name, "", int64(track), int64(dur))
+		})
+	}
 
 	if job.StoreWAL && job.StorePath == "" {
 		return nil, fmt.Errorf("edgetune: StoreWAL requires StorePath")
@@ -661,6 +735,7 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 				SLO:              ev,
 				Trace:            tracer,
 				KillAfterAppends: job.StoreKillAfterAppends,
+				Flight:           fr,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("edgetune: open durable store: %w", err)
@@ -675,12 +750,16 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 		}
 	}
 	if job.DebugAddr != "" {
+		handlers := map[string]http.Handler{
+			"/slo":     slo.Handler(ev),
+			"/analyze": analyzeHandler(tracer),
+		}
+		if fr != nil {
+			handlers["/flight"] = flight.Handler(fr)
+		}
 		dbg, derr := obs.StartDebugServerOpts(job.DebugAddr, obs.DebugOptions{
 			Registry: reg,
-			Handlers: map[string]http.Handler{
-				"/slo":     slo.Handler(ev),
-				"/analyze": analyzeHandler(tracer),
-			},
+			Handlers: handlers,
 		})
 		if derr != nil {
 			return nil, fmt.Errorf("edgetune: debug server: %w", derr)
@@ -692,6 +771,7 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 	opts.Trace = tracer
 	opts.Metrics = reg
 	opts.SLO = ev
+	opts.Flight = fr
 	if job.Checkpoint && job.StorePath != "" {
 		// Flush checkpoints through the persisted store so a killed
 		// process can resume from disk.
@@ -742,6 +822,15 @@ func Tune(ctx context.Context, job Job) (*Report, error) {
 			Checkpoints:         rr.Checkpoints,
 		}
 	}
+	if job.IncidentsDir != "" && len(res.Incidents) > 0 {
+		paths, werr := flight.WriteDossiers(job.IncidentsDir, "", res.Incidents)
+		if werr != nil {
+			return nil, fmt.Errorf("edgetune: write incident dossiers: %w", werr)
+		}
+		for i := range rep.Incidents {
+			rep.Incidents[i].Path = paths[i]
+		}
+	}
 	return rep, nil
 }
 
@@ -771,6 +860,17 @@ func buildReport(res core.Result) *Report {
 			Runs:        p.Runs,
 			AllocsPerOp: p.AllocsPerOp,
 			BytesPerOp:  p.BytesPerOp,
+		})
+	}
+	for _, d := range res.Incidents {
+		r.Incidents = append(r.Incidents, Incident{
+			Trigger:   d.Trigger.Kind,
+			Detail:    d.Trigger.Detail,
+			AtMinutes: d.Trigger.At.Minutes(),
+			Seq:       d.Trigger.Seq,
+			Events:    len(d.Events),
+			Truncated: d.Truncated,
+			Digest:    d.Digest,
 		})
 	}
 	if a := res.Autoscale; a != nil {

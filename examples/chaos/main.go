@@ -28,6 +28,13 @@
 // varied seeds until enough labeled samples have accumulated), which
 // `tracetool profile check` asserts carries the tenant/shard/rung
 // labels. That is the CI profile-plane gate.
+//
+// With -flight the run is captured on the always-on flight recorder and
+// anomaly triggers (a shard failover, crash-recovery salvage, an SLO
+// alert) cut deterministic incident dossiers, written as JSON artefacts
+// under -incidents-dir. Same-seed runs produce byte-identical dossiers
+// (leave -profile off for those comparisons); `tracetool incident
+// show|diff` inspects them. That is the CI flight-recorder gate.
 package main
 
 import (
@@ -61,6 +68,9 @@ func main() {
 
 		profileOn  = flag.Bool("profile", false, "run under pprof labels and report per-stage alloc probes")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (implies -profile)")
+
+		flightOn     = flag.Bool("flight", false, "record the run on the always-on flight recorder; anomalies cut incident dossiers")
+		incidentsDir = flag.String("incidents-dir", "", "write incident dossiers as JSON artefacts into this directory (implies -flight)")
 	)
 	flag.Parse()
 
@@ -99,6 +109,8 @@ func main() {
 		StoreSnapshotEvery:    *snapshotEvery,
 		StoreKillAfterAppends: *killAfter,
 		Profile:               *profileOn,
+		Flight:                *flightOn,
+		IncidentsDir:          *incidentsDir,
 	}
 
 	var (
@@ -107,11 +119,14 @@ func main() {
 	)
 	if *clusterN > 0 {
 		// Cluster shards own their durable stores; the single-node store
-		// flags don't compose with this mode.
+		// flags don't compose with this mode. The flight recorders move to
+		// the cluster too — one ring per shard, so a dossier can span a
+		// shard kill and its failover.
 		job.StorePath, job.StoreWAL = "", false
 		job.StoreSnapshotEvery, job.StoreKillAfterAppends = 0, 0
+		job.Flight, job.IncidentsDir = false, ""
 		report, err = runCluster(*clusterN, *clusterDir, *killShardAfter,
-			*faultPartition, *faultLag, *snapshotEvery, job)
+			*faultPartition, *faultLag, *snapshotEvery, *flightOn, *incidentsDir, job)
 	} else {
 		report, err = edgetune.Tune(context.Background(), job)
 	}
@@ -147,6 +162,17 @@ func main() {
 	fmt.Printf("\nstill recommends%s: batch %d, %d cores at %.2f GHz on %s\n",
 		suffix, rec.BatchSize, rec.Cores, rec.FrequencyGHz, rec.Device)
 	fmt.Printf("digest: %s\n", digest(report))
+
+	if len(report.Incidents) > 0 {
+		fmt.Printf("\nincidents: %d\n", len(report.Incidents))
+		for _, inc := range report.Incidents {
+			fmt.Printf("  #%d %-17s at %.1fm  events=%d  %s\n",
+				inc.Seq, inc.Trigger, inc.AtMinutes, inc.Events, inc.Digest)
+			if inc.Path != "" {
+				fmt.Printf("     dossier %s\n", inc.Path)
+			}
+		}
+	}
 
 	if len(report.Profile) > 0 {
 		fmt.Printf("\nprofile (allocs/op, bytes/op):\n")
@@ -202,7 +228,7 @@ func padProfile(job edgetune.Job, clusterN int, clusterDir string, snapshotEvery
 // how it was routed, then hands the inner report back so the digest is
 // computed exactly as in the single-node path.
 func runCluster(shards int, dir string, killAfterRungs int, partition, lag float64,
-	snapshotEvery int, job edgetune.Job) (*edgetune.Report, error) {
+	snapshotEvery int, flight bool, incidentsDir string, job edgetune.Job) (*edgetune.Report, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("-cluster requires -cluster-dir")
 	}
@@ -216,11 +242,14 @@ func runCluster(shards int, dir string, killAfterRungs int, partition, lag float
 		},
 		KillShardAfterRungs: killAfterRungs,
 		SnapshotEvery:       snapshotEvery,
+		Flight:              flight,
+		IncidentsDir:        incidentsDir,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rep, tuneErr := c.Tune(context.Background(), job)
+	incidents := c.Incidents()
 	if closeErr := c.Close(); tuneErr == nil {
 		tuneErr = closeErr
 	}
@@ -233,6 +262,19 @@ func runCluster(shards int, dir string, killAfterRungs int, partition, lag float
 		switch ctr.Name {
 		case "cluster.failovers", "cluster.ship.shipped", "cluster.ship.dropped", "cluster.ship.lagged":
 			fmt.Printf("  %-21s %d\n", ctr.Name, ctr.Value)
+		}
+	}
+	if len(incidents) > 0 {
+		names := make([]string, 0, len(incidents))
+		for name := range incidents {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for _, inc := range incidents[name] {
+				fmt.Printf("  incident %s #%d %-17s at %.1fm  events=%d  %s\n",
+					name, inc.Seq, inc.Trigger, inc.AtMinutes, inc.Events, inc.Digest)
+			}
 		}
 	}
 	return rep.Report, nil

@@ -1,0 +1,175 @@
+package edgetune
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgetune/internal/obs/flight"
+	"edgetune/internal/testutil"
+)
+
+// chaoticFlightJob is a faulty job noisy enough to fire at least one
+// flight trigger organically (a serving SLO alert), mirroring the
+// chaos example the CI gate drives.
+func chaoticFlightJob(incidentsDir string) Job {
+	return Job{
+		Workload: "IC",
+		Configs:  4,
+		Rungs:    4,
+		Brackets: 2,
+		Seed:     42,
+		Faults: FaultConfig{
+			TrialCrash:   0.15,
+			TrialNaN:     0.05,
+			Straggler:    0.20,
+			DeviceFlap:   0.10,
+			StoreWrite:   0.10,
+			DroppedReply: 0.15,
+		},
+		Checkpoint:   true,
+		Flight:       true,
+		IncidentsDir: incidentsDir,
+	}
+}
+
+// TestFlightIncidentsDeterministic: two same-seed runs cut
+// byte-identical incident dossiers — the artefact-level statement of
+// the same-seed contract the flight-recorder CI gate enforces.
+func TestFlightIncidentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos job is slow")
+	}
+	defer testutil.CheckGoroutineLeak(t, 4)
+
+	runOnce := func(dir string) []Incident {
+		rep, err := Tune(context.Background(), chaoticFlightJob(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Incidents
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	incA := runOnce(dirA)
+	incB := runOnce(dirB)
+
+	if len(incA) == 0 {
+		t.Fatal("chaotic job fired no flight triggers; the chaos gate would be vacuous")
+	}
+	if len(incA) != len(incB) {
+		t.Fatalf("incident counts differ: %d vs %d", len(incA), len(incB))
+	}
+	for i := range incA {
+		if incA[i].Digest != incB[i].Digest {
+			t.Errorf("incident %d digests differ: %s vs %s", i, incA[i].Digest, incB[i].Digest)
+		}
+		a, err := os.ReadFile(incA[i].Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(incB[i].Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("incident %d artefacts differ:\n%s\nvs\n%s", i, incA[i].Path, incB[i].Path)
+		}
+		d, err := flight.ReadDossier(incA[i].Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := d.Verify(); !ok {
+			t.Errorf("incident %d artefact fails its own digest", i)
+		}
+	}
+}
+
+// TestClusterFlightFailoverDossier: a scripted shard kill emits a
+// shard-failover dossier whose event window contains the kill and the
+// promotion, written shard-prefixed when the cluster closes.
+func TestClusterFlightFailoverDossier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster failover is slow")
+	}
+	defer testutil.CheckGoroutineLeak(t, 4)
+
+	incDir := t.TempDir()
+	c, err := NewCluster(ClusterOptions{
+		Shards:              2,
+		Dir:                 t.TempDir(),
+		Seed:                11,
+		KillShardAfterRungs: 2,
+		IncidentsDir:        incDir, // implies Flight
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rep, err := c.Tune(context.Background(), clusterJob("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FailedOver {
+		t.Fatal("expected the scripted shard kill to force a failover")
+	}
+
+	incidents := c.Incidents()
+	found := false
+	for shard, incs := range incidents {
+		for _, inc := range incs {
+			if inc.Trigger == flight.TriggerFailover {
+				found = true
+				if inc.Detail != shard {
+					t.Errorf("failover incident detail %q on shard %q", inc.Detail, shard)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no shard-failover incident after a failover: %+v", incidents)
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	entries, err := os.ReadDir(incDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failoverPath string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), flight.TriggerFailover) {
+			failoverPath = filepath.Join(incDir, e.Name())
+		}
+	}
+	if failoverPath == "" {
+		t.Fatalf("no shard-failover artefact in %v", entries)
+	}
+	d, err := flight.ReadDossier(failoverPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := d.Verify(); !ok {
+		t.Error("failover dossier fails its own digest")
+	}
+	var kill, promoted bool
+	for _, ev := range d.Events {
+		if ev.Kind == flight.KindFailover {
+			if ev.Time < d.Window.From || ev.Time > d.Window.To {
+				t.Errorf("failover event at %v outside window [%v, %v]", ev.Time, d.Window.From, d.Window.To)
+			}
+			switch ev.Detail {
+			case "kill":
+				kill = true
+			case "promoted":
+				promoted = true
+			}
+		}
+	}
+	if !kill || !promoted {
+		t.Errorf("dossier window lacks the failover events (kill=%v promoted=%v):\n%+v", kill, promoted, d.Events)
+	}
+}

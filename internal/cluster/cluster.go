@@ -28,6 +28,7 @@ import (
 	"edgetune/internal/counters"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/flight"
 	"edgetune/internal/obs/prof"
 	"edgetune/internal/obs/slo"
 	"edgetune/internal/store"
@@ -81,6 +82,13 @@ type Options struct {
 	SLO *slo.Evaluator
 	// Trace receives per-job cluster spans on TrackCluster (nil = off).
 	Trace *obs.Tracer
+	// Flight enables a per-shard flight recorder: each shard's WAL,
+	// shipping, serving, and failover events land on its own ring, and
+	// Incidents aggregates the dossiers. The recorder outlives a
+	// failover, so one dossier spans the kill and the resumed run.
+	Flight bool
+	// FlightSlots sizes each shard's ring (default flight.DefaultSlots).
+	FlightSlots int
 }
 
 // Job is one tuning job routed through the dispatcher.
@@ -169,7 +177,15 @@ func New(opts Options) (*Cluster, error) {
 	}
 	for i := 0; i < opts.Shards; i++ {
 		name := fmt.Sprintf("shard%d", i)
-		sh, err := openShard(name, filepath.Join(opts.Dir, name), opts.SnapshotEvery, inj, opts.Metrics)
+		var fr *flight.Recorder
+		if opts.Flight {
+			slots := opts.FlightSlots
+			if slots <= 0 {
+				slots = flight.DefaultSlots
+			}
+			fr = flight.New(slots)
+		}
+		sh, err := openShard(name, filepath.Join(opts.Dir, name), opts.SnapshotEvery, inj, opts.Metrics, fr)
 		if err != nil {
 			for _, open := range c.shards {
 				open.close()
@@ -303,6 +319,10 @@ func (c *Cluster) shardOptions(sh *shard, job Job, armKills bool) core.Options {
 	opts.Checkpoint = true
 	opts.CheckpointPath = sh.snapshotPath(sh.primaryDir)
 	opts.Tenant = job.Tenant
+	// The shard's recorder, not a per-job one: job options are copied
+	// per attempt, so the same ring survives the failover rerun and its
+	// dossiers cover both halves of the job.
+	opts.Flight = sh.fr
 	if opts.Profile {
 		// Stamp the owning shard on every pprof label set the job
 		// applies, training and serving side alike. Copy-on-append: the
@@ -341,6 +361,7 @@ func (c *Cluster) failOver(sh *shard, sp *obs.Span, at time.Duration) error {
 	if sp != nil {
 		fsp = sp.Child("failover", at, obs.Str("shard", sh.name))
 	}
+	sh.fr.Record(at, flight.KindFailover, sh.name, "kill", 0, 0)
 	err := sh.failover()
 	if fsp != nil {
 		fsp.Set(obs.Bool("ok", err == nil))
@@ -349,8 +370,29 @@ func (c *Cluster) failOver(sh *shard, sp *obs.Span, at time.Duration) error {
 	if err != nil {
 		return err
 	}
+	sh.fr.Record(at, flight.KindFailover, sh.name, "promoted", 0, 0)
+	sh.fr.Trigger(flight.TriggerFailover, at, sh.name)
 	c.mFailovers.Inc()
 	return nil
+}
+
+// Incidents builds each shard's incident dossiers from its flight
+// recorder (nil recorders contribute nothing). The metrics snapshot
+// embedded in a shard's dossiers is that shard's private registry —
+// the promoted store's instruments included — so the artefact is
+// self-contained per shard. Call after the shard's jobs have quiesced;
+// the build is non-consuming and repeatable.
+func (c *Cluster) Incidents() map[string][]flight.Dossier {
+	out := make(map[string][]flight.Dossier)
+	for name, sh := range c.shards {
+		sh.mu.Lock()
+		ds := sh.fr.Dossiers(flight.Sources{Metrics: sh.reg.Snapshot()})
+		sh.mu.Unlock()
+		if len(ds) > 0 {
+			out[name] = ds
+		}
+	}
+	return out
 }
 
 // Query serves one historical-store lookup, routed to the shard owning

@@ -5,9 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/flight"
 	"edgetune/internal/store"
 )
 
@@ -26,6 +28,12 @@ type shard struct {
 	// shipping counters stay on the shared cluster registry — they
 	// describe the cluster's replication fabric, not one store.
 	reg *obs.Registry
+
+	// fr is the shard's flight recorder (nil = flight disabled). It
+	// outlives the primary store: a failover's promoted store keeps
+	// recording into the same ring, so one dossier spans the kill, the
+	// promotion, and the resumed run.
+	fr *flight.Recorder
 
 	mu sync.Mutex // serializes jobs and failover on this shard
 
@@ -46,14 +54,14 @@ func (s *shard) snapshotPath(sub string) string {
 // openShard creates the shard's primary/follower directories, opens
 // the primary durable store with WAL shipping attached, and opens the
 // follower's log for appends.
-func openShard(name, dir string, snapshotEvery int, inj *fault.Injector, reg *obs.Registry) (*shard, error) {
-	s := &shard{name: name, dir: dir, primaryDir: "primary", reg: obs.NewRegistry()}
+func openShard(name, dir string, snapshotEvery int, inj *fault.Injector, reg *obs.Registry, fr *flight.Recorder) (*shard, error) {
+	s := &shard{name: name, dir: dir, primaryDir: "primary", reg: obs.NewRegistry(), fr: fr}
 	for _, sub := range []string{"primary", "follower"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("cluster: shard %s: %w", name, err)
 		}
 	}
-	rep, err := newReplica(s.name, s.snapshotPath("follower")+".wal", inj, reg)
+	rep, err := newReplica(s.name, s.snapshotPath("follower")+".wal", inj, reg, fr)
 	if err != nil {
 		return nil, err
 	}
@@ -62,6 +70,7 @@ func openShard(name, dir string, snapshotEvery int, inj *fault.Injector, reg *ob
 		SnapshotEvery: snapshotEvery,
 		Metrics:       s.reg,
 		Shipper:       rep,
+		Flight:        fr,
 	})
 	if err != nil {
 		rep.close()
@@ -95,6 +104,7 @@ func (s *shard) failover() error {
 	promoted, err := store.OpenDurable(store.DurableOptions{
 		SnapshotPath: s.snapshotPath("follower"),
 		Metrics:      s.reg,
+		Flight:       s.fr,
 	})
 	if err != nil {
 		return fmt.Errorf("cluster: shard %s promote follower: %w", s.name, err)
@@ -151,6 +161,7 @@ func (s *shard) close() error {
 type replica struct {
 	shard string
 	inj   *fault.Injector
+	fr    *flight.Recorder
 
 	mu      sync.Mutex
 	file    store.File
@@ -163,7 +174,7 @@ type replica struct {
 	mLagged  *obs.Counter
 }
 
-func newReplica(shard, path string, inj *fault.Injector, reg *obs.Registry) (*replica, error) {
+func newReplica(shard, path string, inj *fault.Injector, reg *obs.Registry, fr *flight.Recorder) (*replica, error) {
 	f, err := store.OSFS{}.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: open follower log %s: %w", path, err)
@@ -171,6 +182,7 @@ func newReplica(shard, path string, inj *fault.Injector, reg *obs.Registry) (*re
 	return &replica{
 		shard:    shard,
 		inj:      inj,
+		fr:       fr,
 		file:     f,
 		path:     path,
 		mShipped: reg.Counter("cluster.ship.shipped"),
@@ -179,26 +191,32 @@ func newReplica(shard, path string, inj *fault.Injector, reg *obs.Registry) (*re
 	}, nil
 }
 
-// Ship implements store.Shipper.
+// Ship implements store.Shipper. Ship events ride the same
+// operation-indexed clock as the primary's WAL appends (sequence as
+// milliseconds), so a dossier interleaves them correctly.
 func (r *replica) Ship(seq int64, frame []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
 		return
 	}
+	at := time.Duration(seq) * time.Millisecond
 	site := "ship/" + r.shard
 	if r.inj.Should(fault.NetPartition, site, int(seq)) {
 		r.mDropped.Inc()
+		r.fr.Record(at, flight.KindShip, r.shard, "dropped", seq, int64(len(frame)))
 		return
 	}
 	if r.inj.Should(fault.FollowerLag, site, int(seq)) {
 		r.pending = append(r.pending, append([]byte(nil), frame...))
 		r.mLagged.Inc()
+		r.fr.Record(at, flight.KindShip, r.shard, "lagged", seq, int64(len(frame)))
 		return
 	}
 	r.flushLocked()
 	if r.appendLocked(frame) {
 		r.mShipped.Inc()
+		r.fr.Record(at, flight.KindShip, r.shard, "shipped", seq, int64(len(frame)))
 	}
 }
 

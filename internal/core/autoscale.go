@@ -9,6 +9,7 @@ import (
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/flight"
 )
 
 // scaler binds the autoscale controller to the inference server: it is
@@ -144,6 +145,8 @@ func (s *InferenceServer) autoscaleTick(req InferRequest, seq int) {
 				obs.Int("devices", int64(hit)))
 			sp.End(at)
 		}
+		s.opts.Flight.Record(at, flight.KindHealth, "pool", "mass-fail", int64(hit), 0)
+		s.opts.Flight.Trigger(flight.TriggerMassFail, at, "pool")
 	}
 
 	// Flash crowd: a phantom arrival surge inflates the in-system
@@ -222,11 +225,19 @@ func (s *InferenceServer) applyScaleDecision(d autoscale.Decision, at time.Durat
 		// Pure ladder transition.
 		if d.Mode > sc.lastMode {
 			sc.cDegrade.Inc()
+			s.opts.Flight.Record(at, flight.KindLadder, "degrade", d.Mode.String(), int64(sc.lastMode), int64(d.Mode))
+			if sc.lastMode == autoscale.ModeNormal {
+				// Ladder engagement — the run left normal service — is
+				// an incident trigger; deeper steps only extend the
+				// timeline already being dossiered.
+				s.opts.Flight.Trigger(flight.TriggerLadder, at, d.Mode.String())
+			}
 			if d.Mode >= autoscale.ModeCriticalOnly {
 				evicted = s.adm.evictBackground()
 			}
 		} else if d.Mode < sc.lastMode {
 			sc.cRecover.Inc()
+			s.opts.Flight.Record(at, flight.KindLadder, "recover", d.Mode.String(), int64(sc.lastMode), int64(d.Mode))
 		}
 	}
 	sc.lastMode = d.Mode
@@ -239,5 +250,6 @@ func (s *InferenceServer) applyScaleDecision(d autoscale.Decision, at time.Durat
 			obs.Str("reason", d.Reason))
 		sp.End(at + d.WarmupTime)
 	}
+	s.opts.Flight.Record(at, flight.KindAutoscale, d.Reason, d.Mode.String(), int64(d.Delta), int64(d.Replicas))
 	return evicted
 }

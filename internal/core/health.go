@@ -10,6 +10,7 @@ import (
 	"edgetune/internal/counters"
 	"edgetune/internal/device"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/flight"
 )
 
 // ErrNoHealthyDevice is returned when every device in the pool is
@@ -112,6 +113,12 @@ type devicePool struct {
 	// Breaker parameters, kept so autoscaled replicas get breakers
 	// configured like the seed pool's.
 	threshold, cooldown int
+
+	// fr receives breaker and health-state transitions as flight events
+	// (nil = not recorded). Unlike the resilience counters, the flight
+	// stream carries the simulated timestamps, so transitions land on
+	// the incident timeline.
+	fr *flight.Recorder
 }
 
 func newDevicePool(devs []device.Device, threshold, cooldown int, rec *counters.Resilience) *devicePool {
@@ -230,7 +237,7 @@ func (p *devicePool) pick(at time.Duration) (route, error) {
 	if p.seq%probeEvery == 0 {
 		for _, d := range p.devs {
 			if d.state == deviceQuarantined && !d.probing && !d.retired {
-				if ok, brProbe := d.br.allowProbe(); ok {
+				if ok, brProbe := p.allowLocked(d, at); ok {
 					d.probing = true
 					p.rec.AddProbe()
 					return route{pd: d, brProbe: brProbe, qProbe: true}, nil
@@ -267,11 +274,23 @@ func (p *devicePool) bestLocked(exclude *poolDevice, at time.Duration) (route, e
 		}
 	}
 	for _, d := range order {
-		if ok, brProbe := d.br.allowProbe(); ok {
+		if ok, brProbe := p.allowLocked(d, at); ok {
 			return route{pd: d, brProbe: brProbe}, nil
 		}
 	}
 	return route{}, ErrNoHealthyDevice
+}
+
+// allowLocked consults a device's breaker and records the open →
+// half-open edge (the only transition allowProbe can make) on the
+// flight timeline; callers hold p.mu.
+func (p *devicePool) allowLocked(d *poolDevice, at time.Duration) (ok, brProbe bool) {
+	wasOpen := p.fr != nil && d.br.snapshotState() == breakerOpen
+	ok, brProbe = d.br.allowProbe()
+	if wasOpen && ok && brProbe {
+		p.fr.Record(at, flight.KindBreaker, d.name, "half-open", int64(breakerOpen), int64(breakerHalfOpen))
+	}
+	return ok, brProbe
 }
 
 func weight(d *poolDevice) float64 {
@@ -299,10 +318,11 @@ func (p *devicePool) release(r route) {
 }
 
 // observe feeds one served request back into the device's breaker and
-// health score. err==nil with latency beyond the expected (perfmodel)
-// duration scores as partial success — the signal that catches
-// brown-outs the breaker cannot see. Caller cancellations are neutral.
-func (p *devicePool) observe(r route, err error, latency, expected time.Duration) {
+// health score at simulated time at. err==nil with latency beyond the
+// expected (perfmodel) duration scores as partial success — the signal
+// that catches brown-outs the breaker cannot see. Caller cancellations
+// are neutral.
+func (p *devicePool) observe(r route, err error, latency, expected, at time.Duration) {
 	pd := r.pd
 	if pd == nil {
 		return
@@ -320,6 +340,10 @@ func (p *devicePool) observe(r route, err error, latency, expected time.Duration
 	}
 	pd.mRequests.Add(1)
 	pd.mLatency.Observe(float64(latency) / float64(time.Millisecond))
+	brBefore := breakerClosed
+	if p.fr != nil {
+		brBefore = pd.br.snapshotState()
+	}
 	signal := 0.0
 	if err == nil {
 		pd.br.success()
@@ -331,8 +355,20 @@ func (p *devicePool) observe(r route, err error, latency, expected time.Duration
 		pd.br.failure()
 		pd.mFailures.Add(1)
 	}
+	if p.fr != nil {
+		if brAfter := pd.br.snapshotState(); brAfter != brBefore {
+			p.fr.Record(at, flight.KindBreaker, pd.name, brAfter.String(), int64(brBefore), int64(brAfter))
+		}
+	}
+	hBefore := pd.state
 	pd.score = (1-healthAlpha)*pd.score + healthAlpha*signal
 	pd.mHealth.Set(pd.score)
+
+	defer func() {
+		if p.fr != nil && pd.state != hBefore {
+			p.fr.Record(at, flight.KindHealth, pd.name, pd.state.String(), int64(hBefore), int64(pd.state))
+		}
+	}()
 
 	switch pd.state {
 	case deviceQuarantined:

@@ -65,7 +65,7 @@ func (s *InferenceServer) runHedged(ctx context.Context, req InferRequest, prima
 	r1 := s.serveOn(ctx, req, pd, sp, base)
 	expected := r1.baseline
 	deadline := time.Duration(float64(expected) * s.opts.HedgeFactor)
-	s.pool.observe(primary, r1.err, r1.cost.Duration, expected)
+	s.pool.observe(primary, r1.err, r1.cost.Duration, expected, base+r1.cost.Duration)
 
 	out := hedgeOutcome{res: r1, winner: pd, cost: r1.cost, latency: r1.cost.Duration}
 	straggled := r1.err == nil && deadline > 0 && r1.cost.Duration > deadline
@@ -103,7 +103,7 @@ func (s *InferenceServer) runHedged(ctx context.Context, req InferRequest, prima
 	}
 
 	r2 := s.serveOn(ctx, req, second.pd, hsp, base+start)
-	s.pool.observe(second, r2.err, r2.cost.Duration, r2.baseline)
+	s.pool.observe(second, r2.err, r2.cost.Duration, r2.baseline, base+start+r2.cost.Duration)
 
 	d1 := r1.cost.Duration
 	d2 := start + r2.cost.Duration

@@ -12,6 +12,7 @@ import (
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/flight"
 	"edgetune/internal/obs/prof"
 	"edgetune/internal/obs/slo"
 	"edgetune/internal/perfmodel"
@@ -137,6 +138,11 @@ type InferenceServerOptions struct {
 	// graceful-degradation ladder (nil = static pool). Zero fields in
 	// the config select the documented defaults.
 	Autoscale *autoscale.Config
+	// Flight receives the compact always-on event stream (admission
+	// outcomes, autoscale decisions, breaker/health transitions) for the
+	// incident flight recorder (nil = not recorded; every hook is a
+	// single-pointer-check no-op).
+	Flight *flight.Recorder
 
 	// Profile applies pprof labels (tenant, priority, ProfLabels) to
 	// each request's serve path. Workers run on their own goroutines,
@@ -306,6 +312,7 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 		writes:    store.NewWriteBehind(opts.Store),
 		closedCh:  make(chan struct{}),
 	}
+	s.pool.fr = opts.Flight
 	if opts.Autoscale != nil {
 		sc, err := newScaler(*opts.Autoscale, &s.opts)
 		if err != nil {
@@ -608,6 +615,7 @@ func (s *InferenceServer) Submit(ctx context.Context, req InferRequest) <-chan I
 	s.admissionSpan(c, "admitted", rt.pd.name, job.queuedAhead)
 	if evicted != nil {
 		s.opts.Recorder.AddPreempted()
+		s.opts.Flight.Record(req.SubmitTime, flight.KindAdmission, "preempted", evicted.call.sig, 0, 0)
 		s.pool.release(evicted.rt)
 		s.deliver(evicted.call, InferOutcome{Err: fmt.Errorf("core: preempted by critical request: %w", ErrOverloaded)})
 	}
@@ -954,6 +962,11 @@ func hashSignature(s string) uint64 {
 // instantaneous on the simulated clock). queuedAhead is the request's
 // queue position at enqueue; negative means it never reached the queue.
 func (s *InferenceServer) admissionSpan(c *call, verdict, dev string, queuedAhead int) {
+	// Rejections feed the flight recorder even with tracing off: the
+	// ring is the always-on record, the trace the opt-in one.
+	if verdict != "admitted" {
+		s.opts.Flight.Record(c.start, flight.KindAdmission, verdict, c.sig, int64(queuedAhead), 0)
+	}
 	if c.sp == nil {
 		return
 	}

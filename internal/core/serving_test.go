@@ -401,7 +401,7 @@ func TestPoolQuarantineAndRecovery(t *testing.T) {
 	// Three failures: score 1 -> 0.7 -> 0.49 -> 0.343, under the 0.35
 	// quarantine threshold (and the breaker trips at its threshold 3).
 	for i := 0; i < 3; i++ {
-		pool.observe(route{pd: sick}, boom, 0, 0)
+		pool.observe(route{pd: sick}, boom, 0, 0, 0)
 	}
 	if st, score := pool.stateOf("i7"); st != deviceQuarantined {
 		t.Fatalf("after 3 failures: state = %d (score %.3f), want quarantined", st, score)
@@ -419,7 +419,7 @@ func TestPoolQuarantineAndRecovery(t *testing.T) {
 		if rt.pd.name != "i7-b" {
 			t.Fatalf("pick %d routed to quarantined device", i)
 		}
-		pool.observe(rt, nil, 0, 0)
+		pool.observe(rt, nil, 0, 0, 0)
 	}
 	// ...until the periodic probe; the breaker (open, cooldown 2) eats
 	// the first probe attempts, then half-opens and admits one.
@@ -432,7 +432,7 @@ func TestPoolQuarantineAndRecovery(t *testing.T) {
 		if rt.qProbe {
 			probe = rt
 		} else {
-			pool.observe(rt, nil, 0, 0)
+			pool.observe(rt, nil, 0, 0, 0)
 		}
 	}
 	if probe.pd == nil || probe.pd.name != "i7" {
@@ -444,12 +444,12 @@ func TestPoolQuarantineAndRecovery(t *testing.T) {
 
 	// A clean probe moves it to probation; clean traffic then restores
 	// full health at the 0.75 threshold.
-	pool.observe(probe, nil, 0, 0)
+	pool.observe(probe, nil, 0, 0, 0)
 	if st, _ := pool.stateOf("i7"); st != deviceProbation {
 		t.Fatalf("after clean probe: state = %d, want probation", st)
 	}
 	for i := 0; i < 10; i++ {
-		pool.observe(route{pd: sick}, nil, 0, 0)
+		pool.observe(route{pd: sick}, nil, 0, 0, 0)
 	}
 	if st, score := pool.stateOf("i7"); st != deviceHealthy || score < recoverAbove {
 		t.Errorf("after sustained successes: state = %d score = %.3f, want healthy", st, score)
@@ -465,7 +465,7 @@ func TestPoolSlowSuccessesQuarantine(t *testing.T) {
 	slow := pool.devs[0]
 	// Ten-fold slowdown: each observation scores 0.1.
 	for i := 0; i < 8; i++ {
-		pool.observe(route{pd: slow}, nil, 10*time.Second, time.Second)
+		pool.observe(route{pd: slow}, nil, 10*time.Second, time.Second, 0)
 	}
 	if st, score := pool.stateOf("i7"); st != deviceQuarantined {
 		t.Errorf("state = %d (score %.3f), want quarantined on chronic slowness", st, score)

@@ -14,6 +14,7 @@ import (
 	"edgetune/internal/device"
 	"edgetune/internal/fault"
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/flight"
 	"edgetune/internal/obs/prof"
 	"edgetune/internal/obs/slo"
 	"edgetune/internal/perfmodel"
@@ -118,6 +119,14 @@ type Options struct {
 	// trial-overrun objective. Nil disables SLO accounting; otherwise
 	// the final evaluation lands in Result.SLO.
 	SLO *slo.Evaluator
+	// Flight is the always-on flight recorder: both pipelines feed it
+	// a compact event stream (admissions, autoscale and ladder steps,
+	// breaker/health transitions, WAL and SLO edges), anomaly triggers
+	// snapshot it into incident dossiers, and the dossiers land in
+	// Result.Incidents. Nil disables recording at single-pointer-check
+	// cost. In a cluster the recorder is per shard and outlives
+	// individual Tune calls, so dossiers aggregate across failover.
+	Flight *flight.Recorder
 
 	// Tenant names the client this job runs on behalf of. When set it
 	// stamps every inference submission's Client field, so per-client
@@ -346,6 +355,13 @@ type Result struct {
 	// "prof.allocs-per-op.<stage>" / "prof.bytes-per-op.<stage>"
 	// gauges.
 	Profile []prof.Probe
+
+	// Incidents is the flight recorder's dossiers — one per fired
+	// trigger so far, built after the run quiesced (nil when
+	// Options.Flight is nil or nothing tripped). With a per-shard
+	// recorder the dossiers cover the shard's whole recorded history,
+	// which is what lets them survive a mid-job failover rerun.
+	Incidents []flight.Dossier
 }
 
 // Tune runs the EdgeTune onefold tuning loop (Algorithm 1): brackets of
@@ -376,6 +392,16 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 		// Defer LIFO: the server's Close ran first, so every serving SLO
 		// event is already recorded.
 		res.SLO = opts.SLO.Snapshot()
+		if opts.Flight != nil {
+			// Dossiers are built here, after the pipeline quiesced, so
+			// their event timelines and embedded snapshots are the
+			// deterministic final ones.
+			res.Incidents = opts.Flight.Dossiers(flight.Sources{
+				Metrics: res.Metrics,
+				SLO:     res.SLO,
+				Trace:   opts.Trace,
+			})
+		}
 	}()
 	if opts.Profile {
 		// Probes run before the loop so even an aborted job reports
@@ -452,6 +478,7 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			BreakerCooldown:  opts.BreakerCooldown,
 			Trace:            opts.Trace,
 			SLO:              opts.SLO,
+			Flight:           opts.Flight,
 			Autoscale:        opts.Autoscale,
 			Profile:          opts.Profile,
 			ProfLabels:       opts.ProfLabels,
@@ -663,6 +690,13 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			if rgSp != nil {
 				rgSp.Set(obs.Int("survivors", int64(keep)))
 				rgSp.End(res.TuningDuration)
+			}
+			if opts.Flight != nil {
+				// Rung boundaries are the deterministic poll points for
+				// SLO alert edges: every worker has drained the rung's
+				// trials, so the snapshot (and any rising edge it
+				// reveals) lands at the same simulated time every run.
+				opts.Flight.ObserveSLO(res.TuningDuration, opts.SLO.Snapshot())
 			}
 
 			if opts.Checkpoint {

@@ -117,5 +117,6 @@ func All() []Experiment {
 		{ID: "BenchmarkTraceEmit", Run: BenchmarkTraceEmit},
 		{ID: "BenchmarkWALAppend", Run: BenchmarkWALAppend},
 		{ID: "BenchmarkClusterDispatch", Run: BenchmarkClusterDispatch},
+		{ID: "BenchmarkFlightRecord", Run: BenchmarkFlightRecord},
 	}
 }

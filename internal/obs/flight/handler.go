@@ -1,0 +1,47 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// handlerEvents caps the timeline a single /flight response carries.
+const handlerEvents = 256
+
+// flightView is the /flight endpoint's JSON shape.
+type flightView struct {
+	Slots    int       `json:"slots"`
+	Recorded uint64    `json:"recorded"`
+	Dropped  uint64    `json:"dropped,omitempty"`
+	Triggers []Trigger `json:"triggers,omitempty"`
+	// Events is the newest slice of the (time, ID)-sorted ring.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Handler serves the recorder's live state as JSON: ring geometry,
+// fired triggers, and the newest events in deterministic order. A POST
+// with ?trigger=manual fires the manual trigger (detail from the
+// "detail" query parameter) before rendering, so an operator can cut a
+// dossier at the next report collection without touching the run.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method == http.MethodPost && req.URL.Query().Get("trigger") == "manual" {
+			r.ManualTrigger(req.URL.Query().Get("detail"))
+		}
+		slots, recorded, dropped := r.Stats()
+		view := flightView{
+			Slots:    slots,
+			Recorded: recorded,
+			Dropped:  dropped,
+			Triggers: r.Triggers(),
+			Events:   r.Events(),
+		}
+		if len(view.Events) > handlerEvents {
+			view.Events = view.Events[len(view.Events)-handlerEvents:]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(view)
+	})
+}

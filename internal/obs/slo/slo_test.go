@@ -132,6 +132,44 @@ func TestWindowClampedToHorizon(t *testing.T) {
 	}
 }
 
+// TestAlertClearsWhenFastWindowAgesOut: an alert is a statement about
+// the present, so once enough good events move the horizon past the
+// error burst, the fast window contains no errors and the alert must
+// clear — even while the slow window is still burning over the burst.
+func TestAlertClearsWhenFastWindowAgesOut(t *testing.T) {
+	e := NewEvaluator()
+	o := e.Register(Spec{Name: "burst", Target: 0.9,
+		Windows: []time.Duration{5 * time.Minute, 30 * time.Minute}, BurnThreshold: 2})
+
+	// A ten-minute all-error burst: every window burns, the alert fires.
+	for i := 0; i < 10; i++ {
+		o.Record(time.Duration(i)*time.Minute, false)
+	}
+	rep, _ := e.Snapshot().Objective("burst")
+	if !rep.Alerting {
+		t.Fatalf("mid-burst objective must alert: %+v", rep)
+	}
+
+	// Ten minutes of good events: the horizon advances to 19m, so the
+	// fast window [14m, 19m] has aged out every error event.
+	for i := 10; i < 20; i++ {
+		o.Record(time.Duration(i)*time.Minute, true)
+	}
+	rep, _ = e.Snapshot().Objective("burst")
+	if rep.Alerting {
+		t.Fatalf("alert must clear once the fast window ages out the burst: %+v", rep)
+	}
+	if rep.Windows[0].Errors != 0 {
+		t.Errorf("fast window errors = %d, want 0 (aged out)", rep.Windows[0].Errors)
+	}
+	if rep.Windows[1].Errors != 10 {
+		t.Errorf("slow window errors = %d, want the full burst of 10", rep.Windows[1].Errors)
+	}
+	if rep.Windows[1].BurnRate < 2 {
+		t.Errorf("slow window burn = %g, want still past threshold — the clear must come from the fast window alone", rep.Windows[1].BurnRate)
+	}
+}
+
 func TestNoEventsObjective(t *testing.T) {
 	e := NewEvaluator()
 	e.Register(Spec{Name: "idle", Target: 0.99})

@@ -116,9 +116,10 @@ func (a *Attr) UnmarshalJSON(data []byte) error {
 // Tracer collects finished spans. A nil *Tracer is a valid disabled
 // tracer: all methods no-op. Safe for concurrent use.
 type Tracer struct {
-	mu      sync.Mutex
-	spans   []spanRecord
-	dropped int64
+	mu       sync.Mutex
+	spans    []spanRecord
+	dropped  int64
+	observer func(name string, track int, start, dur time.Duration)
 }
 
 // NewTracer returns an empty tracer.
@@ -228,11 +229,30 @@ func (sp *Span) end(end time.Duration) {
 
 func (t *Tracer) emit(rec spanRecord) {
 	t.mu.Lock()
+	obsv := t.observer
 	if len(t.spans) >= maxSpans {
 		t.dropped++
 	} else {
 		t.spans = append(t.spans, rec)
 	}
+	t.mu.Unlock()
+	if obsv != nil {
+		obsv(rec.Name, rec.Track, time.Duration(rec.Start), time.Duration(rec.Dur))
+	}
+}
+
+// SetSpanObserver registers a callback invoked for every finished
+// span (the flight recorder's span-completion feed). The observer runs
+// outside the tracer's lock and must be cheap and lock-ordering safe;
+// nil clears it. One observer per tracer: a shared tracer (cluster)
+// cannot demultiplex spans per shard, so only single-job wiring
+// attaches one.
+func (t *Tracer) SetSpanObserver(fn func(name string, track int, start, dur time.Duration)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.observer = fn
 	t.mu.Unlock()
 }
 

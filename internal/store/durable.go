@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"edgetune/internal/obs"
+	"edgetune/internal/obs/flight"
 	"edgetune/internal/obs/slo"
 )
 
@@ -42,6 +43,7 @@ type Durable struct {
 	appendSeq    int64
 	killAfter    int
 	shipper      Shipper
+	fr           *flight.Recorder
 
 	failed   error // sticky: the WAL could not be repaired in place
 	closed   bool
@@ -105,6 +107,10 @@ type DurableOptions struct {
 	// Shipper, when non-nil, receives every durably acknowledged WAL
 	// frame for replication (nil = no replication).
 	Shipper Shipper
+	// Flight receives WAL append/recovery events on the flight
+	// recorder's timeline, stamped on the same operation-indexed clock
+	// as the durability SLO (nil = not recorded).
+	Flight *flight.Recorder
 }
 
 // RecoveryReport describes what OpenDurable salvaged.
@@ -152,6 +158,7 @@ func OpenDurable(opts DurableOptions) (*Durable, error) {
 		every:     opts.SnapshotEvery,
 		killAfter: opts.KillAfterAppends,
 		shipper:   opts.Shipper,
+		fr:        opts.Flight,
 
 		mAppends:     opts.Metrics.Counter("store.wal.appends"),
 		mAppendErrs:  opts.Metrics.Counter("store.wal.append-errors"),
@@ -181,6 +188,15 @@ func OpenDurable(opts DurableOptions) (*Durable, error) {
 		reg.Counter("store.recovery.replayed").Add(int64(d.recovery.RecordsReplayed))
 		reg.Counter("store.recovery.quarantined").Add(int64(d.recovery.RecordsQuarantined))
 		reg.Counter("store.recovery.truncated-bytes").Add(d.recovery.TruncatedBytes)
+	}
+	// Recovery lands at time zero on the flight timeline: it happens
+	// before the run's first simulated instant. A salvage — anything
+	// quarantined or a torn tail cut off — is an incident in its own
+	// right, dossiered even when the run then proceeds cleanly.
+	d.fr.Record(0, flight.KindWAL, "recover", d.recovery.SnapshotSource,
+		int64(d.recovery.RecordsReplayed), int64(d.recovery.RecordsQuarantined))
+	if d.recovery.RecordsQuarantined > 0 || d.recovery.TruncatedBytes > 0 {
+		d.fr.Trigger(flight.TriggerSalvage, 0, d.recovery.SnapshotSource)
 	}
 	if opts.Trace != nil {
 		sp := opts.Trace.Root(obs.TrackStore, "store/recover", 0, 0,
@@ -353,6 +369,7 @@ func (d *Durable) appendLocked(rec walRecord) error {
 	if werr != nil {
 		d.mAppendErrs.Inc()
 		d.sloDurability.Record(at, false)
+		d.fr.Record(at, flight.KindWAL, "append-error", "", d.appendSeq, int64(n))
 		if n > 0 {
 			if terr := d.fsys.Truncate(d.walPath, d.walSize); terr != nil {
 				d.failed = fmt.Errorf("store: wal unrepairable after failed append: %w", terr)
@@ -365,6 +382,7 @@ func (d *Durable) appendLocked(rec walRecord) error {
 	d.mAppends.Inc()
 	d.mWALBytes.Add(int64(len(frame)))
 	d.sloDurability.Record(at, true)
+	d.fr.Record(at, flight.KindWAL, "append", "", d.appendSeq, int64(len(frame)))
 	if d.shipper != nil {
 		d.shipper.Ship(d.appendSeq, frame)
 	}
