@@ -281,4 +281,59 @@ go run ./cmd/tracetool check-bench -baseline "$baseline" \
     -tolerance "$BENCH_TOLERANCE" -alloc-tolerance 0 -alloc-slack 0 \
     "$tracedir/bench-flight.json"
 
+gate "chaos-fuzz gate"
+# The seeded failure-space fuzzer end to end. Its own tests twice under
+# the race detector; then replay the full committed corpus (every entry
+# must still hold every invariant), prove replay determinism
+# (byte-identical double replay), prove the gate has teeth with the
+# built-in planted accounting bug (exploration must catch it, shrink it
+# to one event, and its repro must replay to the same failure — through
+# tracetool and through the chaos example binary, whose exit codes now
+# propagate), and finally a fresh seeded exploration budget in both
+# modes that must find nothing new.
+go test -race -count=2 ./internal/chaosfuzz
+go build -o "$tracedir/tracetool" ./cmd/tracetool
+for repro in fuzz/corpus/*.json; do
+    "$tracedir/tracetool" fuzz replay "$repro" > "$tracedir/fuzz-replay.out" || {
+        echo "corpus entry $repro no longer holds every invariant:" >&2
+        cat "$tracedir/fuzz-replay.out" >&2
+        exit 1
+    }
+done
+entry=$(ls fuzz/corpus/*.json | head -n 1)
+"$tracedir/tracetool" fuzz replay "$entry" > "$tracedir/fuzz-a.out"
+"$tracedir/tracetool" fuzz replay "$entry" > "$tracedir/fuzz-b.out"
+cmp "$tracedir/fuzz-a.out" "$tracedir/fuzz-b.out"
+rc=0
+"$tracedir/tracetool" fuzz run -mode single -seed 7 -n 6 -plant-double-charge \
+    -out "$tracedir/fuzz-findings" > "$tracedir/fuzz-planted.out" 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "planted double charge was not caught (exit $rc):" >&2
+    cat "$tracedir/fuzz-planted.out" >&2
+    exit 1
+fi
+grep -q "budget-conservation" "$tracedir/fuzz-planted.out"
+grep -q "shrunk to 1 event" "$tracedir/fuzz-planted.out"
+rc=0
+"$tracedir/tracetool" fuzz replay -plant-double-charge \
+    "$tracedir/fuzz-findings/repro-01.json" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "emitted repro did not replay the planted failure (exit $rc)" >&2
+    exit 1
+fi
+rc=0
+"$tracedir/chaos" -fuzz-replay "$tracedir/fuzz-findings/repro-01.json" \
+    -fuzz-plant-double-charge >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "examples/chaos swallowed the fuzz-replay gate (exit $rc)" >&2
+    exit 1
+fi
+"$tracedir/chaos" -fuzz-replay "$entry" >/dev/null
+"$tracedir/tracetool" fuzz run -mode single -seed 20260808 -n 24 \
+    > "$tracedir/fuzz-explore-single.out"
+"$tracedir/tracetool" fuzz run -mode cluster -seed 20260808 -n 12 \
+    > "$tracedir/fuzz-explore-cluster.out"
+grep -q "no invariant violations" "$tracedir/fuzz-explore-single.out"
+grep -q "no invariant violations" "$tracedir/fuzz-explore-cluster.out"
+
 echo "ci: all checks passed"

@@ -43,6 +43,7 @@ import (
 	"sort"
 
 	"edgetune"
+	"edgetune/internal/fault"
 )
 
 func main() {
@@ -122,53 +123,45 @@ func run(args []string, out io.Writer) error {
 	// Fail fast on malformed flag values, before any tuning work starts:
 	// every fault class is a probability, and the scalar knobs must not
 	// be negative. (-store-snapshot-every is the deliberate exception —
-	// a negative value disables periodic compaction.)
-	for _, p := range []struct {
-		flag string
-		val  float64
-	}{
-		{"-fault-crash", *faultCrash},
-		{"-fault-nan", *faultNaN},
-		{"-fault-straggler", *faultStraggler},
-		{"-fault-flap", *faultFlap},
-		{"-fault-brownout", *faultBrownout},
-		{"-fault-overload", *faultOverload},
-		{"-fault-store-write", *faultStoreWrite},
-		{"-fault-drop", *faultDrop},
-		{"-fault-disk-torn", *faultDiskTorn},
-		{"-fault-disk-crash", *faultDiskCrash},
-		{"-fault-disk-flip", *faultDiskFlip},
-		{"-fault-disk-full", *faultDiskFull},
-		{"-fault-disk-slow-fsync", *faultDiskFsync},
-		{"-fault-shard-kill", *faultShard},
-		{"-fault-partition", *faultPart},
-		{"-fault-follower-lag", *faultFollower},
-		{"-fault-flash-crowd", *faultCrowd},
-		{"-fault-mass-devicefail", *faultMassFail},
-		{"-fault-scale-stall", *faultStall},
-	} {
-		if p.val < 0 || p.val > 1 {
-			return fmt.Errorf("%s: probability %v outside [0,1]", p.flag, p.val)
-		}
+	// a negative value disables periodic compaction.) The bounds tables
+	// are the shared internal/fault helpers the chaos fuzzer's schedule
+	// validation also runs through, so the surfaces cannot drift.
+	if err := fault.CheckProbs([]fault.NamedValue{
+		{Name: "-fault-crash", Value: *faultCrash},
+		{Name: "-fault-nan", Value: *faultNaN},
+		{Name: "-fault-straggler", Value: *faultStraggler},
+		{Name: "-fault-flap", Value: *faultFlap},
+		{Name: "-fault-brownout", Value: *faultBrownout},
+		{Name: "-fault-overload", Value: *faultOverload},
+		{Name: "-fault-store-write", Value: *faultStoreWrite},
+		{Name: "-fault-drop", Value: *faultDrop},
+		{Name: "-fault-disk-torn", Value: *faultDiskTorn},
+		{Name: "-fault-disk-crash", Value: *faultDiskCrash},
+		{Name: "-fault-disk-flip", Value: *faultDiskFlip},
+		{Name: "-fault-disk-full", Value: *faultDiskFull},
+		{Name: "-fault-disk-slow-fsync", Value: *faultDiskFsync},
+		{Name: "-fault-shard-kill", Value: *faultShard},
+		{Name: "-fault-partition", Value: *faultPart},
+		{Name: "-fault-follower-lag", Value: *faultFollower},
+		{Name: "-fault-flash-crowd", Value: *faultCrowd},
+		{Name: "-fault-mass-devicefail", Value: *faultMassFail},
+		{Name: "-fault-scale-stall", Value: *faultStall},
+	}); err != nil {
+		return err
 	}
-	for _, n := range []struct {
-		flag string
-		val  float64
-	}{
-		{"-brownout-factor", *brownoutFactor},
-		{"-max-attempts", float64(*maxAttempts)},
-		{"-autoscale-min", float64(*autoscaleMin)},
-		{"-autoscale-max", float64(*autoscaleMax)},
-		{"-tenant-rate", *tenantRate},
-		{"-tenant-burst", float64(*tenantBurst)},
-		{"-cluster", float64(*clusterN)},
-		{"-cluster-kill-rungs", float64(*clusterKill)},
-		{"-store-kill-after", float64(*storeKill)},
-		{"-flight-slots", float64(*flightSlots)},
-	} {
-		if n.val < 0 {
-			return fmt.Errorf("%s: negative value %v", n.flag, n.val)
-		}
+	if err := fault.CheckNonNegative([]fault.NamedValue{
+		{Name: "-brownout-factor", Value: *brownoutFactor},
+		{Name: "-max-attempts", Value: float64(*maxAttempts)},
+		{Name: "-autoscale-min", Value: float64(*autoscaleMin)},
+		{Name: "-autoscale-max", Value: float64(*autoscaleMax)},
+		{Name: "-tenant-rate", Value: *tenantRate},
+		{Name: "-tenant-burst", Value: float64(*tenantBurst)},
+		{Name: "-cluster", Value: float64(*clusterN)},
+		{Name: "-cluster-kill-rungs", Value: float64(*clusterKill)},
+		{Name: "-store-kill-after", Value: float64(*storeKill)},
+		{Name: "-flight-slots", Value: float64(*flightSlots)},
+	}); err != nil {
+		return err
 	}
 
 	var job edgetune.Job

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"edgetune/internal/chaosfuzz"
+	"edgetune/internal/obs/flight"
+)
+
+// runFuzz dispatches the chaos-fuzz subcommands: seeded exploration of
+// the fault-schedule space, replay of committed repro artefacts, and
+// standalone shrinking.
+func runFuzz(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: tracetool fuzz <run|replay|shrink|gen> [flags] args")
+	}
+	switch args[0] {
+	case "run":
+		return runFuzzRun(args[1:], out)
+	case "replay":
+		return runFuzzReplay(args[1:], out)
+	case "shrink":
+		return runFuzzShrink(args[1:], out)
+	case "gen":
+		return runFuzzGen(args[1:], out)
+	default:
+		return fmt.Errorf("unknown fuzz subcommand %q (want run, replay, shrink, or gen)", args[0])
+	}
+}
+
+// fuzzFlags declares the flags every fuzz subcommand that builds a
+// runner shares. The plant flag wires in the deliberately broken
+// retry-budget accounting — a built-in planted bug for proving,
+// end to end, that the pipeline detects, shrinks, and replays a real
+// invariant violation.
+func fuzzFlags(fs *flag.FlagSet) (mode *string, seed *uint64, plant *bool) {
+	mode = fs.String("mode", chaosfuzz.ModeSingle, "job topology to fuzz: single or cluster")
+	seed = fs.Uint64("seed", 1, "master seed for discovery, generation, and execution")
+	plant = fs.Bool("plant-double-charge", false, "plant the known retry-budget double-charge bug (pipeline self-test)")
+	return
+}
+
+// printSchedule renders a schedule's events in the compact
+// class@site#attempt form, one per line.
+func printSchedule(out io.Writer, s chaosfuzz.Schedule) {
+	fmt.Fprintf(out, "schedule seed=%d mode=%s events=%d\n", s.Seed, s.Mode, len(s.Events))
+	for _, ev := range s.Events {
+		fmt.Fprintf(out, "  %s\n", ev)
+	}
+}
+
+// printViolations renders the verdict for one evaluated schedule.
+func printViolations(out io.Writer, violations []chaosfuzz.Violation) {
+	if len(violations) == 0 {
+		fmt.Fprintln(out, "clean: all invariants hold")
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintf(out, "FAIL %s: %s\n", v.Invariant, v.Detail)
+	}
+}
+
+// runFuzzRun explores n seeded schedules against the invariant
+// registry. Every violation is shrunk to a minimal schedule; with
+// -out, each finding's repro JSON and flight-recorder dossier land
+// there as replayable artefacts. All output is derived from the seed
+// alone, so two runs of the same command are byte-identical. Exit 2
+// when anything was found.
+func runFuzzRun(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool fuzz run", flag.ContinueOnError)
+	mode, seed, plant := fuzzFlags(fs)
+	var (
+		n      = fs.Int("n", 16, "number of schedules to generate and evaluate")
+		outDir = fs.String("out", "", "directory to write finding artefacts (repro JSON + dossier) into")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return errors.New("usage: tracetool fuzz run [-mode single|cluster] [-seed N] [-n N] [-plant-double-charge] [-out dir]")
+	}
+	r := &chaosfuzz.Runner{Mode: *mode, Seed: *seed, PlantDoubleChargeRetry: *plant}
+	f, err := chaosfuzz.New(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "catalog  %d decision points (%s mode, seed %d)\n", len(f.Catalog), *mode, *seed)
+	findings, err := f.Explore(*n)
+	if err != nil {
+		return err
+	}
+	if len(findings) == 0 {
+		fmt.Fprintf(out, "explored %d schedules: no invariant violations\n", *n)
+		return nil
+	}
+	for i, finding := range findings {
+		fmt.Fprintf(out, "finding #%d (%d violation(s), shrunk to %d event(s))\n",
+			i+1, len(finding.Violations), len(finding.Schedule.Events))
+		printSchedule(out, finding.Schedule)
+		printViolations(out, finding.Violations)
+		if *outDir != "" {
+			reproPath := filepath.Join(*outDir, fmt.Sprintf("repro-%02d.json", i+1))
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			if err := chaosfuzz.WriteRepro(reproPath, finding.Repro); err != nil {
+				return err
+			}
+			paths, err := flight.WriteDossiers(*outDir, fmt.Sprintf("fuzz-%02d", i+1), []flight.Dossier{finding.Dossier})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", filepath.Base(reproPath))
+			for _, p := range paths {
+				fmt.Fprintf(out, "wrote %s\n", filepath.Base(p))
+			}
+		}
+	}
+	return fmt.Errorf("%w: %d invariant finding(s) in %d schedules", errGate, len(findings), *n)
+}
+
+// runFuzzReplay re-executes a repro artefact's schedule and
+// re-evaluates the full invariant registry. Exit 2 when any invariant
+// is violated (the bug is still there), 0 when clean (a corpus entry,
+// or a since-fixed repro). Output depends only on the artefact, so two
+// replays are byte-identical.
+func runFuzzReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool fuzz replay", flag.ContinueOnError)
+	plant := fs.Bool("plant-double-charge", false, "plant the known retry-budget double-charge bug (pipeline self-test)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: tracetool fuzz replay [-plant-double-charge] repro.json")
+	}
+	rep, err := chaosfuzz.ReadRepro(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	r := &chaosfuzz.Runner{Mode: rep.Schedule.Mode, Seed: rep.Schedule.Seed, PlantDoubleChargeRetry: *plant}
+	f := &chaosfuzz.Fuzzer{Runner: r}
+	printSchedule(out, rep.Schedule)
+	if rep.Invariant != "" {
+		fmt.Fprintf(out, "recorded %s: %s\n", rep.Invariant, rep.Detail)
+	}
+	violations, _, err := f.Evaluate(rep.Schedule)
+	if err != nil {
+		return err
+	}
+	printViolations(out, violations)
+	if len(violations) > 0 {
+		return fmt.Errorf("%w: %d invariant violation(s) on replay", errGate, len(violations))
+	}
+	return nil
+}
+
+// runFuzzShrink delta-debugs a repro's schedule down to a minimal one
+// still violating its recorded invariant (or, absent a record, the
+// first invariant the schedule violates), then emits the minimized
+// repro — to -out as JSON when given, to stdout otherwise.
+func runFuzzShrink(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool fuzz shrink", flag.ContinueOnError)
+	var (
+		plant   = fs.Bool("plant-double-charge", false, "plant the known retry-budget double-charge bug (pipeline self-test)")
+		outPath = fs.String("out", "", "write the minimized repro JSON here instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: tracetool fuzz shrink [-plant-double-charge] [-out min.json] repro.json")
+	}
+	rep, err := chaosfuzz.ReadRepro(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	r := &chaosfuzz.Runner{Mode: rep.Schedule.Mode, Seed: rep.Schedule.Seed, PlantDoubleChargeRetry: *plant}
+	f := &chaosfuzz.Fuzzer{Runner: r}
+	violations, _, err := f.Evaluate(rep.Schedule)
+	if err != nil {
+		return err
+	}
+	if len(violations) == 0 {
+		return fmt.Errorf("%s: schedule violates no invariant, nothing to shrink", fs.Arg(0))
+	}
+	target := rep.Invariant
+	if target == "" {
+		target = violations[0].Invariant
+	}
+	finding, err := f.Minimize(rep.Schedule, target)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "shrunk %d -> %d event(s) for %s\n",
+		len(rep.Schedule.Events), len(finding.Schedule.Events), target)
+	printSchedule(out, finding.Schedule)
+	if *outPath != "" {
+		if err := chaosfuzz.WriteRepro(*outPath, finding.Repro); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", filepath.Base(*outPath))
+		return nil
+	}
+	raw, err := chaosfuzz.MarshalRepro(finding.Repro)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(raw)
+	return err
+}
+
+// runFuzzGen generates n seeded schedules, proves each one holds every
+// invariant, and writes them as corpus entries — the committed seeds
+// CI replays on every change. A generated schedule that violates
+// anything aborts generation with exit 2: that is a finding, not a
+// corpus entry.
+func runFuzzGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool fuzz gen", flag.ContinueOnError)
+	mode, seed, plant := fuzzFlags(fs)
+	var (
+		n      = fs.Int("n", 4, "number of corpus entries to generate")
+		outDir = fs.String("out", "", "directory to write corpus entries into (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir == "" || fs.NArg() != 0 {
+		return errors.New("usage: tracetool fuzz gen [-mode single|cluster] [-seed N] [-n N] -out dir")
+	}
+	r := &chaosfuzz.Runner{Mode: *mode, Seed: *seed, PlantDoubleChargeRetry: *plant}
+	f, err := chaosfuzz.New(r)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < *n; i++ {
+		s := f.Generate(i)
+		violations, _, err := f.Evaluate(s)
+		if err != nil {
+			return err
+		}
+		if len(violations) > 0 {
+			printSchedule(out, s)
+			printViolations(out, violations)
+			return fmt.Errorf("%w: generated schedule %d is a finding, not a corpus entry", errGate, i)
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("%s-%02d.json", *mode, i))
+		if err := chaosfuzz.WriteRepro(path, chaosfuzz.Repro{Schedule: s}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "corpus %s: %d event(s), clean\n", filepath.Base(path), len(s.Events))
+	}
+	return nil
+}

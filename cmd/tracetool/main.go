@@ -14,11 +14,15 @@
 //	tracetool store verify [-json] [-wal store.json.wal] store.json
 //	tracetool incident show [-json] [-events] dossier.json
 //	tracetool incident diff a.json b.json
+//	tracetool fuzz run [-mode single|cluster] [-seed N] [-n N] [-plant-double-charge] [-out dir]
+//	tracetool fuzz replay [-plant-double-charge] repro.json
+//	tracetool fuzz shrink [-plant-double-charge] [-out min.json] repro.json
+//	tracetool fuzz gen [-mode single|cluster] [-seed N] [-n N] -out dir
 //
 // Exit codes: 0 clean, 1 usage or I/O error, 2 gate failure (flagged
 // diff deltas, a wall-time or alloc regression, missing profile
-// labels, store corruption, a dossier digest mismatch, or two dossiers
-// that should match but differ).
+// labels, store corruption, a dossier digest mismatch, two dossiers
+// that should match but differ, or a chaos-fuzz invariant violation).
 package main
 
 import (
@@ -69,8 +73,10 @@ func run(args []string, out io.Writer) error {
 		return runStore(args[1:], out)
 	case "incident":
 		return runIncident(args[1:], out)
+	case "fuzz":
+		return runFuzz(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want analyze, diff, check-bench, profile, store, or incident)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want analyze, diff, check-bench, profile, store, incident, or fuzz)", args[0])
 	}
 }
 

@@ -35,14 +35,20 @@
 // under -incidents-dir. Same-seed runs produce byte-identical dossiers
 // (leave -profile off for those comparisons); `tracetool incident
 // show|diff` inspects them. That is the CI flight-recorder gate.
+//
+// With -fuzz-replay the binary instead replays a chaos-fuzz repro
+// artefact (see internal/chaosfuzz) and evaluates the full invariant
+// registry: exit 0 when every invariant holds, exit 2 when any is
+// violated. Every failure path propagates a non-zero exit code — the
+// property the CI chaos-fuzz gate depends on.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"log"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
@@ -50,9 +56,30 @@ import (
 	"time"
 
 	"edgetune"
+	"edgetune/internal/chaosfuzz"
 )
 
+// errGate marks an invariant-gate failure: the run worked, the system
+// under test failed the check. Exit 2, distinct from operational
+// errors (exit 1) and the crash harness's deliberate kill (exit 3).
+var errGate = errors.New("invariant gate failed")
+
 func main() {
+	switch err := run(); {
+	case err == nil:
+	case errors.Is(err, errGate):
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole example so every failure returns an error —
+// main translates them into exit codes, and deferred cleanups (the
+// CPU profile writer) actually run on the way out.
+func run() error {
 	var (
 		seed          = flag.Uint64("seed", 42, "job seed (faults and results replay exactly per seed)")
 		storePath     = flag.String("store", "", "persist the historical store to this JSON file")
@@ -71,17 +98,25 @@ func main() {
 
 		flightOn     = flag.Bool("flight", false, "record the run on the always-on flight recorder; anomalies cut incident dossiers")
 		incidentsDir = flag.String("incidents-dir", "", "write incident dossiers as JSON artefacts into this directory (implies -flight)")
+
+		fuzzReplay = flag.String("fuzz-replay", "", "replay a chaos-fuzz repro artefact and gate on the invariant registry (exit 2 on violations)")
+		fuzzPlant  = flag.Bool("fuzz-plant-double-charge", false, "plant the known retry-budget double-charge bug during -fuzz-replay (gate self-test)")
 	)
 	flag.Parse()
+
+	if *fuzzReplay != "" {
+		return runFuzzReplay(*fuzzReplay, *fuzzPlant)
+	}
 
 	if *cpuProfile != "" {
 		*profileOn = true
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -131,7 +166,7 @@ func main() {
 		report, err = edgetune.Tune(context.Background(), job)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Printf("tuned %s through the chaos: %d trials, %.1f simulated minutes\n",
@@ -185,14 +220,49 @@ func main() {
 		// pprof label to land in the profile; pad with extra same-shaped
 		// runs on varied seeds (checkpointing would short-circuit a
 		// same-seed rerun) until enough labeled CPU time has accumulated.
-		padProfile(job, *clusterN, *clusterDir, *snapshotEvery)
+		if err := padProfile(job, *clusterN, *clusterDir, *snapshotEvery); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// runFuzzReplay replays a chaos-fuzz repro artefact through the real
+// fuzz harness and evaluates the invariant registry, exactly like
+// `tracetool fuzz replay` — exit 2 (via errGate) when any invariant is
+// violated, so the committed corpus can gate CI through this example
+// binary too.
+func runFuzzReplay(path string, plant bool) error {
+	rep, err := chaosfuzz.ReadRepro(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %s: seed=%d mode=%s events=%d\n",
+		filepath.Base(path), rep.Schedule.Seed, rep.Schedule.Mode, len(rep.Schedule.Events))
+	for _, ev := range rep.Schedule.Events {
+		fmt.Printf("  %s\n", ev)
+	}
+	f := &chaosfuzz.Fuzzer{Runner: &chaosfuzz.Runner{
+		Mode: rep.Schedule.Mode, Seed: rep.Schedule.Seed, PlantDoubleChargeRetry: plant,
+	}}
+	violations, _, err := f.Evaluate(rep.Schedule)
+	if err != nil {
+		return err
+	}
+	if len(violations) == 0 {
+		fmt.Println("clean: all invariants hold")
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Printf("FAIL %s: %s\n", v.Invariant, v.Detail)
+	}
+	return fmt.Errorf("%w: %d invariant violation(s)", errGate, len(violations))
 }
 
 // padProfile reruns the chaos job with varied seeds while the CPU
 // profile is being captured, mirroring the primary run's mode so the
 // samples carry the same label set (cluster runs add shard labels).
-func padProfile(job edgetune.Job, clusterN int, clusterDir string, snapshotEvery int) {
+func padProfile(job edgetune.Job, clusterN int, clusterDir string, snapshotEvery int) error {
 	deadline := time.Now().Add(1500 * time.Millisecond)
 	for i := 1; time.Now().Before(deadline); i++ {
 		j := job
@@ -209,19 +279,20 @@ func padProfile(job edgetune.Job, clusterN int, clusterDir string, snapshotEvery
 				SnapshotEvery: snapshotEvery,
 			})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if _, err := c.Tune(context.Background(), j); err != nil {
 				c.Close()
-				log.Fatal(err)
+				return err
 			}
 			if err := c.Close(); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		} else if _, err := edgetune.Tune(context.Background(), j); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // runCluster executes the chaos job on a sharded cluster and reports

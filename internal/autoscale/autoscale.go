@@ -241,6 +241,11 @@ type Report struct {
 	WarmupTime    time.Duration
 	WarmupEnergyJ float64
 	Digest        uint64
+	// ModePath is the destination rung of every ladder transition in
+	// order — the evidence the chaos fuzzer's monotonicity invariant
+	// checks: engage and recover both move exactly one rung at a time,
+	// starting from ModeNormal. Empty when the ladder never moved.
+	ModePath []Mode
 }
 
 // Controller is the autoscaling state machine. All methods are safe
@@ -267,6 +272,7 @@ type Controller struct {
 	scaleUps, scaleDowns int
 	degrades, recovers   int
 	deepest              Mode
+	modePath             []Mode
 	warmTime             time.Duration
 	warmEnergy           float64
 }
@@ -436,9 +442,11 @@ func (c *Controller) emit(d Decision) Decision {
 	}
 	if len(d.Reason) > 8 && d.Reason[:8] == "degrade:" {
 		c.degrades++
+		c.modePath = append(c.modePath, d.Mode)
 	}
 	if len(d.Reason) > 8 && d.Reason[:8] == "recover:" {
 		c.recovers++
+		c.modePath = append(c.modePath, d.Mode)
 	}
 	if d.Mode > c.deepest {
 		c.deepest = d.Mode
@@ -499,6 +507,7 @@ func (c *Controller) Report() Report {
 		WarmupTime:    c.warmTime,
 		WarmupEnergyJ: c.warmEnergy,
 		Digest:        c.digest,
+		ModePath:      append([]Mode(nil), c.modePath...),
 	}
 }
 

@@ -256,7 +256,7 @@ func TestNilControllerIsSafe(t *testing.T) {
 	if ctl.Mode() != ModeNormal || ctl.Digest() != 0 || ctl.Decisions() != nil {
 		t.Fatal("nil controller accessors not zero-valued")
 	}
-	if got := ctl.Report(); got != (Report{}) {
+	if got := ctl.Report(); !reflect.DeepEqual(got, Report{}) {
 		t.Fatalf("nil controller report = %+v", got)
 	}
 }

@@ -1,0 +1,76 @@
+package chaosfuzz
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"edgetune/internal/fault"
+)
+
+// Point is one discovered injection opportunity: a (class, site,
+// attempt) tuple the system actually consulted the injector about
+// during a clean run. Schedules are built from catalog points, so the
+// fuzzer only ever plants faults where a decision exists.
+type Point struct {
+	Class   fault.Class `json:"class"`
+	Site    string      `json:"site"`
+	Attempt int         `json:"attempt"`
+}
+
+// retryClasses are classes whose site is re-consulted at a higher
+// attempt number after the fault fires (trial retries, inference
+// resubmissions, store write retries). A clean run only ever sees
+// attempt 0 for these, so Discover synthesizes the retry attempts —
+// planting a fault there exercises give-up-after-N paths.
+var retryClasses = map[fault.Class]bool{
+	fault.TrialCrash:     true,
+	fault.TrialNaN:       true,
+	fault.Straggler:      true,
+	fault.DeviceFlap:     true,
+	fault.DeviceBrownout: true,
+	fault.StoreWrite:     true,
+}
+
+// Discover enumerates the fault catalog for one (mode, seed): it runs
+// the schedule-free job once with every probability at zero and an
+// observer on the injector, collecting every decision tuple the
+// pipeline consulted. The result is sorted, so catalogs — and the
+// schedules generated from them — are deterministic.
+func Discover(r *Runner) ([]Point, error) {
+	var mu sync.Mutex
+	seen := make(map[Point]bool)
+	observe := func(class fault.Class, site string, attempt int, fired bool) {
+		mu.Lock()
+		seen[Point{Class: class, Site: site, Attempt: attempt}] = true
+		mu.Unlock()
+	}
+	out, err := r.run(Schedule{Seed: r.Seed, Mode: r.Mode}, observe)
+	if err != nil {
+		return nil, err
+	}
+	if out.RunErr != nil {
+		return nil, fmt.Errorf("chaosfuzz: clean discovery run failed: %w", out.RunErr)
+	}
+	for p := range seen {
+		if retryClasses[p.Class] && p.Attempt == 0 {
+			seen[Point{Class: p.Class, Site: p.Site, Attempt: 1}] = true
+			seen[Point{Class: p.Class, Site: p.Site, Attempt: 2}] = true
+		}
+	}
+	points := make([]Point, 0, len(seen))
+	for p := range seen {
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i], points[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Attempt < b.Attempt
+	})
+	return points, nil
+}

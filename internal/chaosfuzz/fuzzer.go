@@ -1,0 +1,206 @@
+package chaosfuzz
+
+import (
+	"fmt"
+	"time"
+
+	"edgetune/internal/fault"
+	"edgetune/internal/obs/flight"
+	"edgetune/internal/sim"
+)
+
+// TriggerInvariant is the flight-recorder trigger kind a finding's
+// dossier is cut on.
+const TriggerInvariant = "invariant-violation"
+
+// Finding is one confirmed invariant violation: the minimized
+// schedule, every violation it reproduces, the replayable repro
+// artefact, and a flight-recorder dossier of the violating run.
+type Finding struct {
+	Schedule   Schedule
+	Violations []Violation
+	Repro      Repro
+	Dossier    flight.Dossier
+}
+
+// Fuzzer explores the failure space: it generates seeded schedules
+// over the discovered catalog, evaluates the invariant registry after
+// each, and shrinks whatever breaks.
+type Fuzzer struct {
+	Runner *Runner
+	// Catalog is the discovered decision-point universe schedules draw
+	// from.
+	Catalog []Point
+	// MaxEvents bounds the events per generated schedule (default 3).
+	MaxEvents int
+
+	twin    *runOutcome // cached unfaulted run for convergence checks
+	twinErr error
+}
+
+// New discovers the catalog for r and returns a fuzzer over it.
+func New(r *Runner) (*Fuzzer, error) {
+	catalog, err := Discover(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("chaosfuzz: discovery found no decision points in %s mode", r.Mode)
+	}
+	return &Fuzzer{Runner: r, Catalog: catalog, MaxEvents: 3}, nil
+}
+
+// Generate builds the i-th schedule of the run: 1..MaxEvents catalog
+// points drawn from an RNG seeded by (runner seed, i), at intensity 1
+// so every scheduled event fires deterministically. Same seed, same i,
+// same schedule — always.
+func (f *Fuzzer) Generate(i int) Schedule {
+	max := f.MaxEvents
+	if max <= 0 {
+		max = 3
+	}
+	rng := sim.NewRNG(f.Runner.Seed ^ 0x6a09e667f3bcc908 ^ uint64(i)*0x9e3779b97f4a7c15)
+	n := 1 + rng.Intn(max)
+	events := make([]fault.Event, 0, n)
+	for len(events) < n {
+		p := f.Catalog[rng.Intn(len(f.Catalog))]
+		events = append(events, fault.Event{
+			Class: p.Class, Site: p.Site, Attempt: p.Attempt, Intensity: 1,
+		})
+	}
+	return Schedule{Seed: f.Runner.Seed, Mode: f.Runner.Mode, Events: events}
+}
+
+// unfaultedTwin lazily runs (and caches) the schedule-free twin the
+// convergence invariant compares against.
+func (f *Fuzzer) unfaultedTwin() (*runOutcome, error) {
+	if f.twin == nil && f.twinErr == nil {
+		f.twin, f.twinErr = f.Runner.run(Schedule{Seed: f.Runner.Seed, Mode: f.Runner.Mode}, nil)
+	}
+	return f.twin, f.twinErr
+}
+
+// Evaluate runs s twice (determinism is itself an invariant), gathers
+// the twin where the schedule promises convergence, and judges the
+// full registry.
+func (f *Fuzzer) Evaluate(s Schedule) ([]Violation, Evidence, error) {
+	var ev Evidence
+	first, err := f.Runner.run(s, nil)
+	if err != nil {
+		return nil, ev, err
+	}
+	second, err := f.Runner.run(s, nil)
+	if err != nil {
+		return nil, ev, err
+	}
+	ev = Evidence{Schedule: s, First: first, Second: second}
+	if s.Mode == ModeCluster && s.failoverOnly() {
+		twin, err := f.unfaultedTwin()
+		if err != nil {
+			return nil, ev, err
+		}
+		ev.Twin = twin
+	}
+	return EvaluateInvariants(ev), ev, nil
+}
+
+// Explore generates and evaluates n schedules, shrinking every
+// violation found into a minimal, replayable finding.
+func (f *Fuzzer) Explore(n int) ([]Finding, error) {
+	var findings []Finding
+	for i := 0; i < n; i++ {
+		s := f.Generate(i)
+		violations, _, err := f.Evaluate(s)
+		if err != nil {
+			return findings, err
+		}
+		if len(violations) == 0 {
+			continue
+		}
+		finding, err := f.Minimize(s, violations[0].Invariant)
+		if err != nil {
+			return findings, err
+		}
+		findings = append(findings, finding)
+	}
+	return findings, nil
+}
+
+// Minimize shrinks a failing schedule down to the smallest event list
+// still violating the named invariant, then packages the finding: the
+// repro artefact and a dossier cut from the minimal violating run.
+func (f *Fuzzer) Minimize(s Schedule, invariant string) (Finding, error) {
+	var shrinkErr error
+	min := Shrink(s, func(candidate Schedule) bool {
+		if shrinkErr != nil {
+			return false
+		}
+		violations, _, err := f.Evaluate(candidate)
+		if err != nil {
+			shrinkErr = err
+			return false
+		}
+		return hasInvariant(violations, invariant)
+	})
+	if shrinkErr != nil {
+		return Finding{}, shrinkErr
+	}
+	violations, ev, err := f.Evaluate(min)
+	if err != nil {
+		return Finding{}, err
+	}
+	if !hasInvariant(violations, invariant) {
+		// The shrinker only accepts failing candidates, so the minimum
+		// must still fail; a flip here means the violation itself is
+		// nondeterministic — report it as the original schedule.
+		min = s
+		violations, ev, err = f.Evaluate(s)
+		if err != nil {
+			return Finding{}, err
+		}
+	}
+	target := violations[0]
+	for _, v := range violations {
+		if v.Invariant == invariant {
+			target = v
+			break
+		}
+	}
+	return Finding{
+		Schedule:   min,
+		Violations: violations,
+		Repro: Repro{
+			Schema:    ReproSchema,
+			Invariant: target.Invariant,
+			Detail:    target.Detail,
+			Schedule:  min,
+		},
+		Dossier: buildDossier(min, ev.First, target),
+	}, nil
+}
+
+func hasInvariant(violations []Violation, name string) bool {
+	for _, v := range violations {
+		if v.Invariant == name {
+			return true
+		}
+	}
+	return false
+}
+
+// buildDossier records the minimal schedule's events on a dedicated
+// flight ring, fires the invariant-violation trigger, and cuts a
+// dossier carrying the violating run's final metrics and SLO
+// snapshots — a self-contained, digest-verified artefact with no
+// scratch paths anywhere inside.
+func buildDossier(s Schedule, run *runOutcome, v Violation) flight.Dossier {
+	rec := flight.New(256)
+	for i, ev := range s.Events {
+		rec.Record(time.Duration(i+1)*time.Second, "fuzz-event", string(ev.Class), ev.Site,
+			int64(ev.Attempt), int64(ev.Intensity*1e6))
+	}
+	at := time.Duration(len(s.Events)+1) * time.Second
+	rec.Trigger(TriggerInvariant, at, v.Invariant+": "+v.Detail)
+	ds := rec.Dossiers(flight.Sources{Metrics: run.Result.Metrics, SLO: run.Result.SLO})
+	return ds[len(ds)-1]
+}

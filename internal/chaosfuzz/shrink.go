@@ -1,0 +1,48 @@
+package chaosfuzz
+
+import "edgetune/internal/fault"
+
+// Shrink delta-debugs a failing schedule down to a locally minimal
+// one: the classic ddmin loop over the event list, where a candidate
+// survives if stillFails reports the same invariant violation. The
+// input schedule must fail; the result is 1-minimal — removing any
+// single remaining event makes the violation disappear.
+func Shrink(s Schedule, stillFails func(Schedule) bool) Schedule {
+	events := append([]fault.Event(nil), s.Events...)
+	granularity := 2
+	for len(events) >= 2 {
+		chunk := (len(events) + granularity - 1) / granularity
+		reduced := false
+		// Try removing each chunk (complement testing): a candidate
+		// that still fails becomes the new schedule at base granularity.
+		for start := 0; start < len(events); start += chunk {
+			end := start + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			candidate := make([]fault.Event, 0, len(events)-(end-start))
+			candidate = append(candidate, events[:start]...)
+			candidate = append(candidate, events[end:]...)
+			if len(candidate) == 0 {
+				continue
+			}
+			if stillFails(Schedule{Seed: s.Seed, Mode: s.Mode, Events: candidate}) {
+				events = candidate
+				granularity = 2
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if granularity >= len(events) {
+			break // 1-minimal: no single event can be removed
+		}
+		granularity *= 2
+		if granularity > len(events) {
+			granularity = len(events)
+		}
+	}
+	return Schedule{Seed: s.Seed, Mode: s.Mode, Events: events}
+}

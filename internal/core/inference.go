@@ -144,6 +144,16 @@ type InferenceServerOptions struct {
 	// single-pointer-check no-op).
 	Flight *flight.Recorder
 
+	// SyncWrites persists completed results into the store inline on
+	// the worker's put path instead of from the write-behind flusher
+	// goroutine. Buffering, read-through promotion, and failed-flush
+	// retry are unchanged — only the scheduling differs: no background
+	// goroutine issues store appends, so a fault-injected filesystem
+	// under the store sees the same operation order on every same-seed
+	// run. The chaos fuzzer runs with this set; production serving
+	// keeps the asynchronous flusher.
+	SyncWrites bool
+
 	// Profile applies pprof labels (tenant, priority, ProfLabels) to
 	// each request's serve path. Workers run on their own goroutines,
 	// so labels set by the submitting caller do not reach them; the
@@ -303,13 +313,19 @@ func NewInferenceServer(opts InferenceServerOptions) (*InferenceServer, error) {
 	if err := opts.normalise(); err != nil {
 		return nil, err
 	}
+	var writes *store.WriteBehind
+	if opts.SyncWrites {
+		writes = store.NewSyncWriteBehind(opts.Store)
+	} else {
+		writes = store.NewWriteBehind(opts.Store)
+	}
 	s := &InferenceServer{
 		opts:      opts,
 		pending:   make(map[string]*call),
 		inflightC: make(map[*inferJob]context.CancelFunc),
 		adm:       newAdmission(opts.QueueLimit, opts.RateLimit, opts.RateBurst),
 		pool:      newDevicePool(opts.Pool, opts.BreakerThreshold, opts.BreakerCooldown, opts.Recorder),
-		writes:    store.NewWriteBehind(opts.Store),
+		writes:    writes,
 		closedCh:  make(chan struct{}),
 	}
 	s.pool.fr = opts.Flight

@@ -98,6 +98,11 @@ type Options struct {
 	// server's per-device circuit breaker (defaults 3 and 2).
 	BreakerThreshold int
 	BreakerCooldown  int
+	// SyncStoreWrites makes the inference server persist results
+	// synchronously on its put path instead of through the write-behind
+	// flusher goroutine — same semantics, deterministic store-operation
+	// order for fault injection (see InferenceServerOptions.SyncWrites).
+	SyncStoreWrites bool
 	// Checkpoint serializes completed rungs into the Store so a
 	// killed/cancelled job can resume without re-running them.
 	Checkpoint bool
@@ -476,6 +481,7 @@ func Tune(ctx context.Context, opts Options) (res Result, retErr error) {
 			MaxAttempts:      opts.MaxAttempts,
 			BreakerThreshold: opts.BreakerThreshold,
 			BreakerCooldown:  opts.BreakerCooldown,
+			SyncWrites:       opts.SyncStoreWrites,
 			Trace:            opts.Trace,
 			SLO:              opts.SLO,
 			Flight:           opts.Flight,

@@ -147,16 +147,29 @@ type Config struct {
 	FlashCrowd     float64 `json:"flashCrowd,omitempty"`
 	MassDeviceFail float64 `json:"massDeviceFail,omitempty"`
 	ScaleStall     float64 `json:"scaleStall,omitempty"`
+
+	// Plan, when non-nil, schedules exact fault events on top of the
+	// probabilistic classes: a decision whose (class, site, attempt)
+	// tuple the plan holds fires at the scheduled intensity even when
+	// the class probability is zero. The chaos fuzzer drives its
+	// machine-generated schedules through this field. Excluded from
+	// JSON so persisted configs stay purely probabilistic.
+	Plan *Plan `json:"-"`
+	// Observe, when non-nil, is called with every injection decision
+	// (fired or not) — the fuzzer's discovery hook. Excluded from JSON
+	// for the same reason as Plan.
+	Observe Observer `json:"-"`
 }
 
-// Enabled reports whether any class has a non-zero probability.
+// Enabled reports whether any class has a non-zero probability or a
+// plan schedules at least one event.
 func (c Config) Enabled() bool {
 	for _, class := range Classes() {
 		if c.prob(class) > 0 {
 			return true
 		}
 	}
-	return false
+	return c.Plan.Len() > 0
 }
 
 // Validate checks all probabilities and the straggler factor.
@@ -280,16 +293,29 @@ func (in *Injector) rng(class Class, site string, attempt int) *sim.RNG {
 }
 
 // Should reports whether a fault of class fires at site on the given
-// attempt, recording it when it does.
+// attempt, recording it when it does. A scheduled plan event fires
+// independently of the class probability; either way the decision is a
+// pure function of (seed, class, site, attempt), and any configured
+// observer sees every decision — the plan and observer checks run
+// before the zero-probability early-out so discovery passes (all
+// probabilities zero) still enumerate every decision point.
 func (in *Injector) Should(class Class, site string, attempt int) bool {
 	if in == nil {
 		return false
 	}
-	p := in.cfg.prob(class)
-	if p <= 0 {
-		return false
+	fired := false
+	if intensity, ok := in.cfg.Plan.intensity(class, site, attempt); ok {
+		fired = intensity >= 1 || in.rng(class, site, attempt).Float64() < intensity
 	}
-	if in.rng(class, site, attempt).Float64() >= p {
+	if !fired {
+		if p := in.cfg.prob(class); p > 0 && in.rng(class, site, attempt).Float64() < p {
+			fired = true
+		}
+	}
+	if obs := in.cfg.Observe; obs != nil {
+		obs(class, site, attempt, fired)
+	}
+	if !fired {
 		return false
 	}
 	in.rec.RecordFault(string(class))

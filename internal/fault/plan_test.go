@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// A plan event fires exactly at its tuple — and nowhere else — even
+// with every class probability at zero.
+func TestPlanFiresExactTuple(t *testing.T) {
+	plan, err := NewPlan([]Event{{Class: TrialCrash, Site: "cfgA", Attempt: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewInjector(Config{Plan: plan}, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Should(TrialCrash, "cfgA", 1) {
+		t.Fatal("scheduled tuple did not fire")
+	}
+	for _, tc := range []struct {
+		class   Class
+		site    string
+		attempt int
+	}{
+		{TrialCrash, "cfgA", 0},
+		{TrialCrash, "cfgB", 1},
+		{TrialNaN, "cfgA", 1},
+	} {
+		if inj.Should(tc.class, tc.site, tc.attempt) {
+			t.Fatalf("unscheduled tuple fired: %s@%s#%d", tc.class, tc.site, tc.attempt)
+		}
+	}
+}
+
+// Intensity below 1 gates the event on the tuple's seeded draw, so the
+// decision stays deterministic per seed: same seed agrees with itself,
+// and a tiny intensity never fires where intensity 1 always does.
+func TestPlanIntensityDeterministic(t *testing.T) {
+	ev := Event{Class: DeviceFlap, Site: "dev", Attempt: 0, Intensity: 0.5}
+	plan, err := NewPlan([]Event{ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed < 20; seed++ {
+		a, _ := NewInjector(Config{Plan: plan}, seed, nil)
+		b, _ := NewInjector(Config{Plan: plan}, seed, nil)
+		if a.Should(DeviceFlap, "dev", 0) != b.Should(DeviceFlap, "dev", 0) {
+			t.Fatalf("seed %d: intensity decision not deterministic", seed)
+		}
+	}
+	tiny, _ := NewPlan([]Event{{Class: DeviceFlap, Site: "dev", Attempt: 0, Intensity: 1e-12}})
+	fired := 0
+	for seed := uint64(1); seed < 50; seed++ {
+		inj, _ := NewInjector(Config{Plan: tiny}, seed, nil)
+		if inj.Should(DeviceFlap, "dev", 0) {
+			fired++
+		}
+	}
+	if fired != 0 {
+		t.Fatalf("intensity 1e-12 fired %d/49 times", fired)
+	}
+}
+
+// The observer sees every decision — including ones the zero
+// probability would have early-outed before the fuzzer's discovery
+// hook existed — and plan-driven decisions compose with it.
+func TestObserverSeesAllDecisions(t *testing.T) {
+	var mu sync.Mutex
+	type obs struct {
+		class Class
+		site  string
+		att   int
+		fired bool
+	}
+	var seen []obs
+	plan, _ := NewPlan([]Event{{Class: StoreWrite, Site: "sig1", Attempt: 0}})
+	cfg := Config{
+		Plan: plan,
+		Observe: func(class Class, site string, attempt int, fired bool) {
+			mu.Lock()
+			seen = append(seen, obs{class, site, attempt, fired})
+			mu.Unlock()
+		},
+	}
+	inj, err := NewInjector(cfg, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Should(StoreWrite, "sig1", 0) {
+		t.Fatal("plan event did not fire")
+	}
+	if inj.Should(TrialNaN, "cfgZ", 2) {
+		t.Fatal("zero-probability unplanned class fired")
+	}
+	want := []obs{{StoreWrite, "sig1", 0, true}, {TrialNaN, "cfgZ", 2, false}}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %d decisions, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("decision %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+}
+
+// Probabilistic behavior with no plan/observer must be unchanged by
+// the restructure: decisions agree with a hand-rolled replica of the
+// original draw.
+func TestShouldMatchesProbabilisticBaseline(t *testing.T) {
+	cfg := Config{TrialCrash: 0.3, DeviceFlap: 0.7}
+	inj, err := NewInjector(cfg, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []Class{TrialCrash, DeviceFlap, TrialNaN} {
+		for attempt := 0; attempt < 8; attempt++ {
+			p := cfg.prob(class)
+			want := p > 0 && inj.rng(class, "site", attempt).Float64() < p
+			if got := inj.Should(class, "site", attempt); got != want {
+				t.Fatalf("%s#%d = %v, want %v", class, attempt, got, want)
+			}
+		}
+	}
+}
+
+// Plans and observers never serialize: a Config round-tripped through
+// JSON drops both, so persisted configs stay purely probabilistic.
+func TestPlanExcludedFromJSON(t *testing.T) {
+	plan, _ := NewPlan([]Event{{Class: TrialCrash, Site: "x", Attempt: 0}})
+	cfg := Config{TrialCrash: 0.5, Plan: plan, Observe: func(Class, string, int, bool) {}}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Plan != nil || back.Observe != nil {
+		t.Fatal("Plan/Observe survived JSON round-trip")
+	}
+	if back.TrialCrash != 0.5 {
+		t.Fatalf("probability lost in round-trip: %v", back.TrialCrash)
+	}
+}
+
+// NewPlan rejects malformed events and merges duplicates at the
+// highest intensity; Events() returns a deterministic order.
+func TestNewPlanValidationAndMerge(t *testing.T) {
+	for _, bad := range []Event{
+		{Class: "no-such-class", Site: "x"},
+		{Class: TrialCrash, Site: ""},
+		{Class: TrialCrash, Site: "x", Attempt: -1},
+		{Class: TrialCrash, Site: "x", Intensity: 1.5},
+		{Class: TrialCrash, Site: "x", Intensity: -0.25},
+	} {
+		if _, err := NewPlan([]Event{bad}); err == nil {
+			t.Fatalf("NewPlan accepted invalid event %+v", bad)
+		}
+	}
+	plan, err := NewPlan([]Event{
+		{Class: TrialCrash, Site: "x", Attempt: 0, Intensity: 0.4},
+		{Class: TrialCrash, Site: "x", Attempt: 0, Intensity: 0.9},
+		{Class: DeviceFlap, Site: "a", Attempt: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 2 {
+		t.Fatalf("plan.Len() = %d, want 2 (duplicates merged)", plan.Len())
+	}
+	evs := plan.Events()
+	if evs[0].Class != DeviceFlap || evs[1].Class != TrialCrash {
+		t.Fatalf("Events() order not deterministic: %+v", evs)
+	}
+	if evs[1].Intensity != 0.9 {
+		t.Fatalf("duplicate merge kept %v, want 0.9", evs[1].Intensity)
+	}
+}

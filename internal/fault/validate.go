@@ -1,0 +1,46 @@
+package fault
+
+import "fmt"
+
+// NamedValue pairs a flag or field name with its numeric value for
+// table-driven validation. cmd/edgetune feeds its 19 probability flags
+// through CheckProbs and its scalar knobs through CheckNonNegative;
+// the chaos fuzzer validates schedule intensities through the same
+// tables, so the two surfaces can never drift on bounds or error text.
+type NamedValue struct {
+	Name  string
+	Value float64
+}
+
+// CheckProbs verifies every value is a probability in [0, 1]. The
+// error text is the contract the CLI tests pin.
+func CheckProbs(vals []NamedValue) error {
+	for _, v := range vals {
+		if v.Value < 0 || v.Value > 1 {
+			return fmt.Errorf("%s: probability %v outside [0,1]", v.Name, v.Value)
+		}
+	}
+	return nil
+}
+
+// CheckNonNegative verifies every value is >= 0.
+func CheckNonNegative(vals []NamedValue) error {
+	for _, v := range vals {
+		if v.Value < 0 {
+			return fmt.Errorf("%s: negative value %v", v.Name, v.Value)
+		}
+	}
+	return nil
+}
+
+// ProbValues names every class probability of a Config with the given
+// prefix — the table both Config.Validate-style checks and external
+// surfaces can feed to CheckProbs.
+func (c Config) ProbValues(prefix string) []NamedValue {
+	classes := Classes()
+	out := make([]NamedValue, 0, len(classes))
+	for _, class := range classes {
+		out = append(out, NamedValue{Name: prefix + string(class), Value: c.prob(class)})
+	}
+	return out
+}

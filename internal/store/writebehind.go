@@ -24,6 +24,9 @@ var ErrBufferClosed = errors.New("store: write-behind buffer closed")
 // timing — the determinism contract of the chaos suite.
 type WriteBehind struct {
 	st *Store
+	// syncMode flushes inline on the Put path instead of waking the
+	// background flusher (which is never started); see NewSyncWriteBehind.
+	syncMode bool
 
 	mu      sync.Mutex
 	pending map[string]Entry
@@ -54,6 +57,27 @@ func NewWriteBehind(st *Store) *WriteBehind {
 		done:    make(chan struct{}),
 	}
 	go w.flusher()
+	return w
+}
+
+// NewSyncWriteBehind wraps st with a buffer that flushes inline on the
+// Put path: no background flusher goroutine ever runs, so the
+// underlying store — and any fault-injected filesystem beneath it —
+// observes the same operation order on every same-seed run. Buffering,
+// read-through promotion, and failed-flush retry semantics are
+// identical to the asynchronous form; only the scheduling of the
+// flushes changes. The chaos fuzzer's determinism invariant depends on
+// this mode.
+func NewSyncWriteBehind(st *Store) *WriteBehind {
+	w := &WriteBehind{
+		st:       st,
+		syncMode: true,
+		pending:  make(map[string]Entry),
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	close(w.done) // no flusher for Close to wait on
 	return w
 }
 
@@ -96,6 +120,14 @@ func (w *WriteBehind) Put(e Entry) error {
 	w.mWrites.Add(1)
 	w.mPending.Set(float64(len(w.pending)))
 	w.mu.Unlock()
+	if w.syncMode {
+		// Inline flush, on the caller's goroutine. The error handling
+		// matches the background flusher exactly: a failure is counted,
+		// re-queued, and surfaced via LastFlushErr — not returned — so
+		// the two modes differ only in scheduling, never in outcome.
+		w.Flush()
+		return nil
+	}
 	select {
 	case w.wake <- struct{}{}:
 	default:

@@ -168,6 +168,64 @@ func TestWriteBehindConcurrent(t *testing.T) {
 	}
 }
 
+// TestSyncWriteBehindFlushesInline pins the synchronous mode's
+// contract: a Put is persisted before it returns, on the caller's
+// goroutine, with no flusher goroutine ever started — the scheduling
+// guarantee the chaos fuzzer's deterministic fault numbering needs.
+func TestSyncWriteBehindFlushesInline(t *testing.T) {
+	testutil.CheckGoroutineLeak(t, 2)
+	st := New()
+	wb := NewSyncWriteBehind(st)
+	if err := wb.Put(wbEntry("sig-a", "i7")); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store has %d entries immediately after Put, want 1", st.Len())
+	}
+	if wb.Pending() != 0 {
+		t.Errorf("Pending = %d after inline flush, want 0", wb.Pending())
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Put(wbEntry("late", "i7")); !errors.Is(err, ErrBufferClosed) {
+		t.Errorf("put after close = %v, want ErrBufferClosed", err)
+	}
+}
+
+// TestSyncWriteBehindRetainsFailedFlush checks the sync mode matches
+// the background flusher's failure semantics exactly: a failed inline
+// flush is counted and re-queued, Put still returns nil, and the error
+// surfaces through LastFlushErr and the final Close.
+func TestSyncWriteBehindRetainsFailedFlush(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(DurableOptions{SnapshotPath: filepath.Join(dir, "store.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil { // every store write now fails
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	wb := NewSyncWriteBehind(d.Store())
+	wb.Instrument(reg)
+	if err := wb.Put(wbEntry("sig-a", "i7")); err != nil {
+		t.Fatalf("Put must not surface the flush failure, got %v", err)
+	}
+	if wb.Pending() != 1 {
+		t.Errorf("Pending = %d, want the failed entry re-queued", wb.Pending())
+	}
+	if !errors.Is(wb.LastFlushErr(), ErrDurableClosed) {
+		t.Errorf("LastFlushErr = %v, want ErrDurableClosed", wb.LastFlushErr())
+	}
+	if got := reg.Counter("store.writebehind.flush-errors").Value(); got == 0 {
+		t.Error("inline flush failure not counted")
+	}
+	if err := wb.Close(); !errors.Is(err, ErrDurableClosed) {
+		t.Errorf("Close error = %v, want ErrDurableClosed", err)
+	}
+}
+
 // TestWriteBehindFlushErrorSurfaced drives the buffer against a store
 // whose writes fail (a closed durable store) and asserts the failure
 // is counted, the entries are re-queued rather than dropped, and the
